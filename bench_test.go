@@ -1,0 +1,146 @@
+package wrsncsa_test
+
+// One benchmark per reconstructed table and figure (see DESIGN.md's
+// experiment index). Each bench regenerates its experiment end to end —
+// workload generation, simulation/planning, metric extraction — so
+// `go test -bench=. -benchmem` re-derives the entire evaluation and
+// reports its cost. The quick configuration keeps individual iterations
+// tractable; `cmd/experiments` (without -quick) produces the full-scale
+// numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/experiments"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+func benchAttack(nw *wrsn.Network, ch *mc.Charger) (*campaign.Outcome, error) {
+	return campaign.RunAttack(nw, ch, campaign.Config{Seed: 42})
+}
+
+var benchCfg = experiments.Config{Quick: true, Seeds: 1}
+
+func benchExperiment(b *testing.B, run experiments.Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		out, err := run(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Table.Rows() == 0 {
+			b.Fatal("experiment produced an empty table")
+		}
+	}
+}
+
+// BenchmarkRectifierCurve regenerates R-Fig 1 (rectifier nonlinearity).
+func BenchmarkRectifierCurve(b *testing.B) {
+	benchExperiment(b, experiments.RunRectifierCurve)
+}
+
+// BenchmarkSuperpositionSweep regenerates R-Fig 2 (coherent superposition
+// vs phase offset).
+func BenchmarkSuperpositionSweep(b *testing.B) {
+	benchExperiment(b, experiments.RunSuperpositionSweep)
+}
+
+// BenchmarkNullSteering regenerates R-Fig 3 (null depth vs distance and
+// jitter, Monte Carlo).
+func BenchmarkNullSteering(b *testing.B) {
+	benchExperiment(b, experiments.RunNullSteering)
+}
+
+// BenchmarkExhaustionVsN regenerates R-Fig 4 (the headline: key-node
+// exhaustion per solver vs network size, full campaigns).
+func BenchmarkExhaustionVsN(b *testing.B) {
+	benchExperiment(b, experiments.RunExhaustionVsN)
+}
+
+// BenchmarkUtilityVsBudget regenerates R-Fig 5 (planned cover utility vs
+// charger budget).
+func BenchmarkUtilityVsBudget(b *testing.B) {
+	benchExperiment(b, experiments.RunUtilityVsBudget)
+}
+
+// BenchmarkDetectionROC regenerates R-Fig 6 (detector ROC curves from
+// attack and legitimate campaign populations).
+func BenchmarkDetectionROC(b *testing.B) {
+	benchExperiment(b, experiments.RunDetectionROC)
+}
+
+// BenchmarkApproxRatio regenerates R-Fig 7 (CSA vs the exact Pareto-DP
+// optimum on small instances).
+func BenchmarkApproxRatio(b *testing.B) {
+	benchExperiment(b, experiments.RunApproxRatio)
+}
+
+// BenchmarkLifetime regenerates R-Fig 8 (connectivity over time, attack
+// vs legitimate service).
+func BenchmarkLifetime(b *testing.B) {
+	benchExperiment(b, experiments.RunLifetime)
+}
+
+// BenchmarkCSARuntime regenerates R-Fig 9 (planning runtime scaling).
+func BenchmarkCSARuntime(b *testing.B) {
+	benchExperiment(b, experiments.RunRuntime)
+}
+
+// BenchmarkHeadline regenerates R-Tab 1 (exhaustion and stealth across
+// deployment patterns).
+func BenchmarkHeadline(b *testing.B) {
+	benchExperiment(b, experiments.RunHeadline)
+}
+
+// BenchmarkTestbed regenerates R-Tab 2 (the TCP software-in-the-loop test
+// bed); each iteration runs real agents over loopback TCP for a fixed
+// wall-clock window.
+func BenchmarkTestbed(b *testing.B) {
+	benchExperiment(b, experiments.RunTestbed)
+}
+
+// BenchmarkAblations regenerates R-Tab 3 (attack-ingredient ablations).
+func BenchmarkAblations(b *testing.B) {
+	benchExperiment(b, experiments.RunAblations)
+}
+
+// BenchmarkSolveCSA isolates the planner itself on a 200-node scenario —
+// the micro-benchmark behind R-Fig 9's headline number.
+func BenchmarkSolveCSA(b *testing.B) {
+	nw, _, err := trace.DefaultScenario(42, 200).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	in, err := attack.BuildInstance(nw, ch, attack.BuilderConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attack.SolveCSA(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullCampaign isolates one complete attack campaign (plan +
+// 14-day execution) on a 200-node network.
+func BenchmarkFullCampaign(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nw, _, err := trace.DefaultScenario(42, 200).Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		b.StartTimer()
+		if _, err := benchAttack(nw, ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

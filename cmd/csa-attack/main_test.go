@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestPlanOnly(t *testing.T) {
+	if err := run([]string{"-n", "60", "-plan-only"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullCampaignWithMapAndTimeline(t *testing.T) {
+	if err := run([]string{"-n", "60", "-days", "4", "-map", "-timeline"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineSolver(t *testing.T) {
+	if err := run([]string{"-n", "60", "-days", "3", "-solver", "Direct"}); err != nil {
+		t.Fatal(err)
+	}
+}

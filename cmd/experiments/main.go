@@ -1,0 +1,104 @@
+// Command experiments regenerates every reconstructed figure and table of
+// the evaluation (see DESIGN.md for the index). Each experiment prints its
+// result table to stdout and, with -out, also writes <id>.txt and <id>.csv
+// into the output directory.
+//
+// Usage:
+//
+//	experiments [-quick] [-seeds N] [-only rfig4] [-out results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/reprolab/wrsn-csa/internal/experiments"
+	"github.com/reprolab/wrsn-csa/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink sweeps and seed counts for a fast pass")
+	seeds := fs.Int("seeds", 0, "seeds per data point (0 = default)")
+	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
+	outDir := fs.String("out", "", "directory to write <id>.txt and <id>.csv into")
+	baseSeed := fs.Uint64("seed", 0, "base seed offset for independent replications")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := experiments.Config{Quick: *quick, Seeds: *seeds, BaseSeed: *baseSeed}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+	}
+
+	for _, e := range selected {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		out, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := out.Table.Render(os.Stdout); err != nil {
+			return err
+		}
+		for _, note := range out.Notes {
+			fmt.Println("note:", note)
+		}
+		fmt.Println()
+		if *outDir != "" {
+			if err := writeOutputs(*outDir, out); err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+func writeOutputs(dir string, out *experiments.Output) error {
+	txt, err := os.Create(filepath.Join(dir, out.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = txt.Close() }()
+	if err := out.Table.Render(txt); err != nil {
+		return err
+	}
+	for _, note := range out.Notes {
+		if _, err := fmt.Fprintln(txt, "note:", note); err != nil {
+			return err
+		}
+	}
+	if len(out.Series) == 0 {
+		return nil
+	}
+	csv, err := os.Create(filepath.Join(dir, out.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer func() { _ = csv.Close() }()
+	return report.WriteCSV(csv, out.XName, out.Series...)
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQuickSingleExperiment(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-quick", "-seeds", "1", "-only", "rfig1,rfig2", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"rfig1.txt", "rfig1.csv", "rfig2.txt", "rfig2.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing output %s: %v", want, err)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "rfig999"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

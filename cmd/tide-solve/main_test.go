@@ -1,0 +1,43 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRandomInstanceSolve(t *testing.T) {
+	for _, planner := range []string{"CSA", "Random", "GreedyNearest", "Direct"} {
+		if err := run([]string{"-random", "8", "-planner", planner}); err != nil {
+			t.Errorf("%s: %v", planner, err)
+		}
+	}
+}
+
+func TestCompareOpt(t *testing.T) {
+	if err := run([]string{"-random", "7", "-compare-opt"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmitAndReload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "instance.json")
+	if err := run([]string{"-random", "6", "-emit", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-planner", "Oracle", "-random", "5"},
+		{"-in", "/definitely/missing.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

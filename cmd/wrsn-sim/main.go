@@ -1,0 +1,151 @@
+// Command wrsn-sim runs one end-to-end WRSN charging simulation — the
+// legitimate on-demand service by default, or the full charging spoofing
+// attack with -attack — and prints the outcome and detector verdicts.
+//
+// Usage:
+//
+//	wrsn-sim [-seed 42] [-n 200] [-pattern uniform|clustered|grid|corridor]
+//	         [-days 14] [-scheduler NJNP|FCFS|EDF] [-attack] [-solver CSA]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wrsn-sim", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 42, "scenario seed")
+	n := fs.Int("n", 200, "node count")
+	pattern := fs.String("pattern", "uniform", "deployment pattern: uniform, clustered, grid, corridor")
+	days := fs.Float64("days", 14, "simulated horizon in days")
+	schedName := fs.String("scheduler", "NJNP", "charging scheduler: NJNP, FCFS, EDF, PeriodicTSP")
+	doAttack := fs.Bool("attack", false, "run the charging spoofing attack instead of legitimate service")
+	solver := fs.String("solver", campaign.SolverCSA, "attack planner: CSA, Random, GreedyNearest, Direct")
+	chargers := fs.Int("chargers", 1, "fleet size for legitimate service (>1 uses the event-driven fleet)")
+	verify := fs.Float64("verify", 0, "harvest-verification probability (countermeasure extension)")
+	scenarioIn := fs.String("scenario", "", "load the scenario from this JSON file (overrides -seed/-n/-pattern)")
+	scenarioOut := fs.String("emit-scenario", "", "write the effective scenario as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *chargers < 1 {
+		return fmt.Errorf("chargers must be ≥ 1")
+	}
+	if *chargers > 1 && *doAttack {
+		return fmt.Errorf("the attack campaign is single-charger; -chargers applies to legitimate service")
+	}
+
+	var sc trace.Scenario
+	if *scenarioIn != "" {
+		var err error
+		sc, err = trace.LoadScenario(*scenarioIn)
+		if err != nil {
+			return err
+		}
+		*pattern = sc.Deploy.Pattern.String()
+	} else {
+		sc = trace.DefaultScenario(*seed, *n)
+		switch *pattern {
+		case "uniform":
+			sc.Deploy.Pattern = trace.DeployUniform
+		case "clustered":
+			sc.Deploy.Pattern = trace.DeployClustered
+		case "grid":
+			sc.Deploy.Pattern = trace.DeployGrid
+		case "corridor":
+			sc.Deploy.Pattern = trace.DeployCorridor
+		default:
+			return fmt.Errorf("unknown pattern %q", *pattern)
+		}
+	}
+	if *scenarioOut != "" {
+		if err := sc.SaveScenario(*scenarioOut); err != nil {
+			return err
+		}
+		fmt.Println("wrote scenario to", *scenarioOut)
+	}
+	nw, _, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	sched, err := charging.ByName(*schedName)
+	if err != nil {
+		return err
+	}
+	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	cfg := campaign.Config{
+		Seed:       *seed,
+		HorizonSec: *days * 86400,
+		Scheduler:  sched,
+		Solver:     *solver,
+		Defense:    defense.Config{VerifyProb: *verify},
+	}
+
+	keys := nw.KeyNodes()
+	fmt.Printf("scenario: %d nodes (%s), %d key nodes, sink %v, horizon %.1f days\n",
+		nw.Len(), *pattern, len(keys), nw.Sink(), *days)
+
+	if *chargers > 1 {
+		fleet := make([]*mc.Charger, *chargers)
+		for i := range fleet {
+			fleet[i] = mc.New(nw.Sink(), mc.DefaultParams())
+		}
+		fo, err := campaign.RunLegitFleet(nw, fleet, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmode: legit fleet of %d\n", *chargers)
+		fmt.Printf("sessions: %d, requests served %d/%d, utility %.0f kJ, fleet energy %.2f MJ, busy %.0f%%\n",
+			len(fo.Audit.Sessions), fo.RequestsServed, fo.RequestsIssued,
+			fo.CoverUtilityJ/1000, fo.EnergySpentJ/1e6, 100*fo.BusyFrac)
+		fmt.Printf("dead: %d/%d\n", fo.DeadTotal, nw.Len())
+		return nil
+	}
+
+	var o *campaign.Outcome
+	if *doAttack {
+		o, err = campaign.RunAttack(nw, ch, cfg)
+	} else {
+		o, err = campaign.RunLegit(nw, ch, cfg)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nmode: %s\n", o.Solver)
+	fmt.Printf("sessions: %d, requests served %d/%d, cover utility %.0f kJ, charger energy %.2f MJ\n",
+		len(o.Sessions), o.RequestsServed, o.RequestsIssued, o.CoverUtilityJ/1000, o.EnergySpentJ/1e6)
+	fmt.Printf("dead: %d/%d (key nodes %d/%d), disconnected survivors: %d\n",
+		o.DeadTotal, nw.Len(), o.KeyDead, len(o.KeyNodes), o.Disconnected)
+	if math.IsInf(o.FirstDeathAt, 1) {
+		fmt.Println("first death: never")
+	} else {
+		fmt.Printf("first death: day %.2f\n", o.FirstDeathAt/86400)
+	}
+	if o.Caught {
+		fmt.Printf("charger IMPOUNDED at day %.2f by %s\n", o.CaughtAt/86400, o.CaughtBy)
+	}
+	for _, v := range o.Verdicts {
+		fmt.Println(" ", v)
+	}
+	if *doAttack {
+		fmt.Printf("key-node exhaustion: %.0f%%, detected: %v\n", 100*o.KeyExhaustRatio(), o.Detected)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestRunLegit(t *testing.T) {
+	if err := run([]string{"-n", "60", "-days", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAttack(t *testing.T) {
+	if err := run([]string{"-n", "60", "-days", "3", "-attack"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleet(t *testing.T) {
+	if err := run([]string{"-n", "60", "-days", "2", "-chargers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScenarioRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sc.json")
+	if err := run([]string{"-n", "40", "-days", "1", "-emit-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path, "-days", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-pattern", "hexagonal"},
+		{"-scheduler", "LIFO"},
+		{"-chargers", "0"},
+		{"-chargers", "2", "-attack"},
+		{"-scenario", "/definitely/missing.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

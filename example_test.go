@@ -1,0 +1,108 @@
+package wrsncsa_test
+
+import (
+	"fmt"
+
+	wrsncsa "github.com/reprolab/wrsn-csa"
+)
+
+// The complete attack flow: build a reproducible network, plan TIDE, run
+// the campaign, read the headline metrics.
+func Example() {
+	nw, _, err := wrsncsa.BuildScenario(42, 150)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	ch := wrsncsa.NewCharger(nw)
+	out, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+	fmt.Printf("exhausted ≥80%%: %v\n", out.KeyExhaustRatio() >= 0.8)
+	fmt.Printf("detected: %v\n", out.Detected)
+	// Output:
+	// exhausted ≥80%: true
+	// detected: false
+}
+
+// Key-node analysis: the attack's targeting pipeline.
+func ExampleNetwork_keyNodes() {
+	nw, _, err := wrsncsa.BuildScenario(7, 100)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	keys := nw.KeyNodes()
+	fmt.Printf("found key nodes: %v\n", len(keys) > 0)
+	// Severance counts are sorted descending.
+	sorted := true
+	for i := 1; i < len(keys); i++ {
+		if keys[i].Severed > keys[i-1].Severed {
+			sorted = false
+		}
+	}
+	fmt.Printf("sorted by severance: %v\n", sorted)
+	// Output:
+	// found key nodes: true
+	// sorted by severance: true
+}
+
+// TIDE planning without executing: inspect the route CSA builds.
+func ExamplePlanTIDE() {
+	nw, _, err := wrsncsa.BuildScenario(42, 100)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	ch := wrsncsa.NewCharger(nw)
+	in, res, err := wrsncsa.PlanTIDE(nw, ch)
+	if err != nil {
+		fmt.Println("plan:", err)
+		return
+	}
+	fmt.Printf("every key node scheduled: %v\n",
+		res.Plan.SpoofCount == len(in.Mandatories()) && len(res.SkippedTargets) == 0)
+	fmt.Printf("plan within budget: %v\n", res.Plan.EnergyJ <= in.BudgetJ)
+	// Output:
+	// every key node scheduled: true
+	// plan within budget: true
+}
+
+// The legitimate baseline keeps the whole network alive.
+func ExampleLegit() {
+	nw, _, err := wrsncsa.BuildScenario(42, 100)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	out, err := wrsncsa.Legit(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{Seed: 42})
+	if err != nil {
+		fmt.Println("legit:", err)
+		return
+	}
+	fmt.Printf("deaths: %d, detected: %v\n", out.DeadTotal, out.Detected)
+	// Output:
+	// deaths: 0, detected: false
+}
+
+// The harvest-verification countermeasure exposes the attacker.
+func ExampleDefenseConfig() {
+	nw, _, err := wrsncsa.BuildScenario(42, 150)
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	out, err := wrsncsa.Attack(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
+		Seed:    42,
+		Defense: wrsncsa.DefenseConfig{VerifyProb: 0.5},
+	})
+	if err != nil {
+		fmt.Println("attack:", err)
+		return
+	}
+	fmt.Printf("exposed: %v\n", len(out.Exposures) > 0)
+	// Output:
+	// exposed: true
+}

@@ -1,0 +1,95 @@
+// Command detection-tradeoff sweeps the detector suite's operating points
+// against three behaviors — legitimate service, the stealthy CSA attack,
+// and the naive Direct attack — and prints each detector's ROC and AUC.
+// It is the library-level version of the R-Fig 6 experiment.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	wrsncsa "github.com/reprolab/wrsn-csa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "detection-tradeoff:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 150
+	const runs = 6
+	detectors := wrsncsa.DetectorSuite()
+
+	scores := make(map[string]map[string][]float64) // detector → behavior → samples
+	for _, d := range detectors {
+		scores[d.Name()] = make(map[string][]float64)
+	}
+
+	for i := 0; i < runs; i++ {
+		seed := uint64(100 + i*31)
+		// Horizon-only judgment: live audits off so every behavior leaves
+		// its full evidence trail.
+		base := wrsncsa.CampaignConfig{Seed: seed, AuditEverySec: -1}
+
+		nw, _, err := wrsncsa.BuildScenario(seed, n)
+		if err != nil {
+			return err
+		}
+		legit, err := wrsncsa.Legit(nw, wrsncsa.NewCharger(nw), base)
+		if err != nil {
+			return err
+		}
+
+		nw2, _, err := wrsncsa.BuildScenario(seed, n)
+		if err != nil {
+			return err
+		}
+		csaCfg := base
+		csaCfg.Solver = wrsncsa.SolverCSA
+		csa, err := wrsncsa.Attack(nw2, wrsncsa.NewCharger(nw2), csaCfg)
+		if err != nil {
+			return err
+		}
+
+		nw3, _, err := wrsncsa.BuildScenario(seed, n)
+		if err != nil {
+			return err
+		}
+		dirCfg := base
+		dirCfg.Solver = wrsncsa.SolverDirect
+		dirCfg.NoFill = true
+		direct, err := wrsncsa.Attack(nw3, wrsncsa.NewCharger(nw3), dirCfg)
+		if err != nil {
+			return err
+		}
+
+		for _, d := range detectors {
+			scores[d.Name()]["legit"] = append(scores[d.Name()]["legit"], d.Score(legit.Audit))
+			scores[d.Name()]["CSA"] = append(scores[d.Name()]["CSA"], d.Score(csa.Audit))
+			scores[d.Name()]["Direct"] = append(scores[d.Name()]["Direct"], d.Score(direct.Audit))
+		}
+	}
+
+	for _, d := range detectors {
+		fmt.Printf("=== %s (default threshold %.2f) ===\n", d.Name(), d.Threshold())
+		neg := scores[d.Name()]["legit"]
+		for _, attacker := range []string{"CSA", "Direct"} {
+			pos := scores[d.Name()][attacker]
+			pts, err := wrsncsa.ROC(pos, neg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  vs %-7s AUC %.3f; operating points (thr → TPR/FPR):", attacker, wrsncsa.AUC(pts))
+			for _, p := range pts {
+				fmt.Printf(" %.2f→%.2f/%.2f", p.Threshold, p.TPR, p.FPR)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("\nreading: Direct separates at AUC ≈ 1 (any sane threshold catches it);")
+	fmt.Println("CSA's scores overlap the legitimate distribution and the default thresholds never fire.")
+	return nil
+}

@@ -1,0 +1,68 @@
+// Command quickstart is the five-minute tour of the library: build a
+// 200-node WRSN, find its key nodes, run the charging spoofing attack
+// campaign, and print the headline metrics — how many key nodes were
+// exhausted and whether any detector noticed.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 200-node network, uniformly deployed around a central sink,
+	// reproducible from the seed.
+	scenario := trace.DefaultScenario(42, 200)
+	nw, _, err := scenario.Build()
+	if err != nil {
+		return err
+	}
+
+	keys := nw.KeyNodes()
+	fmt.Printf("network: %d nodes, %d connected, %d key nodes (sink separators)\n",
+		nw.Len(), nw.ConnectedCount(), len(keys))
+	for i, k := range keys {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(keys)-5)
+			break
+		}
+		fmt.Printf("  key node %3d severs %3d nodes if it dies\n", k.ID, k.Severed)
+	}
+
+	// The compromised mobile charger runs the CSA attack: spoof every key
+	// node inside its time window while genuinely serving everyone else.
+	charger := mc.New(nw.Sink(), mc.DefaultParams())
+	outcome, err := campaign.RunAttack(nw, charger, campaign.Config{Seed: 42})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nafter %.0f days under attack (%s):\n", 14.0, outcome.Solver)
+	fmt.Printf("  key nodes exhausted: %d/%d (%.0f%%)\n",
+		outcome.KeyDead, len(outcome.KeyNodes), 100*outcome.KeyExhaustRatio())
+	fmt.Printf("  total dead: %d, disconnected survivors: %d\n",
+		outcome.DeadTotal, outcome.Disconnected)
+	fmt.Printf("  sessions: %d (requests served %d/%d), cover utility %.0f kJ\n",
+		len(outcome.Sessions), outcome.RequestsServed, outcome.RequestsIssued,
+		outcome.CoverUtilityJ/1000)
+	for _, v := range outcome.Verdicts {
+		fmt.Printf("  detector %s\n", v)
+	}
+	if outcome.Detected {
+		fmt.Println("  → the attack was DETECTED")
+	} else {
+		fmt.Println("  → the attack went undetected")
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Command testbed runs the TCP software-in-the-loop test bed end to end:
+// real node agents and a charger agent exchanging the charging protocol
+// over loopback TCP, first under attack and then under legitimate
+// operation, printing the sink's audit for both.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	wrsncsa "github.com/reprolab/wrsn-csa"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "testbed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	for _, mode := range []struct {
+		name   string
+		attack bool
+	}{{"ATTACK (CSA spoofing the two key relays)", true}, {"LEGITIMATE", false}} {
+		fmt.Printf("=== %s ===\n", mode.name)
+		rep, err := wrsncsa.RunTestbed(wrsncsa.TestbedConfig{
+			Nodes:          wrsncsa.DefaultTestbedNodes(),
+			Attack:         mode.attack,
+			DurationRealMs: 4000,
+		})
+		if err != nil {
+			return err
+		}
+		for _, e := range rep.AgentErrs {
+			fmt.Println("agent error:", e)
+		}
+		fmt.Printf("sessions audited: %d, deaths: %d (key nodes %d/%d)\n",
+			rep.Sessions, rep.NodesDead, rep.KeyDead, rep.KeyTotal)
+		for _, s := range rep.Audit.Sessions {
+			kind := "charge"
+			if s.MeterGainJ <= 1 {
+				kind = "ZERO-GAIN"
+			}
+			fmt.Printf("  node %2d t=%6.0fs requested %5.1f J, metered %5.1f J  [%s]\n",
+				s.Node, s.Start, s.RequestedJ, s.MeterGainJ, kind)
+		}
+		for _, d := range rep.Audit.Deaths {
+			fmt.Printf("  node %2d DIED at t=%6.0fs\n", d.Node, d.Time)
+		}
+		for _, v := range rep.Verdicts {
+			fmt.Println(" ", v)
+		}
+		if rep.Detected {
+			fmt.Println("verdict: DETECTED")
+		} else {
+			fmt.Println("verdict: undetected")
+		}
+		fmt.Println()
+	}
+	fmt.Println("The node agents applied their own nonlinear rectifier to the RF the charger")
+	fmt.Println("presented; the spoofed sessions' zero meter gains above are physics, not fiat.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/reprolab/wrsn-csa
+
+go 1.22

@@ -1,0 +1,105 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+func TestSolveRandomFeasibleAndDeterministic(t *testing.T) {
+	r := rng.New(6).Split("rand-base")
+	for trial := 0; trial < 20; trial++ {
+		in := attackInstance(r, 10, 3)
+		res, err := SolveRandom(in, rng.New(7).Split("solver"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Evaluate(res.Plan.Order, false); err != nil {
+			t.Fatalf("trial %d: random plan infeasible: %v", trial, err)
+		}
+		// Same seed → same plan.
+		res2, err := SolveRandom(in, rng.New(7).Split("solver"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res2.Plan.Order) != len(res.Plan.Order) {
+			t.Fatalf("trial %d: random solver nondeterministic", trial)
+		}
+		for i := range res.Plan.Order {
+			if res.Plan.Order[i] != res2.Plan.Order[i] {
+				t.Fatalf("trial %d: random solver nondeterministic at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSolveGreedyNearestFeasible(t *testing.T) {
+	r := rng.New(8).Split("greedy-base")
+	for trial := 0; trial < 20; trial++ {
+		in := attackInstance(r, 10, 3)
+		res, err := SolveGreedyNearest(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := in.Evaluate(res.Plan.Order, false); err != nil {
+			t.Fatalf("trial %d: greedy plan infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveDirectHasNoCovers(t *testing.T) {
+	r := rng.New(9).Split("direct-base")
+	for trial := 0; trial < 20; trial++ {
+		in := attackInstance(r, 10, 3)
+		res, err := SolveDirect(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Plan.UtilityJ != 0 {
+			t.Fatalf("trial %d: Direct earned utility %v", trial, res.Plan.UtilityJ)
+		}
+		for _, idx := range res.Plan.Order {
+			if !in.Sites[idx].Mandatory {
+				t.Fatalf("trial %d: Direct visited cover %d", trial, idx)
+			}
+		}
+		if _, err := in.Evaluate(res.Plan.Order, false); err != nil {
+			t.Fatalf("trial %d: Direct plan infeasible: %v", trial, err)
+		}
+	}
+}
+
+// CSA must dominate the baselines on its own objective across a batch of
+// instances (allowing ties).
+func TestCSADominatesBaselines(t *testing.T) {
+	r := rng.New(10).Split("dominate")
+	var csaWins, total int
+	for trial := 0; trial < 25; trial++ {
+		in := attackInstance(r, 12, 2)
+		csa, err := SolveCSA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := SolveGreedyNearest(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rnd, err := SolveRandom(in, rng.New(uint64(trial)).Split("s"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		better := func(a, b Plan) bool {
+			if a.SpoofCount != b.SpoofCount {
+				return a.SpoofCount > b.SpoofCount
+			}
+			return a.UtilityJ >= b.UtilityJ
+		}
+		if better(csa.Plan, grd.Plan) && better(csa.Plan, rnd.Plan) {
+			csaWins++
+		}
+	}
+	if csaWins < total*7/10 {
+		t.Fatalf("CSA dominated baselines in only %d/%d trials", csaWins, total)
+	}
+}

@@ -1,0 +1,222 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// MaxExactSites bounds the exact solver's instance size; the DP is
+// exponential in the site count.
+const MaxExactSites = 14
+
+// SolveExact computes the optimal TIDE solution by dynamic programming
+// over (visited subset, last site) states with Pareto frontiers of
+// (finish time, travel distance). Both coordinates are monotone — finishing
+// earlier can only help later windows, traveling less can only help the
+// budget — so the frontier is lossless and the result is exact.
+//
+// The objective mirrors CSA's lexicographic goal: maximize the number of
+// mandatory sites spoofed, then the cover utility. Instances larger than
+// MaxExactSites are rejected.
+func SolveExact(in *Instance) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := len(in.Sites)
+	if n > MaxExactSites {
+		return Result{}, fmt.Errorf("attack: exact solver limited to %d sites, got %d", MaxExactSites, n)
+	}
+	res := Result{Solver: "OPT"}
+	if n == 0 {
+		p, err := in.Evaluate(nil, false)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Plan = p
+		return res, nil
+	}
+
+	// Precompute per-subset radiation energy and per-subset utility and
+	// mandatory counts.
+	radiate := make([]float64, 1<<n)
+	util := make([]float64, 1<<n)
+	mand := make([]int, 1<<n)
+	for set := 1; set < 1<<n; set++ {
+		low := set & (-set)
+		i := bits.TrailingZeros(uint(set))
+		prev := set &^ low
+		pw := in.Sites[i].PowerW
+		if pw == 0 {
+			pw = in.RadiateW
+		}
+		radiate[set] = radiate[prev] + in.Sites[i].Dur*pw
+		if in.Sites[i].Mandatory {
+			mand[set] = mand[prev] + 1
+			util[set] = util[prev]
+		} else {
+			mand[set] = mand[prev]
+			util[set] = util[prev] + in.Sites[i].UtilJ
+		}
+	}
+
+	type state struct {
+		time, travel float64
+		prevSet      int
+		prevLast     int8
+	}
+	// frontier[set][last] holds non-dominated states.
+	frontier := make([][][]state, 1<<n)
+	for set := range frontier {
+		frontier[set] = make([][]state, n)
+	}
+
+	dominatesOrEq := func(a, b state) bool {
+		return a.time <= b.time && a.travel <= b.travel
+	}
+	addState := func(set, last int, st state) bool {
+		fr := frontier[set][last]
+		for _, ex := range fr {
+			if dominatesOrEq(ex, st) {
+				return false
+			}
+		}
+		out := fr[:0]
+		for _, ex := range fr {
+			if !dominatesOrEq(st, ex) {
+				out = append(out, ex)
+			}
+		}
+		frontier[set][last] = append(out, st)
+		return true
+	}
+
+	// Seed: depot → each site.
+	for j, s := range in.Sites {
+		d := in.Depot.Dist(s.Pos)
+		begin := math.Max(in.Start+d/in.SpeedMps, s.Window.R)
+		end := begin + s.Dur
+		if end > s.Window.D {
+			continue
+		}
+		set := 1 << j
+		if d*in.MoveJPerM+radiate[set] > in.BudgetJ {
+			continue
+		}
+		addState(set, j, state{time: end, travel: d, prevSet: 0, prevLast: -1})
+	}
+
+	// Expand subsets in increasing popcount order (any increasing-set
+	// iteration works since transitions only grow the set).
+	for set := 1; set < 1<<n; set++ {
+		for last := 0; last < n; last++ {
+			if set&(1<<last) == 0 {
+				continue
+			}
+			for _, st := range frontier[set][last] {
+				for j := 0; j < n; j++ {
+					if set&(1<<j) != 0 {
+						continue
+					}
+					sj := in.Sites[j]
+					d := in.Sites[last].Pos.Dist(sj.Pos)
+					begin := math.Max(st.time+d/in.SpeedMps, sj.Window.R)
+					end := begin + sj.Dur
+					if end > sj.Window.D {
+						continue
+					}
+					nset := set | 1<<j
+					travel := st.travel + d
+					if travel*in.MoveJPerM+radiate[nset] > in.BudgetJ {
+						continue
+					}
+					addState(nset, j, state{time: end, travel: travel, prevSet: set, prevLast: int8(last)})
+				}
+			}
+		}
+	}
+
+	// Pick the lexicographically best feasible terminal subset.
+	bestSet, bestLast := -1, -1
+	var bestState state
+	better := func(set int, cand state, curSet int) bool {
+		if curSet < 0 {
+			return true
+		}
+		if mand[set] != mand[curSet] {
+			return mand[set] > mand[curSet]
+		}
+		if util[set] != util[curSet] {
+			return util[set] > util[curSet]
+		}
+		// Tie-break on energy for determinism.
+		return cand.travel < bestState.travel
+	}
+	for set := 1; set < 1<<n; set++ {
+		for last := 0; last < n; last++ {
+			for _, st := range frontier[set][last] {
+				if better(set, st, bestSet) {
+					bestSet, bestLast, bestState = set, last, st
+				}
+			}
+		}
+	}
+	if bestSet < 0 {
+		// Nothing schedulable at all; the empty plan is optimal.
+		p, err := in.Evaluate(nil, false)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Plan = p
+		for _, m := range in.Mandatories() {
+			res.SkippedTargets = append(res.SkippedTargets, m)
+		}
+		return res, nil
+	}
+
+	// Reconstruct the route. The stored state may not be the exact one on
+	// the best frontier chain (addState prunes), so walk back via
+	// prevSet/prevLast which we kept per state.
+	order := make([]int, 0, bits.OnesCount(uint(bestSet)))
+	set, last, st := bestSet, bestLast, bestState
+	for last >= 0 {
+		order = append(order, last)
+		pSet, pLast := st.prevSet, int(st.prevLast)
+		if pLast < 0 {
+			break
+		}
+		// Find the predecessor state that produced st. Any state on the
+		// predecessor frontier that reproduces st's timing works.
+		found := false
+		for _, cand := range frontier[pSet][pLast] {
+			d := in.Sites[pLast].Pos.Dist(in.Sites[last].Pos)
+			begin := math.Max(cand.time+d/in.SpeedMps, in.Sites[last].Window.R)
+			if begin+in.Sites[last].Dur == st.time && cand.travel+d == st.travel {
+				set, last, st = pSet, pLast, cand
+				found = true
+				break
+			}
+		}
+		if !found {
+			// Fall back to the first predecessor state; route subset is
+			// still correct and Evaluate re-derives exact timing.
+			set, last, st = pSet, pLast, frontier[pSet][pLast][0]
+		}
+	}
+	_ = set
+	// Reverse into visit order.
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	p, err := in.Evaluate(order, false)
+	if err != nil {
+		return Result{}, fmt.Errorf("attack: exact solver reconstruction: %w", err)
+	}
+	res.Plan = p
+	for _, m := range in.Mandatories() {
+		if bestSet&(1<<m) == 0 {
+			res.SkippedTargets = append(res.SkippedTargets, m)
+		}
+	}
+	return res, nil
+}

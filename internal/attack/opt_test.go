@@ -1,0 +1,112 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+// bruteForce enumerates every permutation of every subset and returns the
+// lexicographically best (spoofs, utility) plan — the reference the DP is
+// validated against. Exponential; callers keep n ≤ 7.
+func bruteForce(t *testing.T, in *Instance) Plan {
+	t.Helper()
+	n := len(in.Sites)
+	var best Plan
+	found := false
+	var rec func(remaining, route []int)
+	rec = func(remaining, route []int) {
+		if p, err := in.Evaluate(route, false); err == nil {
+			if !found ||
+				p.SpoofCount > best.SpoofCount ||
+				(p.SpoofCount == best.SpoofCount && p.UtilityJ > best.UtilityJ) {
+				best, found = p, true
+			}
+		}
+		for i, idx := range remaining {
+			rest := make([]int, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			rec(rest, append(route, idx))
+		}
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	rec(all, nil)
+	return best
+}
+
+func TestSolveExactMatchesBruteForce(t *testing.T) {
+	r := rng.New(4).Split("opt-brute")
+	for trial := 0; trial < 12; trial++ {
+		in := attackInstance(r, 6, 2)
+		opt, err := SolveExact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteForce(t, in)
+		if opt.Plan.SpoofCount != want.SpoofCount {
+			t.Fatalf("trial %d: DP spoofs %d, brute force %d", trial, opt.Plan.SpoofCount, want.SpoofCount)
+		}
+		if diff := opt.Plan.UtilityJ - want.UtilityJ; diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("trial %d: DP utility %v, brute force %v", trial, opt.Plan.UtilityJ, want.UtilityJ)
+		}
+		// The DP's own plan must re-evaluate feasibly.
+		if _, err := in.Evaluate(opt.Plan.Order, false); err != nil {
+			t.Fatalf("trial %d: OPT plan infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestSolveExactSizeLimit(t *testing.T) {
+	r := rng.New(5).Split("opt-limit")
+	in := randomTestInstance(r, MaxExactSites+1)
+	if _, err := SolveExact(in); err == nil {
+		t.Error("oversize instance accepted")
+	}
+}
+
+func TestSolveExactEmpty(t *testing.T) {
+	in := simpleInstance()
+	res, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Order) != 0 {
+		t.Errorf("empty instance plan = %v", res.Plan.Order)
+	}
+}
+
+func TestSolveExactNothingSchedulable(t *testing.T) {
+	in := simpleInstance(Site{
+		Pos: geom.Pt(1e5, 0), Window: Window{R: 0, D: 1}, Dur: 5,
+		Mandatory: true, Kind: VisitSpoof,
+	})
+	res, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plan.Order) != 0 || len(res.SkippedTargets) != 1 {
+		t.Errorf("unschedulable instance: plan=%v skipped=%v", res.Plan.Order, res.SkippedTargets)
+	}
+}
+
+func TestSolveExactKnownOptimum(t *testing.T) {
+	// Two covers, budget fits only one; the bigger must win.
+	small := site(10, 0, 1e6, 5)
+	small.UtilJ = 1
+	big := site(-10, 0, 1e6, 5)
+	big.UtilJ = 10
+	in := simpleInstance(small, big)
+	in.BudgetJ = 16 // one visit = 10 travel + 5 radiate = 15
+	res, err := SolveExact(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.UtilityJ != 10 {
+		t.Errorf("utility = %v, want 10", res.Plan.UtilityJ)
+	}
+}

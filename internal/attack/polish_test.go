@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+func TestPolishNeverWorsens(t *testing.T) {
+	r := rng.New(21).Split("polish")
+	for trial := 0; trial < 30; trial++ {
+		in := attackInstance(r, 12, 3)
+		plain, err := SolveCSA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polished, err := SolveCSAPolished(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if polished.Plan.SpoofCount < plain.Plan.SpoofCount {
+			t.Fatalf("trial %d: polish lost targets: %d -> %d",
+				trial, plain.Plan.SpoofCount, polished.Plan.SpoofCount)
+		}
+		if polished.Plan.UtilityJ < plain.Plan.UtilityJ-1e-9 {
+			t.Fatalf("trial %d: polish lost utility: %v -> %v",
+				trial, plain.Plan.UtilityJ, polished.Plan.UtilityJ)
+		}
+		// The polished plan must re-evaluate cleanly.
+		if _, err := in.Evaluate(polished.Plan.Order, false); err != nil {
+			t.Fatalf("trial %d: polished plan infeasible: %v", trial, err)
+		}
+	}
+}
+
+func TestPolishImprovesSomething(t *testing.T) {
+	// Across a batch, the local search should find at least one strict
+	// improvement (either lower energy at equal utility, or more covers).
+	r := rng.New(22).Split("polish-gain")
+	improvedUtility, improvedEnergy := 0, 0
+	for trial := 0; trial < 40; trial++ {
+		in := attackInstance(r, 14, 3)
+		plain, err := SolveCSA(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		polished, err := SolveCSAPolished(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if polished.Plan.UtilityJ > plain.Plan.UtilityJ+1e-9 {
+			improvedUtility++
+		} else if polished.Plan.EnergyJ < plain.Plan.EnergyJ-1e-9 {
+			improvedEnergy++
+		}
+	}
+	if improvedUtility+improvedEnergy == 0 {
+		t.Error("polish never improved anything across 40 instances")
+	}
+}
+
+func TestPolishPlanOnInfeasibleRoute(t *testing.T) {
+	in := simpleInstance(site(10, 0, 12, 5)) // inherently infeasible stop
+	out := PolishPlan(in, []int{0})
+	if len(out) != 1 || out[0] != 0 {
+		t.Errorf("polish mangled an infeasible route: %v", out)
+	}
+}
+
+func TestPolishEmpty(t *testing.T) {
+	in := simpleInstance()
+	if out := PolishPlan(in, nil); len(out) != 0 {
+		t.Errorf("polish invented stops: %v", out)
+	}
+}

@@ -1,0 +1,132 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+// randomTestInstance builds an instance with randomized geometry, windows
+// and durations for oracle-equivalence testing.
+func randomTestInstance(r *rng.Stream, n int) *Instance {
+	in := &Instance{
+		Depot:     geom.Pt(500, 500),
+		SpeedMps:  5,
+		MoveJPerM: 50,
+		RadiateW:  50,
+		BudgetJ:   r.Uniform(1e5, 2e6),
+	}
+	for i := 0; i < n; i++ {
+		release := r.Uniform(0, 5e4)
+		in.Sites = append(in.Sites, Site{
+			Node:   0,
+			Pos:    geom.Pt(r.Uniform(0, 1000), r.Uniform(0, 1000)),
+			Window: Window{R: release, D: release + r.Uniform(1e3, 4e4)},
+			Dur:    r.Uniform(300, 2000),
+			UtilJ:  r.Uniform(100, 10000),
+		})
+	}
+	return in
+}
+
+// The O(1) insertion oracle must agree exactly with the ground-truth full
+// Evaluate on feasibility, across random routes and candidates.
+func TestRouteStateMatchesEvaluate(t *testing.T) {
+	r := rng.New(99).Split("route-oracle")
+	agree, feasibleSeen, infeasibleSeen := 0, 0, 0
+	for trial := 0; trial < 60; trial++ {
+		in := randomTestInstance(r, 12)
+		// Grow a random feasible base route.
+		var route []int
+		for idx := range in.Sites {
+			cand := append(append([]int(nil), route...), idx)
+			if _, err := in.Evaluate(cand, false); err == nil {
+				route = cand
+			}
+			if len(route) >= 6 {
+				break
+			}
+		}
+		rs := newRouteState(in)
+		if !rs.Recompute(route) {
+			t.Fatalf("trial %d: feasible base route rejected by oracle", trial)
+		}
+		base, err := in.Evaluate(route, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(rs.EnergyJ()-base.EnergyJ) > 1e-6 {
+			t.Fatalf("trial %d: oracle energy %v vs evaluate %v", trial, rs.EnergyJ(), base.EnergyJ)
+		}
+		used := make(map[int]bool, len(route))
+		for _, idx := range route {
+			used[idx] = true
+		}
+		for idx := range in.Sites {
+			if used[idx] {
+				continue
+			}
+			for pos := 0; pos <= len(route); pos++ {
+				cost, okOracle := rs.CheckInsert(pos, idx)
+				cand := insertAt(append([]int(nil), route...), pos, idx)
+				p, err := in.Evaluate(cand, false)
+				okTruth := err == nil
+				if okOracle != okTruth {
+					t.Fatalf("trial %d: insert site %d at %d: oracle=%v truth=%v (err=%v)",
+						trial, idx, pos, okOracle, okTruth, err)
+				}
+				if okOracle {
+					feasibleSeen++
+					if truthCost := p.EnergyJ - base.EnergyJ; math.Abs(cost-truthCost) > 1e-6 {
+						t.Fatalf("trial %d: cost %v vs truth %v", trial, cost, truthCost)
+					}
+				} else {
+					infeasibleSeen++
+				}
+				agree++
+			}
+		}
+	}
+	if feasibleSeen == 0 || infeasibleSeen == 0 {
+		t.Fatalf("degenerate coverage: %d feasible, %d infeasible of %d checks",
+			feasibleSeen, infeasibleSeen, agree)
+	}
+}
+
+func TestRouteStateRejectsInfeasibleRoute(t *testing.T) {
+	in := simpleInstance(site(10, 0, 12, 5)) // cannot finish inside window
+	rs := newRouteState(in)
+	if rs.Recompute([]int{0}) {
+		t.Error("oracle accepted a window-violating route")
+	}
+}
+
+func TestRouteStateEmptyRoute(t *testing.T) {
+	in := simpleInstance(site(10, 0, 100, 5))
+	rs := newRouteState(in)
+	if !rs.Recompute(nil) {
+		t.Fatal("empty route rejected")
+	}
+	cost, ok := rs.CheckInsert(0, 0)
+	if !ok {
+		t.Fatal("insertion into empty route rejected")
+	}
+	// 10 m × 1 J/m + 5 s × 1 W.
+	if math.Abs(cost-15) > 1e-9 {
+		t.Errorf("cost = %v, want 15", cost)
+	}
+}
+
+func TestRouteStateBudget(t *testing.T) {
+	in := simpleInstance(site(10, 0, 100, 5), site(-10, 0, 100, 5))
+	in.BudgetJ = 16 // first insertion costs 15; a second cannot fit
+	rs := newRouteState(in)
+	if !rs.Recompute([]int{0}) {
+		t.Fatal("base route rejected")
+	}
+	if _, ok := rs.CheckInsert(1, 1); ok {
+		t.Error("over-budget insertion accepted")
+	}
+}

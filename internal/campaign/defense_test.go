@@ -1,0 +1,95 @@
+package campaign
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/defense"
+)
+
+// Harvest verification at a meaningful rate exposes the attacker: the
+// spoofed sessions physically cannot pass a precise DC check.
+func TestVerificationExposesCSA(t *testing.T) {
+	exposedRuns := 0
+	const seeds = 3
+	for s := 0; s < seeds; s++ {
+		seed := uint64(100 + s)
+		nw, ch := buildScenario(t, seed, 150)
+		o, err := RunAttack(nw, ch, Config{
+			Seed:    seed,
+			Defense: defense.Config{VerifyProb: 0.5},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o.Exposures) > 0 {
+			exposedRuns++
+			e := o.Exposures[0]
+			if e.By != "harvest-verification" {
+				t.Errorf("exposed by %q", e.By)
+			}
+			if !o.Caught || o.CaughtBy != "harvest-verification" {
+				t.Error("exposure did not impound the charger")
+			}
+		}
+	}
+	if exposedRuns < 2 {
+		t.Errorf("only %d/%d runs exposed at 50%% verification", exposedRuns, seeds)
+	}
+}
+
+// Verification never fingers an honest charger for spoofing — benign dead
+// sessions surface as false alarms, not exposures.
+func TestVerificationOnLegit(t *testing.T) {
+	nw, ch := buildScenario(t, 42, 150)
+	o, err := RunLegit(nw, ch, Config{
+		Seed:    42,
+		Defense: defense.Config{VerifyProb: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Exposures) != 0 {
+		t.Errorf("legit run produced exposures: %v", o.Exposures)
+	}
+	if o.Detected {
+		t.Error("legit run detected")
+	}
+	// Nodes paid for their checks.
+	if o.DeadTotal != 0 {
+		t.Errorf("verification cost killed %d nodes", o.DeadTotal)
+	}
+}
+
+// Witnessing at standard density has almost no coverage and never
+// exposes — the geometric limitation.
+func TestWitnessSparseDeployment(t *testing.T) {
+	nw, ch := buildScenario(t, 42, 150)
+	o, err := RunAttack(nw, ch, Config{
+		Seed:    42,
+		Defense: defense.Config{WitnessDutyCycle: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSession := float64(o.WitnessSamples) / float64(len(o.Sessions))
+	if perSession > 0.5 {
+		t.Errorf("unexpectedly dense witnessing: %.2f samples/session", perSession)
+	}
+	for _, e := range o.Exposures {
+		if e.By == "neighbor-witness" {
+			t.Error("witness exposure at standard density")
+		}
+	}
+}
+
+// Defenses off by default: zero config leaves outcomes untouched.
+func TestDefenseDisabledByDefault(t *testing.T) {
+	nw, ch := buildScenario(t, 42, 120)
+	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(o.Exposures) != 0 || o.FalseAlarms != 0 || o.WitnessSamples != 0 {
+		t.Errorf("defense bookkeeping nonzero with defenses off: %+v", o)
+	}
+}

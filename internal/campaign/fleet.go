@@ -1,0 +1,201 @@
+package campaign
+
+// Multi-charger fleet service — the capacity extension the WRSN charging
+// literature motivates: beyond what one mobile charger can sustain, the
+// operator deploys K chargers sharing the request queue. The fleet run is
+// driven by the discrete-event engine, since multiple chargers' travels
+// and sessions genuinely overlap in time (unlike the single-charger runs,
+// whose world only moves while their one actor acts).
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/sim"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// FleetOutcome reports a fleet run.
+type FleetOutcome struct {
+	// Chargers is the fleet size.
+	Chargers int
+	// DeadTotal, FirstDeathAt, RequestsIssued/Served and CoverUtilityJ
+	// mirror the single-charger Outcome fields.
+	DeadTotal      int
+	FirstDeathAt   float64
+	RequestsIssued int
+	RequestsServed int
+	CoverUtilityJ  float64
+	// EnergySpentJ is the fleet's total energy use.
+	EnergySpentJ float64
+	// Audit carries the sink-side evidence (fleet-aggregated).
+	Audit detect.Audit
+	// BusyFrac is the mean fraction of the horizon each charger spent
+	// traveling or radiating — the capacity-utilization statistic.
+	BusyFrac float64
+}
+
+// RunLegitFleet simulates K honest chargers sharing the on-demand queue
+// under the configured scheduler. Each charger, when free, takes the
+// scheduler's pick, travels, serves the full recharge, and frees again;
+// the event engine interleaves the fleet correctly. Deaths, requests and
+// audits follow the same rules as the single-charger runs.
+func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
+	if len(chargers) == 0 {
+		return nil, fmt.Errorf("campaign: fleet needs at least one charger")
+	}
+	cfg.applyDefaults()
+	rn := newRunner(nw, chargers[0], cfg)
+	eng := sim.New()
+
+	out := &FleetOutcome{Chargers: len(chargers), FirstDeathAt: math.Inf(1)}
+	var busy float64
+
+	// reserved prevents two chargers from chasing one request.
+	reserved := make(map[wrsn.NodeID]bool)
+
+	// pick returns the scheduler's choice among unreserved requests.
+	pick := func(ch *mc.Charger) (charging.Request, bool) {
+		var view charging.Queue
+		for _, req := range rn.qu.Pending() {
+			if reserved[req.Node] {
+				continue
+			}
+			if err := view.Add(req); err != nil {
+				continue
+			}
+		}
+		return rn.cfg.Scheduler.Next(&view, ch.Pos(), rn.now)
+	}
+
+	// serve executes one assignment for a charger inside the engine; the
+	// runner's advanceTo is replaced by engine time, so battery dynamics
+	// are driven by a world ticker below.
+	var dispatch func(ch *mc.Charger) sim.Handler
+	dispatch = func(ch *mc.Charger) sim.Handler {
+		return func(e *sim.Engine) {
+			rn.syncTo(e.Now())
+			req, ok := pick(ch)
+			if !ok {
+				_ = e.After(rn.cfg.PollSec, "idle-poll", dispatch(ch))
+				return
+			}
+			node, err := rn.nw.Node(req.Node)
+			if err != nil || !node.Alive() {
+				rn.qu.Remove(req.Node)
+				_ = e.After(1, "retry", dispatch(ch))
+				return
+			}
+			reserved[req.Node] = true
+			dock := ch.ServicePoint(node.Pos)
+			travelT := ch.TravelTime(dock)
+			if err := ch.Travel(dock); err != nil {
+				// This charger is out of budget; it parks forever.
+				delete(reserved, req.Node)
+				return
+			}
+			arriveEvt := func(e *sim.Engine) {
+				rn.syncTo(e.Now())
+				if !node.Alive() {
+					delete(reserved, req.Node)
+					rn.qu.Remove(req.Node)
+					_ = e.After(1, "next", dispatch(ch))
+					return
+				}
+				rate, err := ch.DeliveredPower(node.Pos)
+				if err != nil || rate <= 0 {
+					delete(reserved, req.Node)
+					return
+				}
+				need := node.Battery.Capacity() - node.Battery.Level()
+				dur := need / rate
+				if err := ch.SpendRadiation(dur); err != nil {
+					delete(reserved, req.Node) // out of budget: parked
+					return
+				}
+				busy += travelT + dur
+				solicited := rn.qu.Has(node.ID)
+				meterBefore := node.Battery.MeterRead()
+				start := e.Now()
+				endEvt := func(e *sim.Engine) {
+					rn.syncTo(e.Now())
+					delete(reserved, req.Node)
+					if !node.Alive() {
+						// Died mid-session (was nearly empty on arrival);
+						// nothing to record beyond the death itself.
+						_ = e.After(1, "next", dispatch(ch))
+						return
+					}
+					delivered := node.Battery.Charge(rate * dur)
+					s := charging.Session{
+						Node: node.ID, Kind: charging.SessionFocus,
+						Start: start, End: e.Now(),
+						RequestedJ: req.NeedJ, DeliveredJ: delivered,
+						MeterGainJ: node.Battery.MeterRead() - meterBefore,
+					}
+					rn.completeSession(node.ID, s, true, solicited)
+					_ = e.After(1, "next", dispatch(ch))
+				}
+				_ = e.After(dur, "session-end", endEvt)
+			}
+			_ = e.After(travelT, "arrive", arriveEvt)
+		}
+	}
+
+	// World ticker: advances batteries, deaths, requests between events.
+	var tick sim.Handler
+	tick = func(e *sim.Engine) {
+		rn.syncTo(e.Now())
+		if e.Now() < cfg.HorizonSec {
+			dt := math.Min(rn.cfg.PollSec, cfg.HorizonSec-e.Now())
+			_ = e.After(dt, "world-tick", tick)
+		}
+	}
+	if err := eng.At(0, "world-tick", tick); err != nil {
+		return nil, err
+	}
+	for _, ch := range chargers {
+		ch := ch
+		if err := eng.At(0, "dispatch", dispatch(ch)); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.RunUntil(cfg.HorizonSec, 50_000_000); err != nil {
+		return nil, err
+	}
+	rn.syncTo(cfg.HorizonSec)
+
+	for _, req := range rn.qu.Pending() {
+		rn.audit.Unserved = append(rn.audit.Unserved, detect.RequestObs{
+			Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
+		})
+	}
+	out.Audit = rn.audit
+	out.RequestsIssued = rn.issued
+	out.RequestsServed = rn.served
+	out.FirstDeathAt = rn.firstDeath
+	for _, s := range rn.sessions {
+		out.CoverUtilityJ += s.Utility()
+	}
+	for _, ch := range chargers {
+		out.EnergySpentJ += ch.Spent()
+	}
+	for _, n := range nw.Nodes() {
+		if !n.Alive() {
+			out.DeadTotal++
+		}
+	}
+	out.BusyFrac = busy / (cfg.HorizonSec * float64(len(chargers)))
+	return out, nil
+}
+
+// syncTo advances the runner's world (batteries, deaths, requests,
+// samples) to engine time t without moving any charger.
+func (rn *runner) syncTo(t float64) {
+	if t > rn.now {
+		rn.advanceTo(t)
+	}
+}

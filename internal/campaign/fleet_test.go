@@ -1,0 +1,85 @@
+package campaign
+
+import (
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+func runFleet(t *testing.T, seed uint64, n, k int) *FleetOutcome {
+	t.Helper()
+	nw, _, err := trace.DefaultScenario(seed, n).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chargers := make([]*mc.Charger, k)
+	for i := range chargers {
+		chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
+	}
+	o, err := RunLegitFleet(nw, chargers, Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFleetKeepsNetworkAlive(t *testing.T) {
+	o := runFleet(t, 42, 300, 2)
+	if o.DeadTotal != 0 {
+		t.Errorf("fleet of 2 lost %d nodes", o.DeadTotal)
+	}
+	if o.RequestsServed < o.RequestsIssued*95/100 {
+		t.Errorf("served %d/%d", o.RequestsServed, o.RequestsIssued)
+	}
+	if o.CoverUtilityJ <= 0 || o.EnergySpentJ <= 0 {
+		t.Error("fleet did no work")
+	}
+}
+
+func TestFleetSharesLoad(t *testing.T) {
+	one := runFleet(t, 42, 300, 1)
+	three := runFleet(t, 42, 300, 3)
+	// With more chargers each is proportionally less busy.
+	if three.BusyFrac >= one.BusyFrac {
+		t.Errorf("busy fraction did not drop: k=1 %.2f vs k=3 %.2f", one.BusyFrac, three.BusyFrac)
+	}
+	if three.BusyFrac > one.BusyFrac/2 {
+		t.Errorf("load not shared: k=1 %.2f vs k=3 %.2f", one.BusyFrac, three.BusyFrac)
+	}
+	// Serving everything either way at this size.
+	if three.RequestsServed < three.RequestsIssued-5 {
+		t.Errorf("fleet missed requests: %d/%d", three.RequestsServed, three.RequestsIssued)
+	}
+}
+
+func TestFleetAuditClean(t *testing.T) {
+	o := runFleet(t, 7, 200, 2)
+	for _, s := range o.Audit.Sessions {
+		if !s.Solicited {
+			t.Error("fleet performed unsolicited session")
+		}
+	}
+	if len(o.Audit.Sessions) != o.RequestsServed {
+		t.Errorf("audited sessions %d vs served %d", len(o.Audit.Sessions), o.RequestsServed)
+	}
+}
+
+func TestFleetValidation(t *testing.T) {
+	nw, _, err := trace.DefaultScenario(1, 50).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLegitFleet(nw, nil, Config{}); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestFleetDeterminism(t *testing.T) {
+	a := runFleet(t, 11, 200, 2)
+	b := runFleet(t, 11, 200, 2)
+	if a.RequestsServed != b.RequestsServed || a.CoverUtilityJ != b.CoverUtilityJ ||
+		a.EnergySpentJ != b.EnergySpentJ || a.DeadTotal != b.DeadTotal {
+		t.Errorf("fleet runs nondeterministic:\n%+v\n%+v", a, b)
+	}
+}

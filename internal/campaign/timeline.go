@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+)
+
+// TimelineEvent is one entry of a campaign's chronological narrative.
+type TimelineEvent struct {
+	// T is the event time in seconds.
+	T float64
+	// Kind tags the event: "session", "spoof", "death", "exposure",
+	// "impound".
+	Kind string
+	// Node is the subject node, or -1 for charger-level events.
+	Node int
+	// Text is the human-readable line.
+	Text string
+}
+
+// Timeline merges an outcome's sessions, deaths, exposures and the
+// impoundment into one chronological narrative — the debugging and
+// presentation view of a campaign.
+func Timeline(o *Outcome) []TimelineEvent {
+	events := make([]TimelineEvent, 0, len(o.Sessions)+len(o.Audit.Deaths)+4)
+	for _, s := range o.Sessions {
+		kind := "session"
+		text := fmt.Sprintf("charge node %d: %.0f J requested, %.0f J delivered (%.0f min)",
+			s.Node, s.RequestedJ, s.DeliveredJ, s.Duration()/60)
+		if s.Kind == charging.SessionSpoof {
+			kind = "spoof"
+			text = fmt.Sprintf("SPOOF node %d: carrier %.2g W at rectenna, %.1f J harvested over %.0f min",
+				s.Node, s.RFAtNodeW, s.DeliveredJ, s.Duration()/60)
+		}
+		events = append(events, TimelineEvent{T: s.Start, Kind: kind, Node: int(s.Node), Text: text})
+	}
+	for _, d := range o.Audit.Deaths {
+		where := "reachable"
+		if !d.Reachable {
+			where = "inside a partition"
+		}
+		events = append(events, TimelineEvent{
+			T: d.Time, Kind: "death", Node: int(d.Node),
+			Text: fmt.Sprintf("node %d EXHAUSTED (%s)", d.Node, where),
+		})
+	}
+	for _, e := range o.Exposures {
+		events = append(events, TimelineEvent{
+			T: e.At, Kind: "exposure", Node: e.Victim,
+			Text: e.String(),
+		})
+	}
+	if o.Caught {
+		events = append(events, TimelineEvent{
+			T: o.CaughtAt, Kind: "impound", Node: -1,
+			Text: fmt.Sprintf("charger IMPOUNDED by %s; honest replacement deployed", o.CaughtBy),
+		})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}
+
+// FormatTimeline renders events as "day HH:MM  text" lines.
+func FormatTimeline(events []TimelineEvent) []string {
+	out := make([]string, len(events))
+	for i, e := range events {
+		day := int(e.T / 86400)
+		rem := e.T - float64(day)*86400
+		hh := int(rem / 3600)
+		mm := int(rem/60) % 60
+		out[i] = fmt.Sprintf("day %2d %02d:%02d  %s", day, hh, mm, e.Text)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+)
+
+func TestTimelineMergesAndSorts(t *testing.T) {
+	o := &Outcome{
+		Sessions: []charging.Session{
+			{Node: 1, Kind: charging.SessionFocus, Start: 300, End: 400, RequestedJ: 100, DeliveredJ: 100},
+			{Node: 2, Kind: charging.SessionSpoof, Start: 100, End: 200, RequestedJ: 100, RFAtNodeW: 1e-5},
+		},
+		Audit: detect.Audit{Deaths: []detect.DeathObs{
+			{Node: 2, Time: 250, Reachable: true},
+		}},
+		Exposures: []defense.Exposure{{By: "harvest-verification", At: 150, Victim: 2}},
+		Caught:    true,
+		CaughtAt:  160,
+		CaughtBy:  "harvest-verification",
+	}
+	events := Timeline(o)
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	// Chronological: spoof(100), exposure(150), impound(160), death(250),
+	// session(300).
+	wantKinds := []string{"spoof", "exposure", "impound", "death", "session"}
+	for i, k := range wantKinds {
+		if events[i].Kind != k {
+			t.Errorf("event %d = %q, want %q (order %v)", i, events[i].Kind, k, events)
+		}
+	}
+	if !strings.Contains(events[0].Text, "SPOOF") {
+		t.Errorf("spoof text = %q", events[0].Text)
+	}
+}
+
+func TestFormatTimeline(t *testing.T) {
+	lines := FormatTimeline([]TimelineEvent{
+		{T: 86400 + 3*3600 + 150, Kind: "death", Node: 4, Text: "node 4 EXHAUSTED"},
+	})
+	if len(lines) != 1 {
+		t.Fatal("line count")
+	}
+	if !strings.HasPrefix(lines[0], "day  1 03:02") {
+		t.Errorf("formatted line = %q", lines[0])
+	}
+}
+
+// Integration: a real attack outcome's timeline is internally consistent.
+func TestTimelineFromRealCampaign(t *testing.T) {
+	nw, ch := buildScenario(t, 42, 100)
+	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := Timeline(o)
+	if len(events) < len(o.Sessions) {
+		t.Fatalf("timeline shorter than session record")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].T < events[i-1].T {
+			t.Fatalf("timeline out of order at %d", i)
+		}
+	}
+	spoofs := 0
+	for _, e := range events {
+		if e.Kind == "spoof" {
+			spoofs++
+		}
+	}
+	if spoofs == 0 {
+		t.Error("no spoof events in an attack timeline")
+	}
+}

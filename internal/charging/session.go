@@ -1,0 +1,64 @@
+package charging
+
+import (
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// SessionKind distinguishes what the charger actually did during a visit.
+type SessionKind int
+
+// Session kinds.
+const (
+	// SessionFocus is a legitimate constructive-interference charge.
+	SessionFocus SessionKind = iota + 1
+	// SessionSpoof is a destructive-interference visit: carrier present,
+	// (almost) no energy delivered.
+	SessionSpoof
+)
+
+// String implements fmt.Stringer.
+func (k SessionKind) String() string {
+	switch k {
+	case SessionFocus:
+		return "focus"
+	case SessionSpoof:
+		return "spoof"
+	default:
+		return fmt.Sprintf("session(%d)", int(k))
+	}
+}
+
+// Session records one completed charging visit, the unit detectors audit.
+type Session struct {
+	// Node is the visited node.
+	Node wrsn.NodeID
+	// Kind tells what the charger did. Detectors never see this field —
+	// it is simulation ground truth.
+	Kind SessionKind
+	// Start and End bound the radiating interval in seconds.
+	Start, End float64
+	// RequestedJ is the energy the node asked for.
+	RequestedJ float64
+	// DeliveredJ is the DC energy the node actually harvested.
+	DeliveredJ float64
+	// MeterGainJ is the energy gain as the node's quantized meter reported
+	// it; this, not DeliveredJ, is what telemetry carries.
+	MeterGainJ float64
+	// RFAtNodeW is the RF power at the node's rectenna during the session.
+	RFAtNodeW float64
+}
+
+// Duration returns the session length in seconds.
+func (s Session) Duration() float64 { return s.End - s.Start }
+
+// Utility returns the session's charging utility: delivered energy capped
+// at the requested amount. Serving beyond the request earns nothing, which
+// makes total utility submodular in the set of served sessions.
+func (s Session) Utility() float64 {
+	if s.DeliveredJ < s.RequestedJ {
+		return s.DeliveredJ
+	}
+	return s.RequestedJ
+}

@@ -1,0 +1,125 @@
+// Package defense implements the countermeasures a WRSN can deploy
+// against charging spoofing, evaluated as extensions to the paper:
+//
+//   - Harvest verification: during a session the node occasionally
+//     samples its rectifier's DC output with a precise ADC (instead of
+//     trusting the coarse coulomb counter after the fact). A session that
+//     presents a carrier but measurably harvests nothing is physical
+//     proof of spoofing — the dead zone cannot be talked around. Costs
+//     energy per check and false-alarms on benign session failures.
+//
+//   - Neighbor witnessing: nodes near an active charging session sample
+//     the RF field and report it. The spoof's null is local — witnesses a
+//     few meters away see full-strength radiation — so "witness saw a
+//     strong field, victim gained nothing" exposes the attack. Its
+//     weakness is geometric: at standard deployment densities almost
+//     nobody lives inside the charger's short RF range, so coverage is
+//     sparse.
+//
+// The types here are pure policy/bookkeeping; the campaign package wires
+// them into session execution, where the physics (what a verifier or
+// witness would actually measure) lives.
+package defense
+
+import "fmt"
+
+// Config enables and parameterizes the countermeasures.
+type Config struct {
+	// VerifyProb is the per-session probability that the served node
+	// runs a mid-session harvest verification. Zero disables.
+	VerifyProb float64
+	// VerifyCostJ is the battery cost of one verification (precision ADC
+	// sampling window plus the report).
+	VerifyCostJ float64
+	// VerifyMinDCW is the DC power below which a verified session counts
+	// as failed; non-positive gets 1% of the session's claimed rate.
+	VerifyMinDCW float64
+
+	// WitnessDutyCycle is the probability that each node within RF range
+	// of an active session samples the field and reports. Zero disables.
+	WitnessDutyCycle float64
+	// WitnessCostJ is the battery cost of one witness sample+report.
+	WitnessCostJ float64
+	// WitnessMinRFW is the field strength a witness must see to attest
+	// that the charger was genuinely radiating; non-positive gets 1 mW.
+	WitnessMinRFW float64
+}
+
+// Enabled reports whether any countermeasure is active.
+func (c Config) Enabled() bool {
+	return c.VerifyProb > 0 || c.WitnessDutyCycle > 0
+}
+
+// Validate reports whether the configuration is meaningful.
+func (c Config) Validate() error {
+	switch {
+	case c.VerifyProb < 0 || c.VerifyProb > 1:
+		return fmt.Errorf("defense: VerifyProb %v outside [0,1]", c.VerifyProb)
+	case c.WitnessDutyCycle < 0 || c.WitnessDutyCycle > 1:
+		return fmt.Errorf("defense: WitnessDutyCycle %v outside [0,1]", c.WitnessDutyCycle)
+	case c.VerifyCostJ < 0 || c.WitnessCostJ < 0:
+		return fmt.Errorf("defense: negative energy cost")
+	}
+	return nil
+}
+
+// DefaultVerifyCostJ is the energy of one precision harvest check: a
+// sampling window on a high-resolution ADC plus an authenticated report.
+const DefaultVerifyCostJ = 2.0
+
+// DefaultWitnessCostJ is the energy of one RF witness sample and report.
+const DefaultWitnessCostJ = 0.5
+
+// Exposure records a countermeasure catching the charger red-handed.
+type Exposure struct {
+	// By names the countermeasure ("harvest-verification" or
+	// "neighbor-witness").
+	By string
+	// At is the exposure time in seconds.
+	At float64
+	// Victim is the session's node.
+	Victim int
+	// MeasuredDCW / WitnessRFW hold the incriminating measurements
+	// (whichever apply).
+	MeasuredDCW float64
+	WitnessRFW  float64
+}
+
+// String implements fmt.Stringer.
+func (e Exposure) String() string {
+	return fmt.Sprintf("%s exposed the charger at node %d (t=%.0fs, dc=%.3gW, witnessRF=%.3gW)",
+		e.By, e.Victim, e.At, e.MeasuredDCW, e.WitnessRFW)
+}
+
+// VerifyOutcome classifies one harvest verification.
+type VerifyOutcome int
+
+// Verification outcomes.
+const (
+	// VerifyPass: the session measurably delivered power.
+	VerifyPass VerifyOutcome = iota + 1
+	// VerifyFail: carrier present, harvest absent — spoof signature (or
+	// a benign dead session, the false-alarm source).
+	VerifyFail
+)
+
+// Judge classifies a verification measurement: the session claims to
+// charge at claimedRateW; the ADC measured measuredDCW.
+func (c Config) Judge(claimedRateW, measuredDCW float64) VerifyOutcome {
+	min := c.VerifyMinDCW
+	if min <= 0 {
+		min = 0.01 * claimedRateW
+	}
+	if measuredDCW < min {
+		return VerifyFail
+	}
+	return VerifyPass
+}
+
+// WitnessThreshold returns the effective RF attestation threshold.
+func (c Config) WitnessThreshold() float64 {
+	if c.WitnessMinRFW <= 0 {
+		return 1e-3
+	}
+	return c.WitnessMinRFW
+}

@@ -1,0 +1,75 @@
+package defense
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		{},
+		{VerifyProb: 0.5, VerifyCostJ: 1},
+		{WitnessDutyCycle: 1, WitnessCostJ: 0.1},
+	}
+	for i, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("good config %d rejected: %v", i, err)
+		}
+	}
+	bad := []Config{
+		{VerifyProb: -0.1},
+		{VerifyProb: 1.5},
+		{WitnessDutyCycle: 2},
+		{VerifyCostJ: -1},
+		{WitnessCostJ: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	if !(Config{VerifyProb: 0.1}).Enabled() {
+		t.Error("verify-only config disabled")
+	}
+	if !(Config{WitnessDutyCycle: 0.1}).Enabled() {
+		t.Error("witness-only config disabled")
+	}
+}
+
+func TestJudge(t *testing.T) {
+	c := Config{}
+	// Default threshold: 1% of the claimed rate.
+	if got := c.Judge(10, 0.05); got != VerifyFail {
+		t.Errorf("near-zero harvest judged %v", got)
+	}
+	if got := c.Judge(10, 5); got != VerifyPass {
+		t.Errorf("half-rate harvest judged %v", got)
+	}
+	// Explicit threshold.
+	c.VerifyMinDCW = 3
+	if got := c.Judge(10, 2.9); got != VerifyFail {
+		t.Errorf("below explicit threshold judged %v", got)
+	}
+}
+
+func TestWitnessThreshold(t *testing.T) {
+	if th := (Config{}).WitnessThreshold(); th != 1e-3 {
+		t.Errorf("default threshold = %v", th)
+	}
+	if th := (Config{WitnessMinRFW: 0.5}).WitnessThreshold(); th != 0.5 {
+		t.Errorf("explicit threshold = %v", th)
+	}
+}
+
+func TestExposureString(t *testing.T) {
+	e := Exposure{By: "harvest-verification", At: 120, Victim: 7}
+	if s := e.String(); !strings.Contains(s, "harvest-verification") || !strings.Contains(s, "node 7") {
+		t.Errorf("exposure string %q", s)
+	}
+}

@@ -1,0 +1,86 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ROC machinery for the detection-tradeoff experiments: given suspicion
+// scores sampled under attack (positives) and under legitimate operation
+// (negatives), sweep the threshold and report the true/false positive
+// rates, plus the area under the curve.
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	Threshold float64
+	// TPR is the fraction of attack runs flagged (detection probability).
+	TPR float64
+	// FPR is the fraction of legitimate runs flagged (false alarms).
+	FPR float64
+}
+
+// ROC computes the ROC curve from positive (attack) and negative
+// (legitimate) score samples. Thresholds sweep over every distinct
+// observed score plus a sentinel above the maximum, producing points from
+// (1,1) down to (0,0) as the threshold rises. An error is returned when
+// either sample set is empty.
+func ROC(positives, negatives []float64) ([]ROCPoint, error) {
+	if len(positives) == 0 || len(negatives) == 0 {
+		return nil, fmt.Errorf("detect: ROC needs both positive (%d) and negative (%d) samples", len(positives), len(negatives))
+	}
+	thresholds := make([]float64, 0, len(positives)+len(negatives)+1)
+	thresholds = append(thresholds, positives...)
+	thresholds = append(thresholds, negatives...)
+	sort.Float64s(thresholds)
+	// Deduplicate and add a top sentinel so the curve reaches (0,0).
+	uniq := thresholds[:0]
+	for i, t := range thresholds {
+		if i == 0 || t != uniq[len(uniq)-1] {
+			uniq = append(uniq, t)
+		}
+	}
+	top := uniq[len(uniq)-1]
+	uniq = append(uniq, top+1)
+
+	rate := func(samples []float64, thr float64) float64 {
+		n := 0
+		for _, s := range samples {
+			if s >= thr {
+				n++
+			}
+		}
+		return float64(n) / float64(len(samples))
+	}
+	pts := make([]ROCPoint, 0, len(uniq))
+	for _, thr := range uniq {
+		pts = append(pts, ROCPoint{
+			Threshold: thr,
+			TPR:       rate(positives, thr),
+			FPR:       rate(negatives, thr),
+		})
+	}
+	return pts, nil
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration over
+// FPR. 0.5 is chance; 1.0 is a perfect detector; values near 0.5 mean the
+// attack is statistically invisible to the detector.
+func AUC(pts []ROCPoint) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	// Sort by ascending FPR (ties by TPR) for a well-formed integral.
+	sorted := append([]ROCPoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].FPR != sorted[j].FPR {
+			return sorted[i].FPR < sorted[j].FPR
+		}
+		return sorted[i].TPR < sorted[j].TPR
+	})
+	var area float64
+	for i := 1; i < len(sorted); i++ {
+		dx := sorted[i].FPR - sorted[i-1].FPR
+		area += dx * (sorted[i].TPR + sorted[i-1].TPR) / 2
+	}
+	return area
+}

@@ -1,0 +1,78 @@
+package detect
+
+import (
+	"math"
+	"testing"
+)
+
+func TestROCPerfectSeparation(t *testing.T) {
+	pos := []float64{0.8, 0.9, 1.0}
+	neg := []float64{0.1, 0.2, 0.3}
+	pts, err := ROC(pos, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(pts); math.Abs(auc-1) > 1e-9 {
+		t.Errorf("AUC = %v, want 1", auc)
+	}
+	// There must exist a threshold with TPR 1, FPR 0.
+	found := false
+	for _, p := range pts {
+		if p.TPR == 1 && p.FPR == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no perfect operating point on a separable set")
+	}
+}
+
+func TestROCChance(t *testing.T) {
+	same := []float64{0.1, 0.4, 0.7}
+	pts, err := ROC(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := AUC(pts); math.Abs(auc-0.5) > 1e-9 {
+		t.Errorf("identical distributions AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestROCEndpoints(t *testing.T) {
+	pts, err := ROC([]float64{0.5, 0.7}, []float64{0.2, 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lowest threshold flags everything; the sentinel flags nothing.
+	first, last := pts[0], pts[len(pts)-1]
+	if first.TPR != 1 || first.FPR != 1 {
+		t.Errorf("bottom point = %+v", first)
+	}
+	if last.TPR != 0 || last.FPR != 0 {
+		t.Errorf("top point = %+v", last)
+	}
+	// TPR/FPR must be monotone non-increasing as the threshold rises.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR > pts[i-1].TPR+1e-12 || pts[i].FPR > pts[i-1].FPR+1e-12 {
+			t.Fatalf("non-monotone curve at %d: %+v after %+v", i, pts[i], pts[i-1])
+		}
+	}
+}
+
+func TestROCErrors(t *testing.T) {
+	if _, err := ROC(nil, []float64{1}); err == nil {
+		t.Error("empty positives accepted")
+	}
+	if _, err := ROC([]float64{1}, nil); err == nil {
+		t.Error("empty negatives accepted")
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if a := AUC(nil); a != 0 {
+		t.Errorf("nil AUC = %v", a)
+	}
+	if a := AUC([]ROCPoint{{TPR: 1, FPR: 1}}); a != 0 {
+		t.Errorf("single-point AUC = %v", a)
+	}
+}

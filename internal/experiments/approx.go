@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+// RandomInstance synthesizes a small TIDE instance for approximation
+// studies: sites scattered in a square field, a couple of mandatory
+// targets with staggered windows, covers with utilities proportional to
+// their needs, and a budget tight enough to force choices.
+func RandomInstance(r *rng.Stream, sites, targets int) *attack.Instance {
+	const (
+		field   = 400.0 // m
+		speed   = 5.0
+		moveJ   = 50.0
+		radiate = 50.0
+		dayS    = 86400.0
+	)
+	in := &attack.Instance{
+		Depot:     geom.Pt(field/2, field/2),
+		SpeedMps:  speed,
+		MoveJPerM: moveJ,
+		RadiateW:  radiate,
+	}
+	for i := 0; i < sites; i++ {
+		pos := geom.Pt(r.Uniform(0, field), r.Uniform(0, field))
+		dur := r.Uniform(600, 1800)
+		release := r.Uniform(0, 1.5*dayS)
+		width := r.Uniform(2*3600, 12*3600)
+		s := attack.Site{
+			Pos:    pos,
+			Window: attack.Window{R: release, D: release + width + dur},
+			Dur:    dur,
+			Kind:   attack.VisitCover,
+		}
+		if i < targets {
+			s.Mandatory = true
+			s.Kind = attack.VisitSpoof
+		} else {
+			s.UtilJ = dur * 6.2 // delivered at the nominal contact rate
+		}
+		in.Sites = append(in.Sites, s)
+	}
+	// Budget: roughly enough for the targets plus half the covers.
+	var radiateAll float64
+	for _, s := range in.Sites {
+		radiateAll += s.Dur * radiate
+	}
+	in.BudgetJ = 0.55*radiateAll + 2*field*moveJ
+	return in
+}
+
+// RunApproxRatio reproduces R-Fig 7: the empirical approximation ratio of
+// CSA against the exact Pareto-DP optimum on instances small enough to
+// solve exactly. The paper claims a bounded performance guarantee; the
+// figure shows how far above the worst-case bound the algorithm actually
+// operates.
+func RunApproxRatio(cfg Config) (*Output, error) {
+	sizes := []int{6, 8, 10, 12}
+	trials := 20
+	if cfg.Quick {
+		sizes = []int{6, 8}
+		trials = 5
+	}
+	r := rng.New(cfg.seed(0)).Split("approx")
+	tbl := report.NewTable("R-Fig 7 — CSA vs exact optimum",
+		"sites", "ratio_mean", "ratio_min", "ratio_ci95", "polished_mean", "spoof_match_frac")
+	mean := &metrics.Series{Label: "ratio_mean"}
+	min := &metrics.Series{Label: "ratio_min"}
+	polishedMean := &metrics.Series{Label: "polished_mean"}
+	for _, n := range sizes {
+		var ratio, polished metrics.Summary
+		var spoofMatch metrics.Summary
+		worst := 1.0
+		for t := 0; t < trials; t++ {
+			in := RandomInstance(r, n, 2)
+			got, err := attack.SolveCSA(in)
+			if err != nil {
+				return nil, err
+			}
+			pol, err := attack.SolveCSAPolished(in)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := attack.SolveExact(in)
+			if err != nil {
+				return nil, err
+			}
+			spoofMatch.Add(b2f(got.Plan.SpoofCount >= opt.Plan.SpoofCount))
+			if opt.Plan.UtilityJ <= 0 {
+				continue // nothing schedulable: ratio undefined, skip
+			}
+			rr := got.Plan.UtilityJ / opt.Plan.UtilityJ
+			ratio.Add(rr)
+			polished.Add(pol.Plan.UtilityJ / opt.Plan.UtilityJ)
+			if rr < worst {
+				worst = rr
+			}
+		}
+		tbl.AddRowf(n, ratio.Mean(), worst, ratio.CI95(), polished.Mean(), spoofMatch.Mean())
+		mean.Append(float64(n), ratio.Mean())
+		min.Append(float64(n), worst)
+		polishedMean.Append(float64(n), polished.Mean())
+	}
+	return &Output{
+		ID: "rfig7", Title: "Empirical approximation ratio",
+		Table: tbl, XName: "sites", Series: []*metrics.Series{mean, min, polishedMean},
+		Notes: []string{
+			"Theory: cost-benefit greedy with the best-single safeguard guarantees ≥ (1−1/e)/2 ≈ 0.316 of the optimal cover utility for the fixed skeleton.",
+			"Expected shape: empirical mean well above 0.9, worst case comfortably above the bound; CSA matches OPT's spoof coverage; the local-search polish (extension) closes part of the remaining gap.",
+		},
+	}, nil
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+)
+
+// rngFor derives an experiment-local random stream.
+func rngFor(seed uint64) *rng.Stream { return rng.New(seed).Split("experiments") }
+
+// RunDetectionROC reproduces R-Fig 6: per-detector ROC curves with attack
+// runs (CSA and Direct) as positives and legitimate runs as negatives.
+// Scores come from the horizon audit with live impoundment disabled, so
+// the full evidence of each behavior is judged. The paper's stealth claim
+// corresponds to CSA's AUC sitting near chance while Direct is trivially
+// separable.
+func RunDetectionROC(cfg Config) (*Output, error) {
+	n := 200
+	if cfg.Quick {
+		n = 100
+	}
+	seeds := cfg.seeds() * 2 // ROC needs more samples than a mean
+	detectors := detect.Suite()
+
+	// Collect per-detector score samples for each behavior.
+	type sampleSet struct {
+		legit, csa, direct []float64
+	}
+	samples := make([]sampleSet, len(detectors))
+	for s := 0; s < seeds; s++ {
+		seed := cfg.seed(s)
+		base := campaign.Config{AuditEverySec: -1} // judge only at horizon
+		lg, err := runOneLegit(seed, n, base)
+		if err != nil {
+			return nil, err
+		}
+		at := base
+		at.Solver = campaign.SolverCSA
+		ca, err := runOneAttack(seed, n, at)
+		if err != nil {
+			return nil, err
+		}
+		dr := base
+		dr.Solver = campaign.SolverDirect
+		dr.NoFill = true
+		di, err := runOneAttack(seed, n, dr)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range detectors {
+			samples[i].legit = append(samples[i].legit, d.Score(lg.Audit))
+			samples[i].csa = append(samples[i].csa, d.Score(ca.Audit))
+			samples[i].direct = append(samples[i].direct, d.Score(di.Audit))
+		}
+	}
+
+	tbl := report.NewTable("R-Fig 6 — detector ROC (attack vs legitimate)",
+		"detector", "attacker", "auc", "tpr_at_default", "fpr_at_default")
+	var series []*metrics.Series
+	for i, d := range detectors {
+		for _, att := range []struct {
+			name   string
+			scores []float64
+		}{{"CSA", samples[i].csa}, {"Direct", samples[i].direct}} {
+			pts, err := detect.ROC(att.scores, samples[i].legit)
+			if err != nil {
+				return nil, err
+			}
+			auc := detect.AUC(pts)
+			// Operating point at the detector's default threshold.
+			var tpr, fpr float64
+			thr := d.Threshold()
+			tpr = rateAtOrAbove(att.scores, thr)
+			fpr = rateAtOrAbove(samples[i].legit, thr)
+			tbl.AddRowf(d.Name(), att.name, auc, tpr, fpr)
+			sr := &metrics.Series{Label: d.Name() + "_" + att.name}
+			for _, p := range pts {
+				sr.Append(p.FPR, p.TPR)
+			}
+			series = append(series, sr)
+		}
+	}
+	return &Output{
+		ID: "rfig6", Title: "Detection ROC",
+		Table: tbl, XName: "fpr", Series: series,
+		Notes: []string{
+			"Expected shape: Direct is near-perfectly detectable (AUC ≈ 1, TPR ≈ 1 at default thresholds); CSA sits near chance (AUC ≈ 0.5, TPR ≈ 0).",
+		},
+	}, nil
+}
+
+func rateAtOrAbove(xs []float64, thr float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x >= thr {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}

@@ -1,0 +1,96 @@
+// Package experiments implements one driver per reconstructed figure and
+// table of the evaluation (see DESIGN.md for the R-Fig/R-Tab index). Each
+// driver returns a text table plus the CSV series behind the figure, so
+// cmd/experiments can regenerate the full evaluation from scratch.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	// Quick shrinks sweeps and seed counts for CI/tests; the full runs
+	// reproduce the evaluation at paper scale.
+	Quick bool
+	// Seeds is the number of independent seeds averaged per point;
+	// non-positive gets 5 (2 when Quick).
+	Seeds int
+	// BaseSeed offsets the seed sequence for independent replications.
+	BaseSeed uint64
+}
+
+func (c Config) seeds() int {
+	if c.Seeds > 0 {
+		return c.Seeds
+	}
+	if c.Quick {
+		return 2
+	}
+	return 5
+}
+
+func (c Config) seed(i int) uint64 { return c.BaseSeed + 1000 + uint64(i)*7919 }
+
+// Output is one experiment's result bundle.
+type Output struct {
+	// ID and Title identify the reconstructed figure/table.
+	ID, Title string
+	// Table is the human-readable result.
+	Table *report.Table
+	// XName and Series carry the figure's data for CSV export (may be
+	// empty for pure tables).
+	XName  string
+	Series []*metrics.Series
+	// Notes records caveats and the expected shape from the paper.
+	Notes []string
+}
+
+// Runner executes one experiment.
+type Runner func(cfg Config) (*Output, error)
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in the reconstructed evaluation, in
+// presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "rfig1", Title: "Rectifier nonlinearity: DC out vs RF in", Run: RunRectifierCurve},
+		{ID: "rfig2", Title: "Coherent superposition: received power vs phase offset", Run: RunSuperpositionSweep},
+		{ID: "rfig3", Title: "Null depth vs distance and phase jitter", Run: RunNullSteering},
+		{ID: "rfig4", Title: "Key-node exhaustion vs network size (solver comparison)", Run: RunExhaustionVsN},
+		{ID: "rfig5", Title: "Cover utility vs charger budget", Run: RunUtilityVsBudget},
+		{ID: "rfig6", Title: "Detection ROC: CSA vs Direct attacker", Run: RunDetectionROC},
+		{ID: "rfig7", Title: "Empirical approximation ratio: CSA vs exact OPT", Run: RunApproxRatio},
+		{ID: "rfig8", Title: "Network lifetime under attack vs legitimate service", Run: RunLifetime},
+		{ID: "rfig9", Title: "CSA planning runtime vs instance size", Run: RunRuntime},
+		{ID: "rtab1", Title: "Headline: exhaustion and stealth across scenarios", Run: RunHeadline},
+		{ID: "rtab2", Title: "TCP software-in-the-loop test bed", Run: RunTestbed},
+		{ID: "rtab3", Title: "Ablations: which attack ingredients matter", Run: RunAblations},
+		{ID: "rfig10", Title: "Extension: harvest-verification countermeasure", Run: RunDefenseVerification},
+		{ID: "rfig11", Title: "Extension: neighbor-witnessing countermeasure", Run: RunDefenseWitness},
+		{ID: "rtab4", Title: "Extension: multi-charger fleet scaling", Run: RunFleet},
+		{ID: "rfig12", Title: "Extension: constrained-null counter-countermeasure", Run: RunCounterWitness},
+		{ID: "rtab5", Title: "Extension: routing-policy mitigation", Run: RunRoutingMitigation},
+		{ID: "rfig13", Title: "Extension: structural robustness under removal", Run: RunRobustness},
+		{ID: "rtab6", Title: "Extension: on-demand scheduler comparison", Run: RunSchedulers},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

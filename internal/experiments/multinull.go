@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// RunCounterWitness is R-Fig 12 (extension): the arms race closes one more
+// step. Neighbor witnessing (R-Fig 11) exposes a spoof when the witness
+// attests a strong field during a zero-gain session. A two-element array
+// cannot help it — the victim null pins the field everywhere else, and a
+// nearby witness sees full-strength radiation. With k ≥ 3 elements the
+// attacker solves a constrained beamforming problem — a *double null*,
+// zero at the victim and silence at the witness — so the witness has
+// nothing to attest and the countermeasure starves of evidence. Harvest
+// verification, which measures at the victim itself, survives every array
+// order.
+func RunCounterWitness(cfg Config) (*Output, error) {
+	rect := wpt.DefaultRectifier()
+	witnessThreshold := (defense.Config{}).WitnessThreshold()
+	victim := geom.Pt(0, 0.8)
+	witnessXs := []float64{1.5, 2.5, 4, 6}
+	if cfg.Quick {
+		witnessXs = []float64{2.5, 6}
+	}
+	orders := []int{2, 3, 4, 6}
+
+	tbl := report.NewTable("R-Fig 12 — double nulls starve the witness (k ≥ 3 elements)",
+		"elements", "witness_x_m", "victim_dc_w", "witness_rf_w", "witness_blinded")
+	series := make([]*metrics.Series, 0, len(orders))
+	for _, k := range orders {
+		sr := &metrics.Series{Label: "witness_rf_k" + itoa(k)}
+		for _, wx := range witnessXs {
+			witness := geom.Pt(wx, 1.2)
+			arr := wpt.NewArray(wpt.LinearArray(geom.Pt(0, 0), k, 0.4)...)
+			if k == 2 {
+				if err := wpt.SteerNull(arr, victim); err != nil {
+					return nil, err
+				}
+			} else {
+				// Double null: silence at the witness, well under its
+				// attestation floor.
+				if _, err := wpt.SteerNullKeeping(arr, victim, witness, witnessThreshold/100); err != nil {
+					return nil, err
+				}
+			}
+			victimDC := rect.DCOutput(arr.RFPowerAt(victim))
+			witnessRF := arr.RFPowerAt(witness)
+			blinded := victimDC == 0 && witnessRF < witnessThreshold
+			tbl.AddRowf(k, wx, victimDC, witnessRF, blinded)
+			sr.Append(wx, witnessRF)
+		}
+		series = append(series, sr)
+	}
+	return &Output{
+		ID: "rfig12", Title: "Constrained-null counter-countermeasure",
+		Table: tbl, XName: "witness_x_m", Series: series,
+		Notes: []string{
+			"Extension beyond the paper: with ≥3 coherent elements the attacker nulls the victim AND the witness simultaneously, leaving the witnessing countermeasure without evidence.",
+			"Expected shape: k=2 floods the witness (≈0.1 W — it attests and the spoof is exposed, cf. R-Fig 11); k≥3 holds the witness below its 1 mW attestation floor at every position while the victim's rectifier still sees an exact null.",
+		},
+	}, nil
+}
+
+func itoa(k int) string {
+	return string(rune('0' + k))
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// RunRobustness is R-Fig 13 (extension): the structural motivation figure.
+// Sink connectivity vs nodes removed, for random failures, targeted
+// betweenness removal, and severance-ordered removal (the attack's target
+// order). The severance curve's cliff after a handful of removals is why
+// the attack only needs to exhaust the key nodes.
+func RunRobustness(cfg Config) (*Output, error) {
+	n := 200
+	steps := 25
+	if cfg.Quick {
+		n = 100
+		steps = 12
+	}
+	strategies := []wrsn.RemovalStrategy{
+		wrsn.RemoveRandom, wrsn.RemoveByBetweenness, wrsn.RemoveBySeverance,
+	}
+	tbl := report.NewTable("R-Fig 13 — connectivity under node removal",
+		"removed", "random", "betweenness", "severance")
+	series := make([]*metrics.Series, len(strategies))
+	curves := make([][]metrics.Summary, len(strategies))
+	for i, s := range strategies {
+		series[i] = &metrics.Series{Label: s.String()}
+		curves[i] = make([]metrics.Summary, steps+1)
+	}
+	for s := 0; s < cfg.seeds(); s++ {
+		nw, _, err := trace.DefaultScenario(cfg.seed(s), n).Build()
+		if err != nil {
+			return nil, err
+		}
+		for si, strat := range strategies {
+			pts, err := nw.RobustnessSweep(strat, steps, rng.New(cfg.seed(s)).Split("robust"))
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				curves[si][p.Removed].Add(float64(p.Connected) / float64(n))
+			}
+		}
+	}
+	for k := 0; k <= steps; k++ {
+		vals := make([]float64, len(strategies))
+		for si := range strategies {
+			vals[si] = curves[si][k].Mean()
+			series[si].Append(float64(k), vals[si])
+		}
+		tbl.AddRowf(k, vals[0], vals[1], vals[2])
+	}
+	return &Output{
+		ID: "rfig13", Title: "Structural robustness (extension)",
+		Table: tbl, XName: "removed", Series: series,
+		Notes: []string{
+			"Extension: the structural case for key-node targeting. Severance-ordered removal is exactly the attack's kill order.",
+			"Expected shape: random removals erode connectivity roughly linearly; severance-ordered removal produces cliffs, stranding large fractions within the first handful of kills; betweenness sits between.",
+		},
+	}, nil
+}

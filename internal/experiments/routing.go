@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/report"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// RunRoutingMitigation is R-Tab 5 (extension): does smarter routing blunt
+// the attack? Energy-aware routing shifts load off draining relays and is
+// the folklore remedy for uneven depletion — but articulation points have
+// no alternative paths by definition, so the attack's targets and their
+// fate barely move. A negative result worth measuring.
+func RunRoutingMitigation(cfg Config) (*Output, error) {
+	n := 200
+	if cfg.Quick {
+		n = 100
+	}
+	policies := []wrsn.RoutingPolicy{
+		wrsn.PolicyShortestDistance,
+		wrsn.PolicyHopCount,
+		wrsn.PolicyEnergyAware,
+	}
+	tbl := report.NewTable("R-Tab 5 — routing policy vs the attack",
+		"policy", "keys", "exhaust_ratio", "detected_frac", "legit_dead", "legit_first_death_day")
+	exhaustSeries := &metrics.Series{Label: "exhaust_ratio"}
+	for pi, pol := range policies {
+		var keys, ratio, det, legitDead, firstDeath metrics.Summary
+		for s := 0; s < cfg.seeds(); s++ {
+			sc := trace.DefaultScenario(cfg.seed(s), n)
+			sc.Policy = pol
+			o, err := runAttackOnScenario(sc, campaign.Config{
+				Seed: cfg.seed(s), Solver: campaign.SolverCSA,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if len(o.KeyNodes) == 0 {
+				continue
+			}
+			keys.Add(float64(len(o.KeyNodes)))
+			ratio.Add(o.KeyExhaustRatio())
+			det.Add(b2f(o.Detected))
+
+			nw, _, err := sc.Build()
+			if err != nil {
+				return nil, err
+			}
+			lg, err := campaign.RunLegit(nw, newDefaultCharger(nw), campaign.Config{Seed: cfg.seed(s)})
+			if err != nil {
+				return nil, err
+			}
+			legitDead.Add(float64(lg.DeadTotal))
+			if !math.IsInf(lg.FirstDeathAt, 1) {
+				firstDeath.Add(lg.FirstDeathAt / 86400)
+			}
+		}
+		tbl.AddRowf(pol.String(), keys.Mean(), ratio.Mean(), det.Mean(), legitDead.Mean(), firstDeath.Mean())
+		exhaustSeries.Append(float64(pi), ratio.Mean())
+	}
+	return &Output{
+		ID: "rtab5", Title: "Routing-policy mitigation (extension)",
+		Table: tbl, XName: "policy_index",
+		Series: []*metrics.Series{exhaustSeries},
+		Notes: []string{
+			"Extension: articulation points are a property of the connectivity graph, not of the routing objective — energy-aware routing rebalances depletion but cannot create alternative paths, so CSA's exhaustion barely moves.",
+			"Expected shape: similar key counts and ≥0.8 exhaustion under every policy; the legitimate columns confirm each policy is a healthy baseline.",
+		},
+	}, nil
+}

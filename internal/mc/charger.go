@@ -1,0 +1,233 @@
+// Package mc models the mobile charger: a vehicle with its own energy
+// budget that travels between nodes and radiates wireless power through a
+// coherent emitter array. The same chassis serves both roles in the paper —
+// legitimate on-demand charger and, when compromised, the spoofing
+// attacker; only the array steering differs.
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// Params configures a charger. Zero-valued fields get defaults from
+// DefaultParams.
+type Params struct {
+	// SpeedMps is the travel speed in m/s.
+	SpeedMps float64
+	// MoveJPerM is the locomotion energy per meter.
+	MoveJPerM float64
+	// RadiateW is the electrical power drawn while the array transmits.
+	RadiateW float64
+	// BudgetJ is the onboard energy budget per tour.
+	BudgetJ float64
+	// ServiceDist is the charger-to-node distance during a charging
+	// session, in meters; docking is never exact contact.
+	ServiceDist float64
+	// ElementSpacing is the separation of the two array elements on the
+	// chassis, in meters.
+	ElementSpacing float64
+}
+
+// DefaultParams returns the evaluation defaults: a 5 m/s charger spending
+// 50 J/m to move, drawing 50 W electrical while radiating at full power,
+// docking at 0.5 m, elements 0.6 m apart. The 50 MJ budget covers roughly
+// two weeks of on-demand service for a few hundred nodes; experiments that
+// stress the budget constraint override it per TIDE instance.
+func DefaultParams() Params {
+	return Params{
+		SpeedMps:       5,
+		MoveJPerM:      50,
+		RadiateW:       50,
+		BudgetJ:        5e7,
+		ServiceDist:    0.5,
+		ElementSpacing: 0.6,
+	}
+}
+
+func (p *Params) applyDefaults() {
+	def := DefaultParams()
+	if p.SpeedMps <= 0 {
+		p.SpeedMps = def.SpeedMps
+	}
+	if p.MoveJPerM <= 0 {
+		p.MoveJPerM = def.MoveJPerM
+	}
+	if p.RadiateW <= 0 {
+		p.RadiateW = def.RadiateW
+	}
+	if p.BudgetJ <= 0 {
+		p.BudgetJ = def.BudgetJ
+	}
+	if p.ServiceDist <= 0 {
+		p.ServiceDist = def.ServiceDist
+	}
+	if p.ElementSpacing <= 0 {
+		p.ElementSpacing = def.ElementSpacing
+	}
+}
+
+// Charger is a mobile charger instance. It tracks position and remaining
+// budget; all mutation is explicit (Travel, SpendRadiation) so planners can
+// also use the pure cost queries. Charger is not safe for concurrent use.
+type Charger struct {
+	params Params
+	pos    geom.Point
+	depot  geom.Point
+	spent  float64
+	array  *wpt.Array
+	rect   wpt.Rectifier
+}
+
+// New returns a charger parked at depot.
+func New(depot geom.Point, params Params) *Charger {
+	params.applyDefaults()
+	half := params.ElementSpacing / 2
+	arr := wpt.NewArray(
+		geom.Pt(depot.X-half, depot.Y),
+		geom.Pt(depot.X+half, depot.Y),
+	)
+	return &Charger{
+		params: params,
+		pos:    depot,
+		depot:  depot,
+		array:  arr,
+		rect:   wpt.DefaultRectifier(),
+	}
+}
+
+// Params returns the charger's configuration.
+func (c *Charger) Params() Params { return c.params }
+
+// Pos returns the charger's current position.
+func (c *Charger) Pos() geom.Point { return c.pos }
+
+// Depot returns the charger's home position.
+func (c *Charger) Depot() geom.Point { return c.depot }
+
+// Array exposes the emitter array for steering. The array tracks the
+// charger chassis; do not reposition it directly — use Travel.
+func (c *Charger) Array() *wpt.Array { return c.array }
+
+// Rectifier returns the node-side rectifier model the charger assumes when
+// predicting delivered power.
+func (c *Charger) Rectifier() wpt.Rectifier { return c.rect }
+
+// Spent returns the energy consumed so far this tour.
+func (c *Charger) Spent() float64 { return c.spent }
+
+// Remaining returns the unspent budget.
+func (c *Charger) Remaining() float64 { return c.params.BudgetJ - c.spent }
+
+// TravelTime returns the time to reach dst from the current position.
+func (c *Charger) TravelTime(dst geom.Point) float64 {
+	return c.pos.Dist(dst) / c.params.SpeedMps
+}
+
+// TravelEnergy returns the locomotion energy to reach dst.
+func (c *Charger) TravelEnergy(dst geom.Point) float64 {
+	return c.pos.Dist(dst) * c.params.MoveJPerM
+}
+
+// RadiationEnergy returns the electrical energy to radiate for dt seconds.
+func (c *Charger) RadiationEnergy(dt float64) float64 {
+	return c.params.RadiateW * dt
+}
+
+// Travel moves the charger (and its array) to dst, deducting locomotion
+// energy. It fails without moving when the budget cannot cover the trip.
+func (c *Charger) Travel(dst geom.Point) error {
+	cost := c.TravelEnergy(dst)
+	if cost > c.Remaining() {
+		return fmt.Errorf("mc: travel to %v needs %.0f J, only %.0f J remain", dst, cost, c.Remaining())
+	}
+	c.spent += cost
+	c.pos = dst
+	c.array.MoveTo(dst)
+	return nil
+}
+
+// SpendRadiation deducts the electrical energy for dt seconds of
+// transmission. It fails without deducting when the budget is short.
+func (c *Charger) SpendRadiation(dt float64) error {
+	return c.SpendEnergy(c.RadiationEnergy(dt))
+}
+
+// SpendEnergy deducts an explicit energy amount (e.g. reduced-gain spoof
+// transmission). It fails without deducting when the budget is short.
+func (c *Charger) SpendEnergy(j float64) error {
+	if j < 0 {
+		return fmt.Errorf("mc: negative energy spend %v", j)
+	}
+	if j > c.Remaining() {
+		return fmt.Errorf("mc: spending %.0f J exceeds remaining %.0f J", j, c.Remaining())
+	}
+	c.spent += j
+	return nil
+}
+
+// ServicePoint returns the docking position for charging a node at
+// nodePos: ServiceDist meters from the node, approached from the charger's
+// current direction (or due west when already at the node).
+func (c *Charger) ServicePoint(nodePos geom.Point) geom.Point {
+	d := c.pos.Dist(nodePos)
+	if d <= c.params.ServiceDist {
+		return c.pos
+	}
+	t := (d - c.params.ServiceDist) / d
+	return c.pos.Lerp(nodePos, t)
+}
+
+// DeliveredPower returns the DC power a node at nodePos harvests while the
+// charger, docked at its service point, focuses its array on the node.
+// This is the legitimate charging rate.
+func (c *Charger) DeliveredPower(nodePos geom.Point) (float64, error) {
+	dock := c.ServicePoint(nodePos)
+	// Evaluate on a scratch array so the query does not disturb state.
+	arr := *c.array
+	arr.Emitters = append([]wpt.Emitter(nil), c.array.Emitters...)
+	arr.MoveTo(dock)
+	if err := wpt.SteerFocus(&arr, nodePos); err != nil {
+		return 0, fmt.Errorf("mc: focus at %v: %w", nodePos, err)
+	}
+	return c.rect.DCOutput(arr.RFPowerAt(nodePos)), nil
+}
+
+// RadiatedPowerAt returns the RF power an observer at `at` measures while
+// the charger, docked for a session at nodePos, focuses its array on the
+// node — what a neighbor witness sees during a genuine charge. The query
+// does not disturb the charger's state.
+func (c *Charger) RadiatedPowerAt(nodePos, at geom.Point) (float64, error) {
+	dock := c.ServicePoint(nodePos)
+	arr := *c.array
+	arr.Emitters = append([]wpt.Emitter(nil), c.array.Emitters...)
+	arr.MoveTo(dock)
+	if err := wpt.SteerFocus(&arr, nodePos); err != nil {
+		return 0, fmt.Errorf("mc: focus at %v: %w", nodePos, err)
+	}
+	return arr.RFPowerAt(at), nil
+}
+
+// FullRechargeTime returns how long a focused session must last to deliver
+// joules of DC energy to a node at nodePos.
+func (c *Charger) FullRechargeTime(nodePos geom.Point, joules float64) (float64, error) {
+	p, err := c.DeliveredPower(nodePos)
+	if err != nil {
+		return 0, err
+	}
+	if p <= 0 {
+		return math.Inf(1), fmt.Errorf("mc: no deliverable power at %v", nodePos)
+	}
+	return joules / p, nil
+}
+
+// Reset returns the charger to its depot with a full budget, beginning a
+// new tour. Position and array follow.
+func (c *Charger) Reset() {
+	c.pos = c.depot
+	c.spent = 0
+	c.array.MoveTo(c.depot)
+}

@@ -1,0 +1,124 @@
+// Package metrics provides the statistics utilities experiments use:
+// streaming mean/variance (Welford), min/max tracking, percentiles,
+// confidence intervals, and labeled time series.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with numerically stable
+// single-pass mean and variance. The zero value is ready to use.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean, or 0 when empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// CI95 returns the half-width of the 95% confidence interval on the mean
+// under the normal approximation (1.96·σ/√n), or 0 with fewer than two
+// observations.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String implements fmt.Stringer.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ±%.2g [%.4g, %.4g]", s.n, s.Mean(), s.CI95(), s.min, s.max)
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs by linear
+// interpolation between closest ranks. It copies and sorts; xs is not
+// modified. An empty input returns 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Series is a labeled sequence of (x, y) pairs — one figure line.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the point count.
+func (s *Series) Len() int { return len(s.X) }
+
+// Ratio returns a/b, or 0 when b is 0 — the safe division experiments use
+// for rates and normalized utilities.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

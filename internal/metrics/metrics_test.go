@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryAgainstNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Summary
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		tol := 1e-6 * (1 + math.Abs(mean) + variance)
+		return math.Abs(s.Mean()-mean) < tol && math.Abs(s.Var()-variance) < tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMinMaxN(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{3, -1, 7, 2} {
+		s.Add(x)
+	}
+	if s.N() != 4 || s.Min() != -1 || s.Max() != 7 {
+		t.Errorf("n=%d min=%v max=%v", s.N(), s.Min(), s.Max())
+	}
+	if s.Mean() != 2.75 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Error("empty summary not zero")
+	}
+	s.Add(5)
+	if s.Var() != 0 || s.CI95() != 0 {
+		t.Error("single observation has nonzero spread")
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Summary
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI did not shrink: %v vs %v", small.CI95(), large.CI95())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4}, {-5, 1}, {150, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between ranks.
+	if got := Percentile([]float64{0, 10}, 50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// The input must not be reordered.
+	ys := []float64{5, 1, 3}
+	Percentile(ys, 50)
+	if ys[0] != 5 || ys[1] != 1 || ys[2] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := Series{Label: "x"}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 || s.X[1] != 2 || s.Y[1] != 20 {
+		t.Errorf("series = %+v", s)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("ratio wrong")
+	}
+	if Ratio(5, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+}

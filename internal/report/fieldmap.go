@@ -1,0 +1,121 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+// FieldMap renders a deployment field as ASCII art: nodes, the sink, key
+// nodes, attack targets and a charger route, scaled into a fixed-size
+// character grid. It is the console-equivalent of the paper's topology
+// figures.
+type FieldMap struct {
+	bounds geom.Rect
+	w, h   int
+	cells  [][]rune
+	legend []string
+}
+
+// NewFieldMap creates a map covering bounds with the given character
+// dimensions (minimums are enforced).
+func NewFieldMap(bounds geom.Rect, w, h int) *FieldMap {
+	if w < 20 {
+		w = 20
+	}
+	if h < 10 {
+		h = 10
+	}
+	cells := make([][]rune, h)
+	for i := range cells {
+		cells[i] = make([]rune, w)
+		for j := range cells[i] {
+			cells[i][j] = ' '
+		}
+	}
+	return &FieldMap{bounds: bounds, w: w, h: h, cells: cells}
+}
+
+// cell maps a field point to grid coordinates.
+func (m *FieldMap) cell(p geom.Point) (int, int, bool) {
+	bw, bh := m.bounds.Width(), m.bounds.Height()
+	if bw <= 0 || bh <= 0 {
+		return 0, 0, false
+	}
+	x := int((p.X - m.bounds.Min.X) / bw * float64(m.w-1))
+	// Screen y grows downward; field y grows upward.
+	y := int((m.bounds.Max.Y - p.Y) / bh * float64(m.h-1))
+	if x < 0 || x >= m.w || y < 0 || y >= m.h {
+		return 0, 0, false
+	}
+	return x, y, true
+}
+
+// Mark places glyph at the point; later marks overwrite earlier ones, so
+// draw in increasing order of importance.
+func (m *FieldMap) Mark(p geom.Point, glyph rune) {
+	if x, y, ok := m.cell(p); ok {
+		m.cells[y][x] = glyph
+	}
+}
+
+// MarkAll places the glyph at every point.
+func (m *FieldMap) MarkAll(pts []geom.Point, glyph rune) {
+	for _, p := range pts {
+		m.Mark(p, glyph)
+	}
+}
+
+// Path draws a polyline with the glyph, leaving existing non-space cells
+// (markers) intact.
+func (m *FieldMap) Path(pts []geom.Point, glyph rune) {
+	for i := 1; i < len(pts); i++ {
+		m.line(pts[i-1], pts[i], glyph)
+	}
+}
+
+func (m *FieldMap) line(a, b geom.Point, glyph rune) {
+	steps := 2 * (m.w + m.h)
+	for s := 0; s <= steps; s++ {
+		p := a.Lerp(b, float64(s)/float64(steps))
+		if x, y, ok := m.cell(p); ok && m.cells[y][x] == ' ' {
+			m.cells[y][x] = glyph
+		}
+	}
+}
+
+// Legend appends one legend line ("* key node").
+func (m *FieldMap) Legend(glyph rune, meaning string) {
+	m.legend = append(m.legend, fmt.Sprintf("  %c  %s", glyph, meaning))
+}
+
+// Render writes the framed map and legend to w.
+func (m *FieldMap) Render(out io.Writer) error {
+	var sb strings.Builder
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", m.w))
+	sb.WriteString("+\n")
+	for _, row := range m.cells {
+		sb.WriteByte('|')
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", m.w))
+	sb.WriteString("+\n")
+	for _, l := range m.legend {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	_, err := io.WriteString(out, sb.String())
+	return err
+}
+
+// String renders the map to a string.
+func (m *FieldMap) String() string {
+	var sb strings.Builder
+	_ = m.Render(&sb)
+	return sb.String()
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+func TestFieldMapMarks(t *testing.T) {
+	m := NewFieldMap(geom.Square(100), 40, 20)
+	m.Mark(geom.Pt(0, 0), 'A')     // bottom-left of the field
+	m.Mark(geom.Pt(100, 100), 'B') // top-right
+	m.Mark(geom.Pt(50, 50), 'C')
+	out := m.String()
+	lines := strings.Split(out, "\n")
+	// Frame: first and last map lines are borders.
+	if !strings.HasPrefix(lines[0], "+--") {
+		t.Fatalf("no top border: %q", lines[0])
+	}
+	// Screen y is flipped: B (field top) appears before A (field bottom).
+	bIdx := strings.Index(out, "B")
+	aIdx := strings.Index(out, "A")
+	cIdx := strings.Index(out, "C")
+	if bIdx < 0 || aIdx < 0 || cIdx < 0 {
+		t.Fatal("marks missing from render")
+	}
+	if !(bIdx < cIdx && cIdx < aIdx) {
+		t.Errorf("vertical order wrong: B@%d C@%d A@%d", bIdx, cIdx, aIdx)
+	}
+}
+
+func TestFieldMapOutOfBounds(t *testing.T) {
+	m := NewFieldMap(geom.Square(10), 30, 12)
+	m.Mark(geom.Pt(-5, 50), 'X')
+	if strings.Contains(m.String(), "X") {
+		t.Error("out-of-bounds mark rendered")
+	}
+}
+
+func TestFieldMapPathPreservesMarks(t *testing.T) {
+	m := NewFieldMap(geom.Square(10), 30, 12)
+	m.Mark(geom.Pt(5, 5), 'N')
+	m.Path([]geom.Point{{X: 0, Y: 5}, {X: 10, Y: 5}}, '.')
+	out := m.String()
+	if !strings.Contains(out, "N") {
+		t.Error("path overwrote a marker")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("path not drawn")
+	}
+}
+
+func TestFieldMapLegend(t *testing.T) {
+	m := NewFieldMap(geom.Square(10), 30, 12)
+	m.Legend('o', "node")
+	if !strings.Contains(m.String(), "o  node") {
+		t.Error("legend missing")
+	}
+}
+
+func TestFieldMapMinimumSize(t *testing.T) {
+	m := NewFieldMap(geom.Square(10), 1, 1)
+	if m.w < 20 || m.h < 10 {
+		t.Errorf("minimums not enforced: %dx%d", m.w, m.h)
+	}
+}
+
+func TestFieldMapDegenerateBounds(t *testing.T) {
+	m := NewFieldMap(geom.Rect{}, 30, 12)
+	m.Mark(geom.Pt(0, 0), 'X') // must not panic or render
+	if strings.Contains(m.String(), "X") {
+		t.Error("degenerate bounds rendered a mark")
+	}
+}

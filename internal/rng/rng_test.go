@@ -1,0 +1,207 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split("alpha")
+	c2 := New(7).Split("alpha")
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("same-label splits diverged")
+		}
+	}
+	// Splitting must not advance the parent.
+	p1, p2 := New(7), New(7)
+	p1.Split("x")
+	if p1.Uint64() != p2.Uint64() {
+		t.Fatal("Split advanced the parent stream")
+	}
+	// Different labels give different streams.
+	d1, d2 := New(7).Split("a"), New(7).Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() == d2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("label-distinct splits collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Moments(t *testing.T) {
+	r := New(4)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("variance = %v, want ≈1/12", variance)
+	}
+}
+
+func TestUniform(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := New(6)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) value %d drawn %d times, want ≈10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNorm(t *testing.T) {
+	r := New(8)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("Norm mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Norm variance = %v, want ≈1", variance)
+	}
+	if v := r.NormMeanStd(100, 0); v != 100 {
+		t.Errorf("NormMeanStd(100,0) = %v", v)
+	}
+}
+
+func TestExp(t *testing.T) {
+	r := New(9)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ≈0.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	r.Exp(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(10)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(11)
+	hits := 0
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if hits < 2200 || hits > 2800 {
+		t.Errorf("Bool(0.25) hit %d/10000, want ≈2500", hits)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}

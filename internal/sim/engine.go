@@ -1,0 +1,140 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and a priority queue of timestamped events with deterministic
+// tie-breaking, so runs replay identically under a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrPast is returned when an event is scheduled before the current clock.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// Handler is an event callback. It runs with the engine clock set to the
+// event's timestamp and may schedule further events.
+type Handler func(e *Engine)
+
+// Engine drives a single-threaded discrete-event simulation. It is not
+// safe for concurrent use; all handlers run on the caller's goroutine.
+type Engine struct {
+	now   float64
+	queue eventHeap
+	seq   uint64
+	// processed counts events executed, for runaway-simulation guards.
+	processed uint64
+}
+
+// New returns an engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn at absolute time t. Scheduling at the current time is
+// allowed (the event runs after the current handler returns).
+func (e *Engine) At(t float64, name string, fn Handler) error {
+	if t < e.now {
+		return fmt.Errorf("%w: t=%v now=%v (%s)", ErrPast, t, e.now, name)
+	}
+	if math.IsNaN(t) {
+		return fmt.Errorf("sim: NaN timestamp for event %q", name)
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: t, seq: e.seq, name: name, fn: fn})
+	return nil
+}
+
+// After schedules fn dt seconds from now.
+func (e *Engine) After(dt float64, name string, fn Handler) error {
+	return e.At(e.now+dt, name, fn)
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// PeekTime returns the timestamp of the next event, or +Inf when the queue
+// is empty.
+func (e *Engine) PeekTime() float64 {
+	if e.queue.Len() == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].t
+}
+
+// Step executes the next event and returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.t
+	e.processed++
+	ev.fn(e)
+	return true
+}
+
+// RunUntil executes events until the clock would pass deadline or the
+// queue empties; the clock is left at min(deadline, last event time)…
+// precisely: after the call, Now() ≤ deadline and no executed event had
+// t > deadline. Events beyond the deadline remain queued. maxEvents guards
+// against runaway self-scheduling loops; 0 means no guard.
+func (e *Engine) RunUntil(deadline float64, maxEvents uint64) error {
+	start := e.processed
+	for e.queue.Len() > 0 && e.queue[0].t <= deadline {
+		if maxEvents > 0 && e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events before deadline %v (now %v)", maxEvents, deadline, e.now)
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Run executes events until the queue empties. maxEvents guards against
+// runaway loops; 0 means no guard.
+func (e *Engine) Run(maxEvents uint64) error {
+	start := e.processed
+	for e.Step() {
+		if maxEvents > 0 && e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events (now %v)", maxEvents, e.now)
+		}
+	}
+	return nil
+}
+
+// event is a queued callback. seq breaks timestamp ties in scheduling
+// order, making execution deterministic.
+type event struct {
+	t    float64
+	seq  uint64
+	name string
+	fn   Handler
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

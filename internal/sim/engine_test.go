@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	add := func(at float64, id int) {
+		if err := e.At(at, "evt", func(*Engine) { order = append(order, id) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(3, 3)
+	add(1, 1)
+	add(2, 2)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("clock = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.At(7, "tie", func(*Engine) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties executed out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	e := New()
+	if err := e.At(5, "x", func(*Engine) {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	if err := e.At(4, "late", func(*Engine) {}); !errors.Is(err, ErrPast) {
+		t.Errorf("err = %v, want ErrPast", err)
+	}
+	// Scheduling exactly at now is allowed.
+	if err := e.At(e.Now(), "now", func(*Engine) {}); err != nil {
+		t.Errorf("at-now rejected: %v", err)
+	}
+	if err := e.At(math.NaN(), "nan", func(*Engine) {}); err == nil {
+		t.Error("NaN timestamp accepted")
+	}
+}
+
+func TestHandlersScheduleMore(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Handler
+	tick = func(en *Engine) {
+		count++
+		if count < 10 {
+			if err := en.After(1, "tick", tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := e.At(0, "tick", tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 || e.Now() != 9 {
+		t.Errorf("count=%d now=%v", count, e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 10} {
+		at := at
+		if err := e.At(at, "evt", func(*Engine) { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RunUntil(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Errorf("fired %v, want events ≤5 only", fired)
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock = %v, want 5 (advanced to deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+	if pt := e.PeekTime(); pt != 10 {
+		t.Errorf("peek = %v", pt)
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	e := New()
+	var loop Handler
+	loop = func(en *Engine) {
+		_ = en.After(0.001, "loop", loop)
+	}
+	if err := e.At(0, "loop", loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(100); err == nil {
+		t.Error("runaway loop not caught")
+	}
+	if err := New().Run(100); err != nil {
+		t.Errorf("empty run errored: %v", err)
+	}
+}
+
+func TestRunUntilGuard(t *testing.T) {
+	e := New()
+	var loop Handler
+	loop = func(en *Engine) {
+		_ = en.After(0.0001, "loop", loop)
+	}
+	if err := e.At(0, "loop", loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(1, 50); err == nil {
+		t.Error("runaway loop not caught before deadline")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := New()
+	for i := 0; i < 4; i++ {
+		if err := e.After(float64(i), "e", func(*Engine) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Processed() != 4 {
+		t.Errorf("processed = %d", e.Processed())
+	}
+}
+
+func TestClockNeverRewinds(t *testing.T) {
+	e := New()
+	last := -1.0
+	for i := 100; i > 0; i-- {
+		at := float64(i % 17)
+		if err := e.At(at, "e", func(en *Engine) {
+			if en.Now() < last {
+				t.Fatalf("clock rewound: %v after %v", en.Now(), last)
+			}
+			last = en.Now()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

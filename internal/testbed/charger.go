@@ -1,0 +1,100 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// ChargerAgent is the mobile charger of the test bed. In legitimate mode
+// it serves every assignment with a focused (constructive) session; in
+// attack mode it spoofs the nodes in its target set — presenting a
+// residual RF power inside the spoofing band so the victim's carrier
+// detector stays satisfied while its rectifier harvests nothing — and
+// serves everyone else genuinely.
+type ChargerAgent struct {
+	// Targets is the spoof set (empty for a legitimate charger).
+	Targets map[int]bool
+	// Model/Rect/Band are the shared physics.
+	Model wpt.ChargeModel
+	Rect  wpt.Rectifier
+	Band  wpt.SpoofBand
+	// ServiceDist is the docking distance.
+	ServiceDist float64
+	// TravelRealMs is the real-time cost of driving to a node between
+	// sessions.
+	TravelRealMs int
+	// ScaleSimPerReal converts session durations to real sleeps.
+	ScaleSimPerReal float64
+	// PollRealMs is the idle poll interval.
+	PollRealMs int
+}
+
+// focusedRF returns the RF power a two-element focused array presents at
+// the docked node.
+func (c *ChargerAgent) focusedRF() float64 {
+	// Two coherent equal elements in phase: 4× single-element power.
+	return 4 * c.Model.Power(c.ServiceDist)
+}
+
+// Run serves assignments until the sink disconnects or stop is closed.
+func (c *ChargerAgent) Run(addr string, stop <-chan struct{}) error {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("testbed: charger dial: %w", err)
+	}
+	conn := NewConn(raw)
+	defer func() { _ = conn.Close() }()
+	if err := conn.Send(Message{Type: MsgHello, Node: ChargerID}); err != nil {
+		return err
+	}
+	var simNow float64
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if err := conn.Send(Message{Type: MsgNext}); err != nil {
+			return nil // sink gone: run over
+		}
+		m, err := conn.Recv()
+		if err != nil {
+			return nil
+		}
+		switch m.Type {
+		case MsgIdle:
+			simNow += float64(c.PollRealMs) / 1000 * c.ScaleSimPerReal
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(time.Duration(c.PollRealMs) * time.Millisecond):
+			}
+		case MsgAssign:
+			simNow += float64(c.TravelRealMs) / 1000 * c.ScaleSimPerReal
+			time.Sleep(time.Duration(c.TravelRealMs) * time.Millisecond)
+
+			rf := c.focusedRF()
+			if c.Targets[m.Node] {
+				rf = c.Band.Target()
+			}
+			// A convincing session always lasts as long as a genuine full
+			// charge would.
+			dur := m.NeedJ / c.Rect.DCOutput(c.focusedRF())
+			if err := conn.Send(Message{
+				Type: MsgCharge, Node: m.Node, RFW: rf, DurSimSec: dur,
+				NeedJ: m.NeedJ, SimSec: simNow,
+			}); err != nil {
+				return nil
+			}
+			simNow += dur
+			time.Sleep(time.Duration(dur/c.ScaleSimPerReal*1000) * time.Millisecond)
+		case MsgShutdown:
+			return nil
+		default:
+			// Ignore relayed traffic that is not ours.
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package testbed is the software-in-the-loop substitute for the paper's
+// physical test bed: real sensor-node agents and a charger agent running
+// as goroutines that talk to a sink broker over TCP with newline-delimited
+// JSON, on an accelerated virtual clock. The wireless power "air
+// interface" is carried in messages — the charger transmits an RF power,
+// the node applies its own nonlinear rectifier — so the spoofing physics
+// and the telemetry/detection path are exercised end to end over a real
+// network stack.
+package testbed
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType string
+
+// Protocol message types.
+const (
+	// MsgHello introduces a connection: a node (ID ≥ 0) or the charger
+	// (ID = ChargerID).
+	MsgHello MsgType = "hello"
+	// MsgRequest is a node's charging request to the sink.
+	MsgRequest MsgType = "request"
+	// MsgNext is the charger asking the sink for work.
+	MsgNext MsgType = "next"
+	// MsgAssign is the sink handing the charger a request.
+	MsgAssign MsgType = "assign"
+	// MsgIdle is the sink telling the charger nothing is pending.
+	MsgIdle MsgType = "idle"
+	// MsgCharge is the charger's session directed at a node: the RF power
+	// its array produces at the node's rectenna, for a duration.
+	MsgCharge MsgType = "charge"
+	// MsgTelemetry is the node's post-session report: metered energy gain.
+	MsgTelemetry MsgType = "telemetry"
+	// MsgDeath is a node announcing battery exhaustion.
+	MsgDeath MsgType = "death"
+	// MsgAlarm is a node reporting a failed harvest verification: the
+	// session presented a carrier but the precise DC check measured
+	// nothing — the spoof's physical signature.
+	MsgAlarm MsgType = "alarm"
+	// MsgShutdown ends the run.
+	MsgShutdown MsgType = "shutdown"
+)
+
+// ChargerID is the hello ID the charger uses.
+const ChargerID = -1
+
+// Message is the wire format. Fields are used per type; unused fields are
+// omitted from the encoding.
+type Message struct {
+	Type MsgType `json:"type"`
+	// Node is the subject node (requests, charges, telemetry, deaths).
+	Node int `json:"node"`
+	// LevelJ is the node's reported battery level.
+	LevelJ float64 `json:"level_j,omitempty"`
+	// NeedJ is the requested energy.
+	NeedJ float64 `json:"need_j,omitempty"`
+	// RFW is the RF power at the node's rectenna during a charge.
+	RFW float64 `json:"rf_w,omitempty"`
+	// DurSimSec is the session duration in simulated seconds.
+	DurSimSec float64 `json:"dur_sim_sec,omitempty"`
+	// GainJ is the metered battery gain a telemetry message reports.
+	GainJ float64 `json:"gain_j,omitempty"`
+	// SimSec timestamps the message in virtual time.
+	SimSec float64 `json:"sim_sec,omitempty"`
+}
+
+// Conn wraps a TCP connection with line-oriented JSON framing. Send is
+// safe for concurrent use; Recv must be called from a single goroutine.
+type Conn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	sendMu sync.Mutex
+	enc    *json.Encoder
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{raw: c, r: bufio.NewReader(c), enc: json.NewEncoder(c)}
+}
+
+// Send writes one message; concurrent senders are serialized.
+func (c *Conn) Send(m Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if err := c.enc.Encode(m); err != nil {
+		return fmt.Errorf("testbed: send %s: %w", m.Type, err)
+	}
+	return nil
+}
+
+// Recv reads one message.
+func (c *Conn) Recv() (Message, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return Message{}, fmt.Errorf("testbed: recv: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(line, &m); err != nil {
+		return Message{}, fmt.Errorf("testbed: decode %q: %w", line, err)
+	}
+	return m, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }

@@ -1,0 +1,238 @@
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Sink is the base-station broker: it accepts node and charger
+// connections, queues charging requests, relays charge sessions to nodes,
+// pairs the resulting telemetry with the charger's claims, and accumulates
+// the audit that the detector suite judges at the end of the run.
+type Sink struct {
+	ln net.Listener
+
+	mu        sync.Mutex
+	queue     []Message // pending requests, FIFO
+	nodeConns map[int]*Conn
+	pending   map[int]Message // charge claims awaiting telemetry
+	audit     detect.Audit
+	alarms    []Message // harvest-verification alarms
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewSink starts a sink listening on 127.0.0.1 (ephemeral port).
+func NewSink() (*Sink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("testbed: sink listen: %w", err)
+	}
+	s := &Sink{
+		ln:        ln,
+		nodeConns: make(map[int]*Conn),
+		pending:   make(map[int]Message),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the sink's listen address for agents to dial.
+func (s *Sink) Addr() string { return s.ln.Addr().String() }
+
+func (s *Sink) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		conn := NewConn(raw)
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+// serve handles one connection after its hello.
+func (s *Sink) serve(conn *Conn) {
+	defer s.wg.Done()
+	hello, err := conn.Recv()
+	if err != nil || hello.Type != MsgHello {
+		_ = conn.Close()
+		return
+	}
+	if hello.Node == ChargerID {
+		s.serveCharger(conn)
+		return
+	}
+	s.mu.Lock()
+	s.nodeConns[hello.Node] = conn
+	s.mu.Unlock()
+	s.serveNode(hello.Node, conn)
+}
+
+func (s *Sink) serveNode(id int, conn *Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.nodeConns, id)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Node agents disconnect on death; anything else is
+				// connection teardown during shutdown.
+				return
+			}
+			return
+		}
+		switch m.Type {
+		case MsgRequest:
+			s.mu.Lock()
+			s.queue = append(s.queue, m)
+			s.mu.Unlock()
+		case MsgTelemetry:
+			s.recordTelemetry(m)
+		case MsgAlarm:
+			s.mu.Lock()
+			s.alarms = append(s.alarms, m)
+			s.mu.Unlock()
+		case MsgDeath:
+			s.mu.Lock()
+			// The test bed has no multi-hop routing; every node reports
+			// straight to the sink.
+			s.audit.Deaths = append(s.audit.Deaths, detect.DeathObs{
+				Node: wrsn.NodeID(m.Node), Time: m.SimSec, Reachable: true,
+			})
+			// Purge any pending request from the dead node.
+			for i, q := range s.queue {
+				if q.Node == m.Node {
+					s.audit.Unserved = append(s.audit.Unserved, detect.RequestObs{
+						Node: wrsn.NodeID(m.Node), IssuedAt: q.SimSec, NeedJ: q.NeedJ,
+					})
+					s.queue = append(s.queue[:i], s.queue[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+		default:
+			// Ignore other traffic from nodes.
+		}
+	}
+}
+
+// recordTelemetry pairs a node's session report with the charger's claim.
+func (s *Sink) recordTelemetry(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	claim, ok := s.pending[m.Node]
+	if !ok {
+		return // unsolicited telemetry; nothing to audit against
+	}
+	delete(s.pending, m.Node)
+	s.audit.Sessions = append(s.audit.Sessions, detect.SessionObs{
+		Node:       wrsn.NodeID(m.Node),
+		Start:      claim.SimSec,
+		End:        m.SimSec,
+		RequestedJ: claim.NeedJ,
+		MeterGainJ: m.GainJ,
+		// Test-bed sessions always follow a sink assignment, which in turn
+		// follows a node request.
+		Solicited: true,
+	})
+}
+
+func (s *Sink) serveCharger(conn *Conn) {
+	defer func() { _ = conn.Close() }()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case MsgNext:
+			s.mu.Lock()
+			var reply Message
+			if len(s.queue) > 0 {
+				reply = s.queue[0]
+				reply.Type = MsgAssign
+				s.queue = s.queue[1:]
+			} else {
+				reply = Message{Type: MsgIdle}
+			}
+			s.mu.Unlock()
+			if err := conn.Send(reply); err != nil {
+				return
+			}
+		case MsgCharge:
+			s.mu.Lock()
+			s.pending[m.Node] = m
+			node := s.nodeConns[m.Node]
+			s.mu.Unlock()
+			if node != nil {
+				// Relay the session to the node; its telemetry comes back
+				// on the node's own connection.
+				_ = node.Send(m)
+			}
+		default:
+			// Ignore other charger traffic.
+		}
+	}
+}
+
+// Close shuts the sink down: notifies agents, closes connections, and
+// waits for handler goroutines.
+func (s *Sink) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*Conn, 0, len(s.nodeConns))
+	for _, c := range s.nodeConns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(Message{Type: MsgShutdown})
+		_ = c.Close()
+	}
+	_ = s.ln.Close()
+	s.wg.Wait()
+}
+
+// Audit returns a snapshot of the evidence collected so far, with any
+// still-queued requests counted as unserved.
+func (s *Sink) Audit() detect.Audit {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a := detect.Audit{
+		Sessions: append([]detect.SessionObs(nil), s.audit.Sessions...),
+		Deaths:   append([]detect.DeathObs(nil), s.audit.Deaths...),
+		Unserved: append([]detect.RequestObs(nil), s.audit.Unserved...),
+	}
+	for _, q := range s.queue {
+		a.Unserved = append(a.Unserved, detect.RequestObs{
+			Node: wrsn.NodeID(q.Node), IssuedAt: q.SimSec, NeedJ: q.NeedJ,
+		})
+	}
+	return a
+}
+
+// Alarms returns the harvest-verification alarms received so far.
+func (s *Sink) Alarms() []Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Message(nil), s.alarms...)
+}

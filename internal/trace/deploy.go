@@ -1,0 +1,212 @@
+// Package trace generates reproducible workloads: node deployments with the
+// spatial patterns used in the paper's evaluation (uniform, clustered, grid,
+// corridor) and heterogeneous sensing-rate assignments. All generation is
+// driven by rng.Stream so scenarios replay exactly from a seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Deployment selects a spatial placement pattern.
+type Deployment int
+
+// Deployment patterns. Uniform scatter is the default evaluation setting;
+// Clustered concentrates nodes around hotspots with sparse bridges between
+// them (rich in articulation points); Grid is the regular testbed layout;
+// Corridor is a long thin strip, the pipeline-monitoring topology where
+// every interior relay is a key node.
+const (
+	DeployUniform Deployment = iota + 1
+	DeployClustered
+	DeployGrid
+	DeployCorridor
+)
+
+// String implements fmt.Stringer.
+func (d Deployment) String() string {
+	switch d {
+	case DeployUniform:
+		return "uniform"
+	case DeployClustered:
+		return "clustered"
+	case DeployGrid:
+		return "grid"
+	case DeployCorridor:
+		return "corridor"
+	default:
+		return fmt.Sprintf("deployment(%d)", int(d))
+	}
+}
+
+// DeployConfig parameterizes Generate.
+type DeployConfig struct {
+	// Pattern selects the placement pattern; the zero value gets
+	// DeployUniform.
+	Pattern Deployment
+	// N is the number of nodes; must be positive.
+	N int
+	// Field is the deployment area; a zero Rect gets a square sized so the
+	// default comm range keeps uniform deployments connected.
+	Field geom.Rect
+	// Clusters is the hotspot count for DeployClustered; non-positive gets
+	// max(2, N/25).
+	Clusters int
+	// GenBpsMin/Max bound the per-node sensed data rate; unset gets
+	// [0.5, 2]× the wrsn default.
+	GenBpsMin, GenBpsMax float64
+	// InitialFracMin/Max bound the initial battery fraction; unset gets
+	// [0.55, 0.95] so depletion times stagger naturally.
+	InitialFracMin, InitialFracMax float64
+}
+
+func (c *DeployConfig) applyDefaults() error {
+	if c.N <= 0 {
+		return fmt.Errorf("trace: N must be positive, got %d", c.N)
+	}
+	if c.Pattern == 0 {
+		c.Pattern = DeployUniform
+	}
+	if c.Field.Width() == 0 && c.Field.Height() == 0 {
+		if c.Pattern == DeployCorridor {
+			// A corridor is long and thin: ~25 m of pipeline per node keeps
+			// consecutive hops linked (50 m radio) while every stretch of
+			// the chain stays an articulation point.
+			c.Field = geom.NewRect(geom.Pt(0, 0), geom.Pt(25*float64(c.N), 60))
+		} else {
+			// Scale the field with N to hold density roughly constant:
+			// ~36 m spacing keeps a 50 m disk graph connected but sparse.
+			side := 36 * math.Sqrt(float64(c.N))
+			c.Field = geom.Square(side)
+		}
+	}
+	if c.Clusters <= 0 {
+		c.Clusters = c.N / 25
+		if c.Clusters < 2 {
+			c.Clusters = 2
+		}
+	}
+	if c.GenBpsMin <= 0 {
+		c.GenBpsMin = 0.5 * wrsn.DefaultGenBps
+	}
+	if c.GenBpsMax < c.GenBpsMin {
+		c.GenBpsMax = 2 * wrsn.DefaultGenBps
+	}
+	if c.InitialFracMin <= 0 {
+		c.InitialFracMin = 0.55
+	}
+	if c.InitialFracMax < c.InitialFracMin {
+		c.InitialFracMax = 0.95
+	}
+	return nil
+}
+
+// Generate produces node specs under the given pattern. The same stream
+// state and config always produce the same deployment.
+func Generate(r *rng.Stream, cfg DeployConfig) ([]wrsn.NodeSpec, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	var pts []geom.Point
+	switch cfg.Pattern {
+	case DeployUniform:
+		pts = uniformPoints(r, cfg)
+	case DeployClustered:
+		pts = clusteredPoints(r, cfg)
+	case DeployGrid:
+		pts = gridPoints(r, cfg)
+	case DeployCorridor:
+		pts = corridorPoints(r, cfg)
+	default:
+		return nil, fmt.Errorf("trace: unknown deployment pattern %v", cfg.Pattern)
+	}
+	specs := make([]wrsn.NodeSpec, len(pts))
+	for i, p := range pts {
+		specs[i] = wrsn.NodeSpec{
+			Pos:         p,
+			GenBps:      r.Uniform(cfg.GenBpsMin, cfg.GenBpsMax),
+			InitialFrac: r.Uniform(cfg.InitialFracMin, cfg.InitialFracMax),
+		}
+	}
+	return specs, nil
+}
+
+func uniformPoints(r *rng.Stream, cfg DeployConfig) []geom.Point {
+	pts := make([]geom.Point, cfg.N)
+	for i := range pts {
+		pts[i] = geom.Pt(
+			r.Uniform(cfg.Field.Min.X, cfg.Field.Max.X),
+			r.Uniform(cfg.Field.Min.Y, cfg.Field.Max.Y),
+		)
+	}
+	return pts
+}
+
+func clusteredPoints(r *rng.Stream, cfg DeployConfig) []geom.Point {
+	centers := uniformPoints(r, DeployConfig{
+		N: cfg.Clusters, Field: cfg.Field,
+		GenBpsMin: 1, GenBpsMax: 1, InitialFracMin: 1, InitialFracMax: 1,
+	})
+	// Cluster spread: tight enough that clusters stay distinct, wide
+	// enough for intra-cluster connectivity.
+	spread := math.Min(cfg.Field.Width(), cfg.Field.Height()) / (3 * math.Sqrt(float64(cfg.Clusters)))
+	pts := make([]geom.Point, 0, cfg.N)
+	// Reserve a slice of nodes as inter-cluster bridges laid on the
+	// segments between consecutive cluster centers; these sparse relays
+	// are the articulation points the attack targets.
+	bridges := cfg.N / 6
+	members := cfg.N - bridges
+	for i := 0; i < members; i++ {
+		c := centers[i%len(centers)]
+		p := geom.Pt(c.X+r.NormMeanStd(0, spread), c.Y+r.NormMeanStd(0, spread))
+		pts = append(pts, cfg.Field.Clamp(p))
+	}
+	for i := 0; i < bridges; i++ {
+		a := centers[i%len(centers)]
+		b := centers[(i+1)%len(centers)]
+		t := r.Uniform(0.25, 0.75)
+		p := a.Lerp(b, t)
+		jitter := spread / 4
+		p = geom.Pt(p.X+r.NormMeanStd(0, jitter), p.Y+r.NormMeanStd(0, jitter))
+		pts = append(pts, cfg.Field.Clamp(p))
+	}
+	return pts
+}
+
+func gridPoints(r *rng.Stream, cfg DeployConfig) []geom.Point {
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.N))))
+	rows := (cfg.N + cols - 1) / cols
+	dx := cfg.Field.Width() / float64(cols)
+	dy := cfg.Field.Height() / float64(rows)
+	jitter := math.Min(dx, dy) * 0.1
+	pts := make([]geom.Point, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		cx := cfg.Field.Min.X + (float64(i%cols)+0.5)*dx
+		cy := cfg.Field.Min.Y + (float64(i/cols)+0.5)*dy
+		p := geom.Pt(cx+r.Uniform(-jitter, jitter), cy+r.Uniform(-jitter, jitter))
+		pts = append(pts, cfg.Field.Clamp(p))
+	}
+	return pts
+}
+
+func corridorPoints(r *rng.Stream, cfg DeployConfig) []geom.Point {
+	// A strip along the field's horizontal midline; the height is capped
+	// so consecutive nodes (≈25 m apart along x) stay within the 50 m
+	// radio disk even at opposite strip edges.
+	height := math.Min(cfg.Field.Height(), 30)
+	midY := cfg.Field.Center().Y
+	pts := make([]geom.Point, cfg.N)
+	for i := range pts {
+		t := (float64(i) + r.Uniform(0, 0.9)) / float64(cfg.N)
+		pts[i] = geom.Pt(
+			cfg.Field.Min.X+t*cfg.Field.Width(),
+			midY+r.Uniform(-height/2, height/2),
+		)
+	}
+	return pts
+}

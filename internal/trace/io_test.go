@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	orig := DefaultScenario(77, 60)
+	orig.Deploy.Pattern = DeployClustered
+	orig.Deploy.Clusters = 4
+	orig.CommRange = 45
+
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round-tripped scenario must build the identical network.
+	a, _, err := orig.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := back.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.Sink() != b.Sink() {
+		t.Fatalf("round trip changed the network: %d/%v vs %d/%v",
+			a.Len(), a.Sink(), b.Len(), b.Sink())
+	}
+	for i := 0; i < a.Len(); i++ {
+		na, _ := a.Node(wrsn.NodeID(i))
+		nb, _ := b.Node(wrsn.NodeID(i))
+		if na.Pos != nb.Pos || na.GenBps != nb.GenBps {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+}
+
+func TestScenarioFileIO(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	sc := DefaultScenario(5, 30)
+	if err := sc.SaveScenario(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 5 || back.Deploy.N != 30 {
+		t.Errorf("loaded %+v", back)
+	}
+	if _, err := LoadScenario(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"pattern":"hexagonal","n":5}`)); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestExplicitFieldRoundTrip(t *testing.T) {
+	orig := DefaultScenario(3, 40)
+	orig.Deploy.Pattern = DeployCorridor
+	orig.Deploy.Field = fieldFromDims(1000, 30)
+	var sb strings.Builder
+	if err := orig.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Deploy.Field.Width() != 1000 || back.Deploy.Field.Height() != 30 {
+		t.Errorf("field lost in round trip: %+v", back.Deploy.Field)
+	}
+}

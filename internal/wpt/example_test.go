@@ -1,0 +1,70 @@
+package wpt_test
+
+import (
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// The spoofing primitive in three lines: focus delivers watts, the null
+// delivers nothing, and the rectifier's dead zone makes "almost nothing"
+// into exactly nothing.
+func ExampleSteerNull() {
+	victim := geom.Pt(0, 1)
+	rect := wpt.DefaultRectifier()
+
+	arr := wpt.NewArray(geom.Pt(-0.3, 0), geom.Pt(0.3, 0))
+	if err := wpt.SteerFocus(arr, victim); err != nil {
+		fmt.Println(err)
+		return
+	}
+	focused := rect.DCOutput(arr.RFPowerAt(victim))
+
+	if err := wpt.SteerNull(arr, victim); err != nil {
+		fmt.Println(err)
+		return
+	}
+	nulled := rect.DCOutput(arr.RFPowerAt(victim))
+
+	fmt.Printf("focused harvest > 1 W: %v\n", focused > 1)
+	fmt.Printf("nulled harvest: %v W\n", nulled)
+	// Output:
+	// focused harvest > 1 W: true
+	// nulled harvest: 0 W
+}
+
+// A spoof keeps the victim's carrier detector satisfied while staying
+// under the rectifier dead zone.
+func ExampleSteerSpoof() {
+	victim := geom.Pt(0, 1)
+	band := wpt.DefaultSpoofBand()
+	arr := wpt.NewArray(geom.Pt(-0.3, 0), geom.Pt(0.3, 0))
+	scale, err := wpt.SteerSpoof(arr, victim, band)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("full drive: %v\n", scale == 1)
+	fmt.Printf("harvest: %v W\n", wpt.DefaultRectifier().DCOutput(arr.RFPowerAt(victim)))
+	// Output:
+	// full drive: true
+	// harvest: 0 W
+}
+
+// With three or more elements the attacker can null the victim AND keep
+// the field silent at a would-be witness.
+func ExampleSteerNullKeeping() {
+	victim := geom.Pt(0, 0.8)
+	witness := geom.Pt(2.5, 1.2)
+	arr := wpt.NewArray(wpt.LinearArray(geom.Pt(0, 0), 4, 0.4)...)
+	if _, err := wpt.SteerNullKeeping(arr, victim, witness, 1e-5); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("victim harvest: %v W\n", wpt.DefaultRectifier().DCOutput(arr.RFPowerAt(victim)))
+	fmt.Printf("witness silent: %v\n", arr.RFPowerAt(witness) < 1e-3)
+	// Output:
+	// victim harvest: 0 W
+	// witness silent: true
+}

@@ -1,0 +1,115 @@
+package wpt
+
+// Constrained beamforming for arrays with three or more elements: the
+// attacker's answer to neighbor witnessing. Two complex field constraints
+// — zero at the victim, a prescribed amplitude at a second point — form a
+// 2×k linear system over the element drive weights; with k ≥ 3 it is
+// underdetermined and the minimal-power solution comes from the
+// pseudoinverse. The attack use is the *double null*: zero at the victim
+// AND (near) zero at the witness, so the witness has no field to attest
+// and the witnessing countermeasure collects no evidence. (Harvest
+// verification, which measures at the victim itself, remains undefeated
+// at every array order.)
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+// ErrNeedThreeEmitters is returned when a two-point field constraint is
+// requested from an array with fewer than three active elements.
+var ErrNeedThreeEmitters = errors.New("wpt: constrained null requires at least three emitters")
+
+// SteerNullKeeping drives the array so the superposed field is (exactly)
+// zero at victim while the RF power at keep equals keepRF. Requires at
+// least three emitters, with both points inside charging range of every
+// element used. Drive weights are the minimal-power solution; if any
+// element would exceed MaxGain the whole solution is scaled down, which
+// preserves the null and reduces the kept power by the square of the
+// scale (the returned value).
+func SteerNullKeeping(a *Array, victim, keep geom.Point, keepRF float64) (float64, error) {
+	k := len(a.Emitters)
+	if k < 3 {
+		return 0, ErrNeedThreeEmitters
+	}
+	if keepRF < 0 {
+		return 0, fmt.Errorf("wpt: negative kept power %v", keepRF)
+	}
+	wave := 2 * math.Pi / a.Carrier.Wavelength()
+
+	// Propagation matrix rows: victim, keep.
+	row := func(p geom.Point) ([]complex128, error) {
+		out := make([]complex128, k)
+		for j, e := range a.Emitters {
+			d := e.Pos.Dist(p)
+			if d > a.Model.Range {
+				return nil, fmt.Errorf("wpt: point %v out of range of element %d: %w", p, j, ErrOutOfRange)
+			}
+			out[j] = cmplx.Rect(a.Model.Amplitude(d), -wave*d)
+		}
+		return out, nil
+	}
+	m0, err := row(victim)
+	if err != nil {
+		return 0, err
+	}
+	m1, err := row(keep)
+	if err != nil {
+		return 0, err
+	}
+
+	// Minimal-norm c solving M c = b with M ∈ C^{2×k}:
+	// c = Mᴴ (M Mᴴ)⁻¹ b. The 2×2 Gram matrix inverts in closed form.
+	b0 := complex(0, 0)
+	b1 := complex(math.Sqrt(keepRF), 0)
+	var g00, g01, g10, g11 complex128
+	for j := 0; j < k; j++ {
+		g00 += m0[j] * cmplx.Conj(m0[j])
+		g01 += m0[j] * cmplx.Conj(m1[j])
+		g10 += m1[j] * cmplx.Conj(m0[j])
+		g11 += m1[j] * cmplx.Conj(m1[j])
+	}
+	det := g00*g11 - g01*g10
+	if cmplx.Abs(det) < 1e-18 {
+		// Victim and witness are (numerically) the same direction; the two
+		// constraints conflict.
+		return 0, fmt.Errorf("wpt: victim and witness constraints are degenerate")
+	}
+	// y = (M Mᴴ)⁻¹ b
+	y0 := (g11*b0 - g01*b1) / det
+	y1 := (-g10*b0 + g00*b1) / det
+	c := make([]complex128, k)
+	maxAbs := 0.0
+	for j := 0; j < k; j++ {
+		c[j] = cmplx.Conj(m0[j])*y0 + cmplx.Conj(m1[j])*y1
+		if ab := cmplx.Abs(c[j]); ab > maxAbs {
+			maxAbs = ab
+		}
+	}
+	scale := 1.0
+	if maxAbs > a.MaxGain {
+		scale = a.MaxGain / maxAbs
+	}
+	for j := 0; j < k; j++ {
+		w := c[j] * complex(scale, 0)
+		a.Emitters[j].Gain = cmplx.Abs(w)
+		a.Emitters[j].PhaseRad = normPhase(cmplx.Phase(w))
+	}
+	return scale, nil
+}
+
+// LinearArray returns k emitter positions spaced `spacing` meters apart on
+// a horizontal line centered at c — the chassis layouts used for the
+// higher-order arrays in the counter-witnessing analysis.
+func LinearArray(c geom.Point, k int, spacing float64) []geom.Point {
+	pts := make([]geom.Point, k)
+	off := -float64(k-1) / 2 * spacing
+	for i := range pts {
+		pts[i] = geom.Pt(c.X+off+float64(i)*spacing, c.Y)
+	}
+	return pts
+}

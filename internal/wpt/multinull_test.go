@@ -1,0 +1,109 @@
+package wpt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+func fourElementArray() *Array {
+	return NewArray(LinearArray(geom.Pt(0, 0), 4, 0.4)...)
+}
+
+func TestSteerNullKeeping(t *testing.T) {
+	a := fourElementArray()
+	victim := geom.Pt(0, 0.8)
+	witness := geom.Pt(2.5, 1.2)
+	const keepRF = 0.05
+	scale, err := SteerNullKeeping(a, victim, witness, keepRF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := a.RFPowerAt(victim); p > 1e-15 {
+		t.Errorf("victim residual %v, want ≈0", p)
+	}
+	want := keepRF * scale * scale
+	if p := a.RFPowerAt(witness); math.Abs(p-want) > 1e-6*math.Max(want, 1) {
+		t.Errorf("witness power %v, want %v (scale %v)", p, want, scale)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("steered array invalid: %v", err)
+	}
+}
+
+func TestSteerNullKeepingThreeElements(t *testing.T) {
+	a := NewArray(LinearArray(geom.Pt(0, 0), 3, 0.5)...)
+	if _, err := SteerNullKeeping(a, geom.Pt(0, 1), geom.Pt(1.5, 0.5), 0.01); err != nil {
+		t.Fatalf("three elements should satisfy two constraints: %v", err)
+	}
+	if p := a.RFPowerAt(geom.Pt(0, 1)); p > 1e-15 {
+		t.Errorf("victim residual %v", p)
+	}
+}
+
+func TestSteerNullKeepingNeedsThree(t *testing.T) {
+	a := twoEmitterArray()
+	_, err := SteerNullKeeping(a, geom.Pt(0, 1), geom.Pt(1, 1), 0.01)
+	if !errors.Is(err, ErrNeedThreeEmitters) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSteerNullKeepingOutOfRange(t *testing.T) {
+	a := fourElementArray()
+	_, err := SteerNullKeeping(a, geom.Pt(0, 100), geom.Pt(1, 1), 0.01)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSteerNullKeepingDegenerate(t *testing.T) {
+	a := fourElementArray()
+	p := geom.Pt(0, 1.3)
+	if _, err := SteerNullKeeping(a, p, p, 0.01); err == nil {
+		t.Error("identical victim and witness accepted")
+	}
+}
+
+func TestSteerNullKeepingRejectsNegative(t *testing.T) {
+	a := fourElementArray()
+	if _, err := SteerNullKeeping(a, geom.Pt(0, 1), geom.Pt(1, 1), -1); err == nil {
+		t.Error("negative kept power accepted")
+	}
+}
+
+// The two-element array fundamentally cannot do this: nulling the victim
+// pins the witness field — there is no freedom left. The k≥3 solution is
+// what changes the game.
+func TestTwoElementCannotControlWitness(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(0, 0.8)
+	witness := geom.Pt(2.5, 1.2)
+	if err := SteerNull(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	pinned := a.RFPowerAt(witness)
+	// Re-steering the null cannot move the witness field (up to gain
+	// equalization choices, the null fixes the relative drive).
+	if err := SteerNull(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	if again := a.RFPowerAt(witness); math.Abs(again-pinned) > 1e-12 {
+		t.Errorf("two-element witness field moved: %v -> %v", pinned, again)
+	}
+}
+
+func TestLinearArray(t *testing.T) {
+	pts := LinearArray(geom.Pt(10, 5), 4, 0.4)
+	if len(pts) != 4 {
+		t.Fatal("count")
+	}
+	if c := geom.Centroid(pts); math.Abs(c.X-10) > 1e-12 || math.Abs(c.Y-5) > 1e-12 {
+		t.Errorf("centroid = %v", c)
+	}
+	if d := pts[0].Dist(pts[3]); math.Abs(d-1.2) > 1e-12 {
+		t.Errorf("span = %v", d)
+	}
+}

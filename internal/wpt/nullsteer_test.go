@@ -1,0 +1,180 @@
+package wpt
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+func TestSteerFocusAlignsPhases(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(1.1, 2.3)
+	if err := SteerFocus(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	// Focused power equals (ΣAᵢ)².
+	var ampSum float64
+	for _, e := range a.Emitters {
+		ampSum += e.Gain * a.Model.Amplitude(e.Pos.Dist(victim))
+	}
+	if p := a.RFPowerAt(victim); math.Abs(p-ampSum*ampSum) > 1e-9*p {
+		t.Errorf("focused power %v, want %v", p, ampSum*ampSum)
+	}
+}
+
+func TestSteerNullRequiresTwoEmitters(t *testing.T) {
+	a := NewArray(geom.Pt(0, 0))
+	err := SteerNull(a, geom.Pt(0, 1))
+	if !errors.Is(err, ErrNeedTwoEmitters) {
+		t.Errorf("err = %v, want ErrNeedTwoEmitters", err)
+	}
+}
+
+func TestSteerNullOutOfRange(t *testing.T) {
+	a := twoEmitterArray()
+	err := SteerNull(a, geom.Pt(0, a.Model.Range+5))
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestSteerNullEqualizesOffAxis(t *testing.T) {
+	// An off-axis victim has unequal element distances; the steerer must
+	// equalize amplitudes via gains and still null exactly.
+	a := twoEmitterArray()
+	victim := geom.Pt(1.7, 0.9)
+	if err := SteerNull(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	if p := a.RFPowerAt(victim); p > 1e-18 {
+		t.Errorf("off-axis residual %v", p)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("steered array invalid: %v", err)
+	}
+}
+
+func TestSteerResidualPlacesPower(t *testing.T) {
+	for _, target := range []float64{1e-7, 1e-6, 1e-5, 1e-4} {
+		a := twoEmitterArray()
+		victim := geom.Pt(0, 1.2)
+		if err := SteerResidual(a, victim, target); err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if p := a.RFPowerAt(victim); math.Abs(p-target) > 0.01*target {
+			t.Errorf("target %v: residual %v", target, p)
+		}
+	}
+}
+
+func TestSteerResidualRejectsImpossible(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(0, 1)
+	if err := SteerResidual(a, victim, 1e9); err == nil {
+		t.Error("unachievable residual accepted")
+	}
+	if err := SteerResidual(a, victim, -1); err == nil {
+		t.Error("negative residual accepted")
+	}
+}
+
+func TestExpectedNullResidual(t *testing.T) {
+	// 2·amp²·σ² by definition.
+	if got := ExpectedNullResidual(2, 0.01); math.Abs(got-2*4*1e-4) > 1e-15 {
+		t.Errorf("ExpectedNullResidual = %v", got)
+	}
+}
+
+func TestNullDepthDB(t *testing.T) {
+	if d := NullDepthDB(100, 1); math.Abs(d-20) > 1e-9 {
+		t.Errorf("depth = %v, want 20 dB", d)
+	}
+	if d := NullDepthDB(100, 0); !math.IsInf(d, 1) {
+		t.Errorf("perfect null depth = %v, want +Inf", d)
+	}
+}
+
+func TestSpoofBand(t *testing.T) {
+	b := DefaultSpoofBand()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Contains(b.Target()) {
+		t.Error("band target outside band")
+	}
+	if b.Contains(b.DeadZoneW) {
+		t.Error("dead-zone edge must be exclusive")
+	}
+	if !b.Contains(b.CarrierDetectW) {
+		t.Error("carrier edge must be inclusive")
+	}
+	if err := (SpoofBand{CarrierDetectW: 1, DeadZoneW: 0.5}).Validate(); err == nil {
+		t.Error("inverted band accepted")
+	}
+}
+
+// With precision jitter the spoof runs at full drive and its expected
+// residual sits inside the band.
+func TestSteerSpoofFullDriveAtPrecisionJitter(t *testing.T) {
+	a := twoEmitterArray()
+	band := DefaultSpoofBand()
+	victim := geom.Pt(0, 0.5)
+	scale, err := SteerSpoof(a, victim, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 1 {
+		t.Fatalf("gain scale = %v, want 1 at precision jitter", scale)
+	}
+	amp := a.Emitters[0].Gain * a.Model.Amplitude(a.Emitters[0].Pos.Dist(victim))
+	expected := ExpectedNullResidual(amp, a.PhaseJitterRad) + a.RFPowerAt(victim)
+	if !band.Contains(expected) {
+		t.Errorf("expected residual %v outside band [%v, %v)", expected, band.CarrierDetectW, band.DeadZoneW)
+	}
+}
+
+// Commodity-grade jitter forces a gain reduction to keep the leakage
+// under the dead zone — the observable fingerprint that makes the attack
+// impractical without precision hardware.
+func TestSteerSpoofScalesDownAtCommodityJitter(t *testing.T) {
+	a := twoEmitterArray()
+	a.PhaseJitterRad = 2 * math.Pi / 180 // 2°
+	band := DefaultSpoofBand()
+	victim := geom.Pt(0, 0.5)
+	scale, err := SteerSpoof(a, victim, band)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale >= 1 {
+		t.Fatalf("gain scale = %v, want < 1 at 2° jitter", scale)
+	}
+	amp := a.Emitters[0].Gain * a.Model.Amplitude(a.Emitters[0].Pos.Dist(victim))
+	if res := ExpectedNullResidual(amp, a.PhaseJitterRad); res > band.DeadZoneW/3+1e-12 {
+		t.Errorf("scaled expected residual %v above safety ceiling", res)
+	}
+}
+
+// Deep-null detuning: with essentially ideal hardware the steerer must
+// detune deliberately so the victim's carrier detector still sees power.
+func TestSteerSpoofDetunesTooDeepNull(t *testing.T) {
+	a := twoEmitterArray()
+	a.PhaseJitterRad = 1e-6
+	band := DefaultSpoofBand()
+	victim := geom.Pt(0, 3)
+	if _, err := SteerSpoof(a, victim, band); err != nil {
+		t.Fatal(err)
+	}
+	p := a.RFPowerAt(victim)
+	if !band.Contains(p) {
+		t.Errorf("deterministic residual %v outside band", p)
+	}
+}
+
+func TestSteerSpoofValidatesBand(t *testing.T) {
+	a := twoEmitterArray()
+	if _, err := SteerSpoof(a, geom.Pt(0, 1), SpoofBand{}); err == nil {
+		t.Error("zero band accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package wpt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+func twoEmitterArray() *Array {
+	return NewArray(geom.Pt(-0.3, 0), geom.Pt(0.3, 0))
+}
+
+func TestArrayValidate(t *testing.T) {
+	a := twoEmitterArray()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a.Emitters[0].Gain = a.MaxGain + 1
+	if err := a.Validate(); err == nil {
+		t.Error("over-gain emitter accepted")
+	}
+	a.Emitters[0].Gain = 1
+	a.Emitters[1].PhaseRad = math.NaN()
+	if err := a.Validate(); err == nil {
+		t.Error("NaN phase accepted")
+	}
+	if err := (&Array{Model: DefaultChargeModel(), Carrier: DefaultCarrier(), MaxGain: 1}).Validate(); err == nil {
+		t.Error("empty array accepted")
+	}
+}
+
+// Coherent gain: k equal in-phase contributions at the same point give k²
+// times a single element's power — the superposition is in amplitude.
+func TestCoherentGainIsQuadratic(t *testing.T) {
+	target := geom.Pt(0, 2)
+	for k := 1; k <= 4; k++ {
+		positions := make([]geom.Point, k)
+		for i := range positions {
+			// All elements at the same spot so distances are equal.
+			positions[i] = geom.Pt(0, 0)
+		}
+		a := NewArray(positions...)
+		if err := SteerFocus(a, target); err != nil {
+			t.Fatal(err)
+		}
+		single := a.Model.Power(2.0)
+		got := a.RFPowerAt(target)
+		want := float64(k*k) * single
+		if math.Abs(got-want) > 1e-9*want {
+			t.Errorf("k=%d: power %v, want %v", k, got, want)
+		}
+		// The incoherent model predicts only k×, not k².
+		inc := a.IncoherentPowerAt(target)
+		if math.Abs(inc-float64(k)*single) > 1e-9*inc {
+			t.Errorf("k=%d: incoherent power %v, want %v", k, inc, float64(k)*single)
+		}
+	}
+}
+
+// Anti-phase equal-amplitude pair nulls exactly, regardless of position.
+func TestAntiPhaseNullsExactly(t *testing.T) {
+	for _, victim := range []geom.Point{geom.Pt(0, 1), geom.Pt(2, 3), geom.Pt(-1, 0.6)} {
+		a := twoEmitterArray()
+		if err := SteerNull(a, victim); err != nil {
+			t.Fatalf("victim %v: %v", victim, err)
+		}
+		if p := a.RFPowerAt(victim); p > 1e-20 {
+			t.Errorf("victim %v: residual %v, want ≈0", victim, p)
+		}
+	}
+}
+
+// The null is local: a monitor a few wavelengths away still sees strong
+// field — the property that makes the spoof invisible to neighbors.
+func TestNullIsLocal(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(0, 1.5)
+	if err := SteerNull(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	monitor := geom.Pt(2.0, 1.5) // 2 m to the side, ~6 wavelengths
+	pm := a.RFPowerAt(monitor)
+	single := a.Model.Power(monitor.Dist(a.Emitters[0].Pos))
+	if pm < single/10 {
+		t.Errorf("monitor power %v collapsed with the null (single-element %v)", pm, single)
+	}
+}
+
+func TestFieldRangeCutoff(t *testing.T) {
+	a := twoEmitterArray()
+	far := geom.Pt(0, a.Model.Range+1)
+	if p := a.RFPowerAt(far); p != 0 {
+		t.Errorf("power beyond range = %v", p)
+	}
+	if err := SteerFocus(a, far); err == nil {
+		t.Error("focus beyond range accepted")
+	}
+}
+
+func TestMutedEmitterContributesNothing(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(0, 1)
+	if err := SteerFocus(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	full := a.RFPowerAt(victim)
+	a.Emitters[1].Gain = 0
+	solo := a.RFPowerAt(victim)
+	if solo >= full {
+		t.Errorf("muting an emitter did not reduce power: %v -> %v", full, solo)
+	}
+	want := math.Pow(a.Emitters[0].Gain*a.Model.Amplitude(a.Emitters[0].Pos.Dist(victim)), 2)
+	if math.Abs(solo-want) > 1e-12 {
+		t.Errorf("solo power %v, want %v", solo, want)
+	}
+}
+
+func TestRFPowerWithJitter(t *testing.T) {
+	a := twoEmitterArray()
+	victim := geom.Pt(0, 1)
+	if err := SteerNull(a, victim); err != nil {
+		t.Fatal(err)
+	}
+	// Zero errors reproduce the noise-free value.
+	p, err := a.RFPowerAtWithJitter(victim, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-20 {
+		t.Errorf("zero-jitter residual %v", p)
+	}
+	// Jitter breaks the null by roughly amp²·Δε².
+	amp := a.Emitters[0].Gain * a.Model.Amplitude(a.Emitters[0].Pos.Dist(victim))
+	eps := 1e-3
+	p, err = a.RFPowerAtWithJitter(victim, []float64{eps, -eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := amp * amp * (2 * eps) * (2 * eps)
+	if math.Abs(p-want) > 0.01*want {
+		t.Errorf("jitter residual %v, want ≈%v", p, want)
+	}
+	// Wrong error count must error.
+	if _, err := a.RFPowerAtWithJitter(victim, []float64{0}); err == nil {
+		t.Error("mismatched jitter slice accepted")
+	}
+}
+
+func TestTranslateAndMoveTo(t *testing.T) {
+	a := twoEmitterArray()
+	a.MoveTo(geom.Pt(10, 20))
+	c := a.Centroid()
+	if math.Abs(c.X-10) > 1e-12 || math.Abs(c.Y-20) > 1e-12 {
+		t.Errorf("centroid after MoveTo = %v", c)
+	}
+	// Element geometry preserved.
+	spacing := a.Emitters[0].Pos.Dist(a.Emitters[1].Pos)
+	if math.Abs(spacing-0.6) > 1e-12 {
+		t.Errorf("element spacing after MoveTo = %v", spacing)
+	}
+}

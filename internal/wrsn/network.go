@@ -1,0 +1,374 @@
+package wrsn
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/energy"
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+// Sentinel parents in the routing tree.
+const (
+	// ParentSink marks a node that transmits directly to the sink.
+	ParentSink NodeID = -1
+	// ParentNone marks a node with no route to the sink (disconnected or
+	// dead).
+	ParentNone NodeID = -2
+)
+
+// ErrNoNodes is returned when a network is constructed without nodes.
+var ErrNoNodes = errors.New("wrsn: network requires at least one node")
+
+// Network is a deployed WRSN: sensor nodes, one sink, a disk communication
+// model, and a sink-rooted shortest-path routing tree with derived per-node
+// traffic loads.
+//
+// The routing tree and loads are recomputed by Recompute; they reflect only
+// nodes that were alive at that call. Network is not safe for concurrent
+// mutation.
+type Network struct {
+	nodes     []*Node
+	sink      geom.Point
+	commRange float64
+	radio     energy.RadioModel
+	policy    RoutingPolicy
+
+	// Derived state, rebuilt by Recompute.
+	parent   []NodeID // routing parent per node
+	hopDist  []float64
+	loads    []energy.Load
+	children [][]NodeID
+}
+
+// RoutingPolicy selects the edge-weight objective of the sink-rooted
+// routing tree.
+type RoutingPolicy int
+
+// Routing policies.
+const (
+	// PolicyShortestDistance minimizes total Euclidean path length — the
+	// energy-per-bit-optimal default under the first-order radio model.
+	PolicyShortestDistance RoutingPolicy = iota + 1
+	// PolicyHopCount minimizes hop count (distance breaks ties), the
+	// classic minimum-hop tree.
+	PolicyHopCount
+	// PolicyEnergyAware penalizes routing through low-residual relays:
+	// edge weight grows as the receiving node's battery drains, shifting
+	// load away from the weak. It mitigates uneven depletion — but it
+	// cannot conjure alternative paths where none exist, which is exactly
+	// what makes articulation points attackable.
+	PolicyEnergyAware
+)
+
+// String implements fmt.Stringer.
+func (p RoutingPolicy) String() string {
+	switch p {
+	case PolicyShortestDistance:
+		return "shortest-distance"
+	case PolicyHopCount:
+		return "hop-count"
+	case PolicyEnergyAware:
+		return "energy-aware"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes NewNetwork.
+type Config struct {
+	// Sink is the base-station location.
+	Sink geom.Point
+	// CommRange is the radio disk radius in meters; non-positive gets the
+	// default 50 m.
+	CommRange float64
+	// Radio overrides the consumption model; the zero value gets
+	// energy.DefaultRadioModel.
+	Radio energy.RadioModel
+	// Policy selects the routing objective; the zero value gets
+	// PolicyShortestDistance.
+	Policy RoutingPolicy
+}
+
+// NewNetwork builds a network from node specs and immediately computes
+// routing and loads.
+func NewNetwork(specs []NodeSpec, cfg Config) (*Network, error) {
+	if len(specs) == 0 {
+		return nil, ErrNoNodes
+	}
+	if cfg.CommRange <= 0 {
+		cfg.CommRange = 50
+	}
+	if cfg.Radio == (energy.RadioModel{}) {
+		cfg.Radio = energy.DefaultRadioModel()
+	}
+	if err := cfg.Radio.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyShortestDistance
+	}
+	nw := &Network{
+		nodes:     make([]*Node, len(specs)),
+		sink:      cfg.Sink,
+		commRange: cfg.CommRange,
+		radio:     cfg.Radio,
+		policy:    cfg.Policy,
+	}
+	for i, s := range specs {
+		n, err := newNode(NodeID(i), s)
+		if err != nil {
+			return nil, err
+		}
+		nw.nodes[i] = n
+	}
+	nw.Recompute()
+	return nw, nil
+}
+
+// Len returns the number of nodes (alive or dead).
+func (nw *Network) Len() int { return len(nw.nodes) }
+
+// Node returns the node with the given ID, or an error when out of range.
+func (nw *Network) Node(id NodeID) (*Node, error) {
+	if int(id) < 0 || int(id) >= len(nw.nodes) {
+		return nil, fmt.Errorf("wrsn: node %d out of range [0,%d)", id, len(nw.nodes))
+	}
+	return nw.nodes[id], nil
+}
+
+// Nodes returns the node slice. Callers must not reorder it.
+func (nw *Network) Nodes() []*Node { return nw.nodes }
+
+// Sink returns the base-station location.
+func (nw *Network) Sink() geom.Point { return nw.sink }
+
+// CommRange returns the radio disk radius in meters.
+func (nw *Network) CommRange() float64 { return nw.commRange }
+
+// Radio returns the consumption model.
+func (nw *Network) Radio() energy.RadioModel { return nw.radio }
+
+// AliveCount returns the number of nodes with residual energy.
+func (nw *Network) AliveCount() int {
+	alive := 0
+	for _, n := range nw.nodes {
+		if n.Alive() {
+			alive++
+		}
+	}
+	return alive
+}
+
+// linked reports whether two points are within radio range of each other.
+func (nw *Network) linked(a, b geom.Point) bool {
+	return a.Dist2(b) <= nw.commRange*nw.commRange
+}
+
+// aliveAdjacency builds the adjacency lists over alive nodes; index
+// len(nodes) stands for the sink.
+func (nw *Network) aliveAdjacency() [][]int {
+	n := len(nw.nodes)
+	adj := make([][]int, n+1)
+	for i, a := range nw.nodes {
+		if !a.Alive() {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			b := nw.nodes[j]
+			if b.Alive() && nw.linked(a.Pos, b.Pos) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+		if nw.linked(a.Pos, nw.sink) {
+			adj[i] = append(adj[i], n)
+			adj[n] = append(adj[n], i)
+		}
+	}
+	return adj
+}
+
+// Recompute rebuilds the routing tree and traffic loads over currently
+// alive nodes. Call it after node deaths or energy-state changes that
+// affect routing.
+func (nw *Network) Recompute() {
+	n := len(nw.nodes)
+	nw.parent = make([]NodeID, n)
+	nw.hopDist = make([]float64, n)
+	nw.loads = make([]energy.Load, n)
+	nw.children = make([][]NodeID, n)
+	adj := nw.aliveAdjacency()
+
+	// Dijkstra from the sink (index n) under the configured edge-weight
+	// policy. Each node's routing parent is its predecessor toward the
+	// sink.
+	const sinkIdx = -100 // internal marker in pred for "sink is parent"
+	dist := make([]float64, n+1)
+	pred := make([]int, n+1)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		pred[i] = int(ParentNone)
+	}
+	dist[n] = 0
+	pq := &distHeap{{idx: n, d: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.d > dist[it.idx] {
+			continue
+		}
+		var from geom.Point
+		if it.idx == n {
+			from = nw.sink
+		} else {
+			from = nw.nodes[it.idx].Pos
+		}
+		for _, next := range adj[it.idx] {
+			if next == n {
+				continue // never route through the sink
+			}
+			nd := it.d + nw.edgeWeight(from, next)
+			if nd < dist[next] {
+				dist[next] = nd
+				if it.idx == n {
+					pred[next] = sinkIdx
+				} else {
+					pred[next] = it.idx
+				}
+				heap.Push(pq, distItem{idx: next, d: nd})
+			}
+		}
+	}
+
+	for i := range nw.nodes {
+		nw.hopDist[i] = dist[i]
+		switch {
+		case !nw.nodes[i].Alive() || math.IsInf(dist[i], 1):
+			nw.parent[i] = ParentNone
+		case pred[i] == sinkIdx:
+			nw.parent[i] = ParentSink
+		default:
+			nw.parent[i] = NodeID(pred[i])
+			nw.children[pred[i]] = append(nw.children[pred[i]], NodeID(i))
+		}
+	}
+	nw.computeLoads()
+}
+
+// edgeWeight prices traversing the edge from a point into node `to` under
+// the routing policy. Dijkstra requires non-negative weights; every branch
+// guarantees that.
+func (nw *Network) edgeWeight(from geom.Point, to int) float64 {
+	d := from.Dist(nw.nodes[to].Pos)
+	switch nw.policy {
+	case PolicyHopCount:
+		// One hop dominates any distance within range; distance only
+		// breaks ties.
+		return 1e6 + d
+	case PolicyEnergyAware:
+		// Penalize relaying through drained nodes: a nearly-empty relay
+		// costs up to 4× its distance, pushing traffic to healthier paths
+		// when any exist.
+		frac := nw.nodes[to].Battery.Fraction()
+		return d * (1 + 3*(1-frac))
+	default:
+		return d
+	}
+}
+
+// Policy returns the network's routing policy.
+func (nw *Network) Policy() RoutingPolicy { return nw.policy }
+
+// computeLoads derives per-node steady-state loads by aggregating subtree
+// traffic bottom-up over the routing tree.
+func (nw *Network) computeLoads() {
+	// Topological order: process nodes by decreasing route distance so
+	// children precede parents.
+	order := make([]int, 0, len(nw.nodes))
+	for i := range nw.nodes {
+		if nw.parent[i] != ParentNone {
+			order = append(order, i)
+		}
+	}
+	// Insertion sort by descending hopDist; n is modest and this avoids an
+	// extra allocation-heavy sort.Slice in the hot path of Recompute.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && nw.hopDist[order[j]] > nw.hopDist[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	relay := make([]float64, len(nw.nodes))
+	for _, i := range order {
+		node := nw.nodes[i]
+		var hop float64
+		if nw.parent[i] == ParentSink {
+			hop = node.Pos.Dist(nw.sink)
+		} else {
+			hop = node.Pos.Dist(nw.nodes[nw.parent[i]].Pos)
+		}
+		nw.loads[i] = energy.Load{
+			GenBps:      node.GenBps,
+			RelayBps:    relay[i],
+			NextHopDist: hop,
+		}
+		if p := nw.parent[i]; p >= 0 {
+			relay[p] += node.GenBps + relay[i]
+		}
+	}
+}
+
+// Parent returns node id's routing parent: another node, ParentSink, or
+// ParentNone when the node is disconnected or dead.
+func (nw *Network) Parent(id NodeID) NodeID { return nw.parent[id] }
+
+// Children returns the routing children of node id. The returned slice is
+// owned by the network; callers must not modify it.
+func (nw *Network) Children(id NodeID) []NodeID { return nw.children[id] }
+
+// Load returns node id's steady-state traffic load from the last Recompute.
+func (nw *Network) Load(id NodeID) energy.Load { return nw.loads[id] }
+
+// DrainWatts returns node id's steady-state power draw. Disconnected nodes
+// still pay sensing and idle power.
+func (nw *Network) DrainWatts(id NodeID) float64 {
+	if nw.parent[id] == ParentNone {
+		return nw.radio.SenseW + nw.radio.IdleW
+	}
+	return nw.radio.DrainWatts(nw.loads[id])
+}
+
+// Connected reports whether node id currently has a route to the sink.
+func (nw *Network) Connected(id NodeID) bool { return nw.parent[id] != ParentNone }
+
+// ConnectedCount returns the number of alive nodes with a route to the sink.
+func (nw *Network) ConnectedCount() int {
+	c := 0
+	for i := range nw.nodes {
+		if nw.parent[i] != ParentNone {
+			c++
+		}
+	}
+	return c
+}
+
+// distHeap is a min-heap for Dijkstra.
+type distItem struct {
+	idx int
+	d   float64
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,162 @@
+// Package wrsncsa is the public API of the charging spoofing attack (CSA)
+// reproduction: a complete wireless-rechargeable-sensor-network (WRSN)
+// stack — WPT physics with coherent superposition and nonlinear
+// rectification, network/routing/key-node analysis, on-demand charging, a
+// mobile charger, TIDE attack planning, a detector suite, and end-to-end
+// campaign simulation.
+//
+// The fastest way in:
+//
+//	nw, _, err := wrsncsa.BuildScenario(42, 200)
+//	ch := wrsncsa.NewCharger(nw)
+//	outcome, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+//	fmt.Println(outcome.KeyExhaustRatio(), outcome.Detected)
+//
+// The re-exported subpackage types keep the full surface available:
+// construct custom deployments with trace, inspect topology with wrsn,
+// plan raw TIDE instances with attack, and judge audits with detect.
+package wrsncsa
+
+import (
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/testbed"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Re-exported core types. Each alias is the complete type; see the
+// internal package documentation reachable through the alias for details.
+type (
+	// Network is a deployed WRSN with routing and key-node analysis.
+	Network = wrsn.Network
+	// NodeID identifies a sensor node.
+	NodeID = wrsn.NodeID
+	// KeyNode is a sink separator and its severance count.
+	KeyNode = wrsn.KeyNode
+	// Scenario reproducibly describes a deployment.
+	Scenario = trace.Scenario
+	// Charger is the mobile charger.
+	Charger = mc.Charger
+	// ChargerParams configures the charger.
+	ChargerParams = mc.Params
+	// CampaignConfig parameterizes campaign runs.
+	CampaignConfig = campaign.Config
+	// Outcome is a campaign result.
+	Outcome = campaign.Outcome
+	// Instance is a TIDE problem.
+	Instance = attack.Instance
+	// PlanResult is a solved TIDE instance.
+	PlanResult = attack.Result
+	// Detector judges charging audits.
+	Detector = detect.Detector
+	// Audit is the sink-side evidence a detector judges.
+	Audit = detect.Audit
+	// Array is a coherent multi-emitter WPT front end.
+	Array = wpt.Array
+	// SpoofBand is the RF interval a spoof must land in.
+	SpoofBand = wpt.SpoofBand
+)
+
+// Solver names for CampaignConfig.Solver.
+const (
+	SolverCSA           = campaign.SolverCSA
+	SolverRandom        = campaign.SolverRandom
+	SolverGreedyNearest = campaign.SolverGreedyNearest
+	SolverDirect        = campaign.SolverDirect
+)
+
+// BuildScenario constructs the standard evaluation scenario: n nodes
+// uniformly deployed around a centered sink, fully connected, seeded
+// reproducibly. The returned stream carries the scenario's remaining
+// randomness budget.
+func BuildScenario(seed uint64, n int) (*Network, *rng.Stream, error) {
+	return trace.DefaultScenario(seed, n).Build()
+}
+
+// NewCharger parks a default-parameterized mobile charger at the
+// network's sink.
+func NewCharger(nw *Network) *Charger {
+	return mc.New(nw.Sink(), mc.DefaultParams())
+}
+
+// Attack runs the full charging spoofing attack campaign on the network:
+// TIDE planning, adaptive spoof execution, opportunistic cover service,
+// live audits. See campaign.RunAttack.
+func Attack(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return campaign.RunAttack(nw, ch, cfg)
+}
+
+// Legit runs the uncompromised on-demand charging baseline. See
+// campaign.RunLegit.
+func Legit(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return campaign.RunLegit(nw, ch, cfg)
+}
+
+// PlanTIDE builds the TIDE instance for the network's current state and
+// solves it with CSA, returning both.
+func PlanTIDE(nw *Network, ch *Charger) (*Instance, PlanResult, error) {
+	in, err := attack.BuildInstance(nw, ch, attack.BuilderConfig{})
+	if err != nil {
+		return nil, PlanResult{}, err
+	}
+	res, err := attack.SolveCSA(in)
+	if err != nil {
+		return nil, PlanResult{}, err
+	}
+	return in, res, nil
+}
+
+// DetectorSuite returns the standard network-side detector set.
+func DetectorSuite() []Detector { return detect.Suite() }
+
+// ROCPoint is one detector operating point.
+type ROCPoint = detect.ROCPoint
+
+// ROC computes a detector's ROC curve from attack (positive) and
+// legitimate (negative) score samples. See detect.ROC.
+func ROC(positives, negatives []float64) ([]ROCPoint, error) {
+	return detect.ROC(positives, negatives)
+}
+
+// AUC integrates a ROC curve. See detect.AUC.
+func AUC(pts []ROCPoint) float64 { return detect.AUC(pts) }
+
+// Testbed re-exports the software-in-the-loop TCP test bed.
+type (
+	// TestbedConfig parameterizes a test-bed run.
+	TestbedConfig = testbed.RunConfig
+	// TestbedReport is a test-bed outcome.
+	TestbedReport = testbed.Report
+	// TestbedNode describes one emulated node.
+	TestbedNode = testbed.NodeSetup
+)
+
+// RunTestbed executes a complete TCP software-in-the-loop experiment.
+func RunTestbed(cfg TestbedConfig) (*TestbedReport, error) {
+	return testbed.Run(cfg)
+}
+
+// DefaultTestbedNodes returns the canonical 12-node test bed.
+func DefaultTestbedNodes() []TestbedNode { return testbed.DefaultNodes() }
+
+// DefenseConfig re-exports the countermeasure configuration (harvest
+// verification, neighbor witnessing); set it on CampaignConfig.Defense.
+type DefenseConfig = defense.Config
+
+// Exposure is a countermeasure catch.
+type Exposure = defense.Exposure
+
+// FleetOutcome is a multi-charger run result.
+type FleetOutcome = campaign.FleetOutcome
+
+// LegitFleet runs K honest chargers over the shared request queue. See
+// campaign.RunLegitFleet.
+func LegitFleet(nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
+	return campaign.RunLegitFleet(nw, chargers, cfg)
+}

@@ -1,0 +1,96 @@
+package wrsncsa_test
+
+import (
+	"testing"
+
+	wrsncsa "github.com/reprolab/wrsn-csa"
+)
+
+// The public API smoke test: the quickstart flow end to end.
+func TestPublicAPIFlow(t *testing.T) {
+	nw, _, err := wrsncsa.BuildScenario(42, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := nw.KeyNodes()
+	if len(keys) == 0 {
+		t.Fatal("scenario has no key nodes")
+	}
+
+	ch := wrsncsa.NewCharger(nw)
+	in, plan, err := wrsncsa.PlanTIDE(nw, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Mandatories()) != len(keys) {
+		t.Errorf("instance targets %d, key nodes %d", len(in.Mandatories()), len(keys))
+	}
+	if plan.Plan.SpoofCount == 0 {
+		t.Error("plan spoofs nothing")
+	}
+
+	out, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.KeyExhaustRatio() < 0.8 {
+		t.Errorf("exhaustion %.2f < 0.8", out.KeyExhaustRatio())
+	}
+	if out.Detected {
+		t.Error("attack detected")
+	}
+
+	nw2, _, err := wrsncsa.BuildScenario(42, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit, err := wrsncsa.Legit(nw2, wrsncsa.NewCharger(nw2), wrsncsa.CampaignConfig{Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legit.DeadTotal != 0 {
+		t.Errorf("legit run lost %d nodes", legit.DeadTotal)
+	}
+
+	if len(wrsncsa.DetectorSuite()) == 0 {
+		t.Error("empty detector suite")
+	}
+	pts, err := wrsncsa.ROC([]float64{0.9}, []float64{0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrsncsa.AUC(pts) != 1 {
+		t.Error("trivial ROC broken")
+	}
+}
+
+func TestFleetAPI(t *testing.T) {
+	nw, _, err := wrsncsa.BuildScenario(3, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := []*wrsncsa.Charger{wrsncsa.NewCharger(nw), wrsncsa.NewCharger(nw)}
+	o, err := wrsncsa.LegitFleet(nw, fleet, wrsncsa.CampaignConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Chargers != 2 || o.DeadTotal != 0 {
+		t.Errorf("fleet outcome %+v", o)
+	}
+}
+
+func TestTestbedAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test bed")
+	}
+	rep, err := wrsncsa.RunTestbed(wrsncsa.TestbedConfig{
+		Nodes:          wrsncsa.DefaultTestbedNodes(),
+		DurationRealMs: 1200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected {
+		t.Error("legit test bed flagged")
+	}
+}
