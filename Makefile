@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race bench verify results clean
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel experiment engine makes the race detector part of tier-1:
+# every campaign fan-out and merge path runs under -race.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# verify is the tier-1 gate: build, vet, plain tests, race tests.
+verify: build vet test race
+
+results:
+	$(GO) run ./cmd/experiments -out results/
+
+clean:
+	rm -rf results/

@@ -9,6 +9,9 @@ package wrsncsa_test
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
@@ -28,7 +31,7 @@ var benchCfg = experiments.Config{Quick: true, Seeds: 1}
 func benchExperiment(b *testing.B, run experiments.Runner) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		out, err := run(benchCfg)
+		out, err := run(context.Background(), benchCfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -106,6 +109,35 @@ func BenchmarkTestbed(b *testing.B) {
 // BenchmarkAblations regenerates R-Tab 3 (attack-ingredient ablations).
 func BenchmarkAblations(b *testing.B) {
 	benchExperiment(b, experiments.RunAblations)
+}
+
+// BenchmarkExperimentSweep measures the parallel engine's payoff on the
+// campaign-heaviest figure (R-Fig 4): the same sweep at one worker, four
+// workers, and one worker per CPU. The outputs are byte-identical (see
+// the determinism tests); only wall-clock moves.
+func BenchmarkExperimentSweep(b *testing.B) {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.NewConfig(
+				experiments.WithQuick(true),
+				experiments.WithSeeds(2),
+				experiments.WithWorkers(workers),
+			)
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunExhaustionVsN(context.Background(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out.Table.Rows() == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSolveCSA isolates the planner itself on a 200-node scenario —

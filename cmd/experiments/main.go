@@ -3,47 +3,70 @@
 // result table to stdout and, with -out, also writes <id>.txt and <id>.csv
 // into the output directory.
 //
+// Campaign replications and sweep points fan out over a bounded worker
+// pool (-workers, default GOMAXPROCS). The rendered tables, notes and CSV
+// series are byte-identical at every worker count for a fixed seed; only
+// wall-clock changes. Per-experiment timing goes to stderr so stdout stays
+// a stable artifact.
+//
 // Usage:
 //
-//	experiments [-quick] [-seeds N] [-only rfig4] [-out results/]
+//	experiments [-quick] [-seeds N] [-workers N] [-only rfig4] [-out results/]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/experiments"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run executes the CLI against explicit streams. Result tables, notes and
+// CSV files are deterministic for a fixed configuration; timing lines go
+// to errw only.
+func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(errw)
 	quick := fs.Bool("quick", false, "shrink sweeps and seed counts for a fast pass")
 	seeds := fs.Int("seeds", 0, "seeds per data point (0 = default)")
+	workers := fs.Int("workers", 0, "max concurrent campaigns (0 = GOMAXPROCS)")
 	only := fs.String("only", "", "comma-separated experiment ids to run (default: all)")
 	outDir := fs.String("out", "", "directory to write <id>.txt and <id>.csv into")
 	baseSeed := fs.Uint64("seed", 0, "base seed offset for independent replications")
+	timing := fs.Bool("timing", true, "print per-experiment timing to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := experiments.Config{Quick: *quick, Seeds: *seeds, BaseSeed: *baseSeed}
+	cfg := experiments.NewConfig(
+		experiments.WithQuick(*quick),
+		experiments.WithSeeds(*seeds),
+		experiments.WithWorkers(*workers),
+		experiments.WithBaseSeed(*baseSeed),
+	)
 
 	var selected []experiments.Experiment
 	if *only == "" {
 		selected = experiments.All()
 	} else {
 		for _, id := range strings.Split(*only, ",") {
-			e, err := experiments.ByID(strings.TrimSpace(id))
+			e, err := experiments.ByID(id)
 			if err != nil {
 				return err
 			}
@@ -57,18 +80,21 @@ func run(args []string) error {
 	}
 
 	for _, e := range selected {
-		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
-		out, err := e.Run(cfg)
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
+		out, err := experiments.Run(ctx, e, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		if err := out.Table.Render(os.Stdout); err != nil {
+		if err := out.Table.Render(stdout); err != nil {
 			return err
 		}
 		for _, note := range out.Notes {
-			fmt.Println("note:", note)
+			fmt.Fprintln(stdout, "note:", note)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		if *timing {
+			printTiming(errw, out)
+		}
 		if *outDir != "" {
 			if err := writeOutputs(*outDir, out); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
@@ -76,6 +102,16 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// printTiming reports wall-clock telemetry on the error stream, keeping
+// stdout byte-identical across worker counts and machines.
+func printTiming(w io.Writer, out *experiments.Output) {
+	fmt.Fprintf(w, "[timing] %s: wall=%s workers=%d\n",
+		out.ID, out.Timing.Wall.Round(time.Millisecond), out.Timing.Workers)
+	for _, p := range out.Timing.Points {
+		fmt.Fprintf(w, "[timing]   %-24s %s\n", p.Label, p.Elapsed.Round(time.Millisecond))
+	}
 }
 
 func writeOutputs(dir string, out *experiments.Output) error {

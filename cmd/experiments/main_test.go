@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -8,7 +12,10 @@ import (
 
 func TestQuickSingleExperiment(t *testing.T) {
 	dir := t.TempDir()
-	if err := run([]string{"-quick", "-seeds", "1", "-only", "rfig1,rfig2", "-out", dir}); err != nil {
+	err := run(context.Background(),
+		[]string{"-quick", "-seeds", "1", "-only", "rfig1,rfig2", "-out", dir},
+		io.Discard, io.Discard)
+	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"rfig1.txt", "rfig1.csv", "rfig2.txt", "rfig2.csv"} {
@@ -19,7 +26,46 @@ func TestQuickSingleExperiment(t *testing.T) {
 }
 
 func TestUnknownExperiment(t *testing.T) {
-	if err := run([]string{"-only", "rfig999"}); err == nil {
+	err := run(context.Background(), []string{"-only", "rfig999"}, io.Discard, io.Discard)
+	if err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestWorkersStdoutIdentical is the CLI-level determinism check: the full
+// stdout stream (header, table, notes) and the CSV artifact must be
+// byte-identical between a sequential and a parallel regeneration.
+func TestWorkersStdoutIdentical(t *testing.T) {
+	capture := func(workers string) (stdout, csv []byte) {
+		t.Helper()
+		dir := t.TempDir()
+		var buf bytes.Buffer
+		args := []string{"-quick", "-seeds", "2", "-only", "rfig4",
+			"-workers", workers, "-out", dir}
+		if err := run(context.Background(), args, &buf, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, "rfig4.csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), b
+	}
+	seqOut, seqCSV := capture("1")
+	parOut, parCSV := capture("4")
+	if !bytes.Equal(seqOut, parOut) {
+		t.Errorf("stdout differs between -workers 1 and -workers 4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seqOut, parOut)
+	}
+	if !bytes.Equal(seqCSV, parCSV) {
+		t.Errorf("csv differs between -workers 1 and -workers 4:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s", seqCSV, parCSV)
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-quick", "-seeds", "1", "-only", "rfig4"}, io.Discard, io.Discard)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
 	}
 }

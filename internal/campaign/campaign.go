@@ -7,6 +7,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -223,6 +224,7 @@ func (o *Outcome) KeyExhaustRatio() float64 {
 
 // runner carries the mutable world state of one campaign.
 type runner struct {
+	ctx  context.Context
 	nw   *wrsn.Network
 	ch   *mc.Charger
 	cfg  Config
@@ -270,9 +272,10 @@ type runner struct {
 	firstDeath float64
 }
 
-func newRunner(nw *wrsn.Network, ch *mc.Charger, cfg Config) *runner {
+func newRunner(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) *runner {
 	cfg.applyDefaults()
 	return &runner{
+		ctx:        ctx,
 		nw:         nw,
 		ch:         ch,
 		cfg:        cfg,
@@ -286,11 +289,17 @@ func newRunner(nw *wrsn.Network, ch *mc.Charger, cfg Config) *runner {
 	}
 }
 
+// canceled reports whether the campaign's context has been canceled; the
+// simulation loops treat it as an immediate stop signal and the Run
+// entry points surface ctx.Err() to the caller.
+func (rn *runner) canceled() bool { return rn.ctx.Err() != nil }
+
 // advanceTo moves the world clock to t, draining batteries piecewise,
 // recording deaths, recomputing routing on topology change, and scanning
-// for new charging requests at every step boundary.
+// for new charging requests at every step boundary. A canceled context
+// stops the advance at the current step boundary.
 func (rn *runner) advanceTo(t float64) {
-	for rn.now < t {
+	for rn.now < t && !rn.canceled() {
 		step := math.Min(t, rn.now+rn.cfg.PollSec)
 		if dt, _ := rn.nw.NextDepletion(rn.now); dt > rn.now && dt < step {
 			step = dt
@@ -737,15 +746,23 @@ func (rn *runner) finish(solver string, keys []wrsn.KeyNode, planned *attack.Res
 // exhaustion. It is both the lifetime baseline and the negative sample
 // for detector ROC curves.
 func RunLegit(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
+	return RunLegitContext(context.Background(), nw, ch, cfg)
+}
+
+// RunLegitContext is RunLegit with cancellation: the simulation checks
+// ctx at every world-step and scheduling boundary and returns ctx.Err()
+// (typically context.Canceled or context.DeadlineExceeded) as soon as it
+// observes a canceled context.
+func RunLegitContext(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
-	rn := newRunner(nw, ch, cfg)
+	rn := newRunner(ctx, nw, ch, cfg)
 	keys := nw.KeyNodes()
 	for _, k := range keys {
 		rn.keySet[k.ID] = true
 	}
 	rn.scanRequests()
 	rn.maybeSample()
-	for rn.now < cfg.HorizonSec {
+	for rn.now < cfg.HorizonSec && !rn.canceled() {
 		req, ok := cfg.Scheduler.Next(&rn.qu, rn.ch.Pos(), rn.now)
 		if !ok {
 			rn.advanceTo(math.Min(cfg.HorizonSec, rn.now+cfg.PollSec))
@@ -779,6 +796,9 @@ func RunLegit(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 		}
 	}
 	rn.advanceTo(cfg.HorizonSec)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return rn.finish("legit", keys, nil), nil
 }
 
@@ -808,8 +828,15 @@ func solve(in *attack.Instance, solver string, r *rng.Stream) (attack.Result, er
 // NoFill is set — serves emergent requests opportunistically between stops
 // to keep its cover. Key-node requests are never genuinely served.
 func RunAttack(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
+	return RunAttackContext(context.Background(), nw, ch, cfg)
+}
+
+// RunAttackContext is RunAttack with cancellation: the campaign checks
+// ctx at every world-step, target-selection, and service boundary, and
+// returns ctx.Err() promptly once the context is canceled.
+func RunAttackContext(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
-	rn := newRunner(nw, ch, cfg)
+	rn := newRunner(ctx, nw, ch, cfg)
 	keys := nw.KeyNodes()
 	for _, k := range keys {
 		rn.keySet[k.ID] = true
@@ -884,6 +911,9 @@ func RunAttack(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 		rn.serveLoop(cfg.HorizonSec, nil, false)
 	}
 	rn.advanceTo(cfg.HorizonSec)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return rn.finish(cfg.Solver, keys, &res), nil
 }
 
@@ -899,7 +929,7 @@ func (rn *runner) runTargets(targets []attack.Site) error {
 	for _, s := range targets {
 		engaged[s.Node] = true
 	}
-	for (len(pending) > 0 || rn.cfg.Progressive) && !rn.caught {
+	for (len(pending) > 0 || rn.cfg.Progressive) && !rn.caught && !rn.canceled() {
 		if rn.cfg.Progressive {
 			added := rn.recruitEmergentTargets(engaged, &pending)
 			rn.extraTargets += added
@@ -1080,7 +1110,7 @@ func (rn *runner) spoofTarget(site attack.Site) error {
 	if err := rn.travelTo(node); err != nil {
 		return nil // budget exhausted: the attack fizzles out
 	}
-	for !rn.caught && node.Alive() && !rn.qu.Has(site.Node) {
+	for !rn.caught && !rn.canceled() && node.Alive() && !rn.qu.Has(site.Node) {
 		f, err := rn.nw.ForecastAt(site.Node, rn.now, rn.cfg.RequestFrac)
 		if err != nil {
 			return err
@@ -1164,7 +1194,7 @@ func (rn *runner) serveLoop(deadline float64, skip map[wrsn.NodeID]bool, stopOnC
 	if rn.spoofOnRequest {
 		skip = nil
 	}
-	for rn.now < deadline {
+	for rn.now < deadline && !rn.canceled() {
 		if stopOnCaught && rn.caught {
 			return
 		}
@@ -1209,7 +1239,7 @@ func (rn *runner) serveLoop(deadline float64, skip map[wrsn.NodeID]bool, stopOnC
 // provenance/zero-gain detectors punish.
 func (rn *runner) runStaticPlan(in *attack.Instance, res attack.Result) error {
 	for _, stop := range res.Plan.Schedule {
-		if rn.caught {
+		if rn.caught || rn.canceled() {
 			return nil
 		}
 		site := in.Sites[stop.Site]

@@ -1,0 +1,41 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/mc"
+)
+
+// A pre-canceled context must abort every campaign entry point with
+// context.Canceled before any meaningful simulation work happens.
+func TestCampaignCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	nw, ch := buildScenario(t, 42, 60)
+	if _, err := RunLegitContext(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLegitContext err = %v, want context.Canceled", err)
+	}
+
+	nw, ch = buildScenario(t, 42, 60)
+	if _, err := RunAttackContext(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAttackContext err = %v, want context.Canceled", err)
+	}
+
+	nw, ch = buildScenario(t, 42, 60)
+	chargers := []*mc.Charger{ch, mc.New(nw.Sink(), mc.DefaultParams())}
+	if _, err := RunLegitFleetContext(ctx, nw, chargers, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLegitFleetContext err = %v, want context.Canceled", err)
+	}
+}
+
+// The background-context wrappers must behave exactly as before the
+// context redesign: run to completion with no error.
+func TestBackgroundWrappersStillComplete(t *testing.T) {
+	nw, ch := buildScenario(t, 7, 60)
+	if _, err := RunLegit(nw, ch, Config{Seed: 7, HorizonSec: 6 * 3600}); err != nil {
+		t.Fatalf("RunLegit: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ package campaign
 // whose world only moves while their one actor acts).
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,11 +45,18 @@ type FleetOutcome struct {
 // the event engine interleaves the fleet correctly. Deaths, requests and
 // audits follow the same rules as the single-charger runs.
 func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
+	return RunLegitFleetContext(context.Background(), nw, chargers, cfg)
+}
+
+// RunLegitFleetContext is RunLegitFleet with cancellation: event handlers
+// stop scheduling follow-up events once ctx is canceled, the event engine
+// drains, and ctx.Err() is returned.
+func RunLegitFleetContext(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
 	if len(chargers) == 0 {
 		return nil, fmt.Errorf("campaign: fleet needs at least one charger")
 	}
 	cfg.applyDefaults()
-	rn := newRunner(nw, chargers[0], cfg)
+	rn := newRunner(ctx, nw, chargers[0], cfg)
 	eng := sim.New()
 
 	out := &FleetOutcome{Chargers: len(chargers), FirstDeathAt: math.Inf(1)}
@@ -77,6 +85,9 @@ func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*Fleet
 	var dispatch func(ch *mc.Charger) sim.Handler
 	dispatch = func(ch *mc.Charger) sim.Handler {
 		return func(e *sim.Engine) {
+			if rn.canceled() {
+				return
+			}
 			rn.syncTo(e.Now())
 			req, ok := pick(ch)
 			if !ok {
@@ -148,6 +159,9 @@ func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*Fleet
 	// World ticker: advances batteries, deaths, requests between events.
 	var tick sim.Handler
 	tick = func(e *sim.Engine) {
+		if rn.canceled() {
+			return
+		}
 		rn.syncTo(e.Now())
 		if e.Now() < cfg.HorizonSec {
 			dt := math.Min(rn.cfg.PollSec, cfg.HorizonSec-e.Now())
@@ -164,6 +178,9 @@ func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*Fleet
 		}
 	}
 	if err := eng.RunUntil(cfg.HorizonSec, 50_000_000); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	rn.syncTo(cfg.HorizonSec)

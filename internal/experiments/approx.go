@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
@@ -58,8 +60,9 @@ func RandomInstance(r *rng.Stream, sites, targets int) *attack.Instance {
 // CSA against the exact Pareto-DP optimum on instances small enough to
 // solve exactly. The paper claims a bounded performance guarantee; the
 // figure shows how far above the worst-case bound the algorithm actually
-// operates.
-func RunApproxRatio(cfg Config) (*Output, error) {
+// operates. Instance synthesis consumes a single sequential RNG stream,
+// so this driver stays sequential by design.
+func RunApproxRatio(ctx context.Context, cfg Config) (*Output, error) {
 	sizes := []int{6, 8, 10, 12}
 	trials := 20
 	if cfg.Quick {
@@ -77,6 +80,9 @@ func RunApproxRatio(cfg Config) (*Output, error) {
 		var spoofMatch metrics.Summary
 		worst := 1.0
 		for t := 0; t < trials; t++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			in := RandomInstance(r, n, 2)
 			got, err := attack.SolveCSA(in)
 			if err != nil {

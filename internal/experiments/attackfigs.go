@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
@@ -29,28 +31,56 @@ var solverSpecs = []struct {
 // of key nodes exhausted by the horizon, per planner, as the network
 // grows. Live audits impound a flagged charger mid-run, so detection is
 // what separates the planners — every attacker that survives undetected
-// exhausts its targets eventually.
-func RunExhaustionVsN(cfg Config) (*Output, error) {
+// exhausts its targets eventually. The seed × size × solver campaign
+// grid fans out over the worker pool; the merge consumes results in
+// sweep order, so the table is identical at any worker count.
+func RunExhaustionVsN(ctx context.Context, cfg Config) (*Output, error) {
 	sizes := []int{100, 150, 200, 250, 300}
 	if cfg.Quick {
 		sizes = []int{80, 140}
 	}
+	seeds := cfg.seeds()
+
+	// One job per (size, solver, seed) cell, laid out in merge order.
+	type job struct {
+		n    int
+		spec int
+		seed uint64
+	}
+	jobs := make([]job, 0, len(sizes)*len(solverSpecs)*seeds)
+	for _, n := range sizes {
+		for si := range solverSpecs {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{n: n, spec: si, seed: cfg.seed(s)})
+			}
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		spec := solverSpecs[j.spec]
+		return runOneAttack(ctx, j.seed, j.n, campaign.Config{
+			Solver: spec.name, NoFill: spec.noFill,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Fig 4 — key-node exhaustion ratio vs network size",
 		"n", "solver", "exhaust_ratio", "stealthy_exhaust", "ci95", "detected_frac", "caught_day_mean")
 	series := make([]*metrics.Series, len(solverSpecs))
 	for i, s := range solverSpecs {
 		series[i] = &metrics.Series{Label: s.name}
 	}
+	var points []PointTiming
+	k := 0
 	for _, n := range sizes {
 		for si, spec := range solverSpecs {
 			var ratio, stealthy, det, caughtDay metrics.Summary
-			for s := 0; s < cfg.seeds(); s++ {
-				o, err := runOneAttack(cfg.seed(s), n, campaign.Config{
-					Solver: spec.name, NoFill: spec.noFill,
-				})
-				if err != nil {
-					return nil, err
-				}
+			row := k
+			for s := 0; s < seeds; s++ {
+				o := outs[k].Value
+				k++
 				if len(o.KeyNodes) == 0 {
 					continue // no separators: exhaustion is vacuous
 				}
@@ -69,11 +99,16 @@ func RunExhaustionVsN(cfg Config) (*Output, error) {
 			}
 			tbl.AddRowf(n, spec.name, ratio.Mean(), stealthy.Mean(), stealthy.CI95(), det.Mean(), caughtDay.Mean())
 			series[si].Append(float64(n), stealthy.Mean())
+			points = append(points, PointTiming{
+				Label:   fmt.Sprintf("n=%d/%s", n, spec.name),
+				Elapsed: sumElapsed(outs, row, k),
+			})
 		}
 	}
 	return &Output{
 		ID: "rfig4", Title: "Key-node exhaustion vs network size",
 		Table: tbl, XName: "n", Series: series,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Paper claim: CSA exhausts ≥80% of key nodes without being detected.",
 			"Series plot stealthy exhaustion (exhaustion achieved while undetected).",
@@ -85,8 +120,9 @@ func RunExhaustionVsN(cfg Config) (*Output, error) {
 // RunUtilityVsBudget reproduces R-Fig 5: the planned cover utility of each
 // solver as the TIDE instance's energy budget sweeps, on a fixed 200-node
 // network. Utility here is the planner-level objective (energy committed
-// to genuine requests inside the plan), the quantity TIDE maximizes.
-func RunUtilityVsBudget(cfg Config) (*Output, error) {
+// to genuine requests inside the plan), the quantity TIDE maximizes. The
+// build+solve grid fans out over the worker pool.
+func RunUtilityVsBudget(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	budgets := []float64{2e5, 5e5, 1e6, 2e6, 4e6, 8e6}
 	if cfg.Quick {
@@ -94,35 +130,75 @@ func RunUtilityVsBudget(cfg Config) (*Output, error) {
 		budgets = []float64{2e5, 1e6, 4e6}
 	}
 	solvers := []string{campaign.SolverCSA, campaign.SolverGreedyNearest, campaign.SolverRandom, campaign.SolverDirect}
+	seeds := cfg.seeds()
+
+	type cell struct {
+		res     attack.Result
+		targets int
+	}
+	type job struct {
+		budget float64
+		solver string
+		seed   uint64
+	}
+	jobs := make([]job, 0, len(budgets)*len(solvers)*seeds)
+	for _, b := range budgets {
+		for _, solver := range solvers {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{budget: b, solver: solver, seed: cfg.seed(s)})
+			}
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (cell, error) {
+		j := jobs[i]
+		if err := ctx.Err(); err != nil {
+			return cell{}, err
+		}
+		in, err := buildInstance(j.seed, n, j.budget)
+		if err != nil {
+			return cell{}, err
+		}
+		res, err := solveByName(in, j.solver, j.seed)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{res: res, targets: len(in.Mandatories())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Fig 5 — planned cover utility vs charger budget",
 		"budget_mj", "solver", "utility_mj", "ci95", "spoofs_planned", "targets_total")
 	series := make([]*metrics.Series, len(solvers))
 	for i, s := range solvers {
 		series[i] = &metrics.Series{Label: s}
 	}
+	var points []PointTiming
+	k := 0
 	for _, b := range budgets {
 		for si, solver := range solvers {
 			var util, spoofs, targets metrics.Summary
-			for s := 0; s < cfg.seeds(); s++ {
-				in, err := buildInstance(cfg.seed(s), n, b)
-				if err != nil {
-					return nil, err
-				}
-				res, err := solveByName(in, solver, cfg.seed(s))
-				if err != nil {
-					return nil, err
-				}
-				util.Add(res.Plan.UtilityJ / 1e6)
-				spoofs.Add(float64(res.Plan.SpoofCount))
-				targets.Add(float64(len(in.Mandatories())))
+			row := k
+			for s := 0; s < seeds; s++ {
+				c := outs[k].Value
+				k++
+				util.Add(c.res.Plan.UtilityJ / 1e6)
+				spoofs.Add(float64(c.res.Plan.SpoofCount))
+				targets.Add(float64(c.targets))
 			}
 			tbl.AddRowf(b/1e6, solver, util.Mean(), util.CI95(), spoofs.Mean(), targets.Mean())
 			series[si].Append(b/1e6, util.Mean())
+			points = append(points, PointTiming{
+				Label:   fmt.Sprintf("budget=%.1fMJ/%s", b/1e6, solver),
+				Elapsed: sumElapsed(outs, row, k),
+			})
 		}
 	}
 	return &Output{
 		ID: "rfig5", Title: "Cover utility vs budget",
 		Table: tbl, XName: "budget_mj", Series: series,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"TIDE is lexicographic: spoof coverage first, cover utility second — compare utility between solvers at equal spoofs_planned.",
 			"Expected shape: utility grows with budget and saturates once every cover fits. CSA leads among full-coverage planners; GreedyNearest buys utility by abandoning targets at tight budgets; Direct earns none by construction.",
@@ -132,8 +208,10 @@ func RunUtilityVsBudget(cfg Config) (*Output, error) {
 
 // RunRuntime reproduces R-Fig 9: CSA planning wall-clock time as the
 // instance grows, against the exact solver's exponential blowup on the
-// sizes it can still handle.
-func RunRuntime(cfg Config) (*Output, error) {
+// sizes it can still handle. This driver stays sequential on purpose:
+// its table IS a timing measurement, and co-scheduling the solves would
+// contaminate the numbers it reports.
+func RunRuntime(ctx context.Context, cfg Config) (*Output, error) {
 	sizes := []int{50, 100, 200, 300, 400}
 	if cfg.Quick {
 		sizes = []int{50, 100}
@@ -143,6 +221,9 @@ func RunRuntime(cfg Config) (*Output, error) {
 	for _, n := range sizes {
 		var ms, sites metrics.Summary
 		for s := 0; s < cfg.seeds(); s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			in, err := buildInstance(cfg.seed(s), n, 0)
 			if err != nil {
 				return nil, err
@@ -173,25 +254,25 @@ func newDefaultCharger(nw *wrsn.Network) *mc.Charger {
 }
 
 // runOneAttack builds a fresh scenario and runs an attack campaign on it.
-func runOneAttack(seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
+func runOneAttack(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
 	nw, _, err := trace.DefaultScenario(seed, n).Build()
 	if err != nil {
 		return nil, err
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
-	return campaign.RunAttack(nw, ch, ccfg)
+	return campaign.RunAttackContext(ctx, nw, ch, ccfg)
 }
 
 // runOneLegit builds a fresh scenario and runs the legitimate baseline.
-func runOneLegit(seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
+func runOneLegit(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
 	nw, _, err := trace.DefaultScenario(seed, n).Build()
 	if err != nil {
 		return nil, err
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
-	return campaign.RunLegit(nw, ch, ccfg)
+	return campaign.RunLegitContext(ctx, nw, ch, ccfg)
 }
 
 // buildInstance constructs the TIDE instance of a fresh scenario.

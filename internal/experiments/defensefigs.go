@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/geom"
@@ -18,28 +21,59 @@ func fieldRect(w, h float64) geom.Rect {
 // harvest-verification probability against the full CSA attack. A
 // verified spoof is physical proof — the interesting questions are how
 // little verification suffices, what it costs, and how often benign dead
-// sessions raise false alarms.
-func RunDefenseVerification(cfg Config) (*Output, error) {
+// sessions raise false alarms. Each (probability, seed) point needs an
+// attack run and a legitimate run; both fan out over the worker pool.
+func RunDefenseVerification(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	probs := []float64{0, 0.02, 0.05, 0.1, 0.2, 0.4}
 	if cfg.Quick {
 		n = 100
 		probs = []float64{0, 0.1, 0.4}
 	}
+	seeds := cfg.seeds()
+
+	// Two campaigns per (prob, seed) cell: the attack run and the
+	// legitimate false-alarm baseline, adjacent in job order.
+	const runsPerCell = 2
+	type job struct {
+		prob   float64
+		seed   uint64
+		attack bool
+	}
+	jobs := make([]job, 0, len(probs)*seeds*runsPerCell)
+	for _, q := range probs {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{prob: q, seed: cfg.seed(s), attack: true})
+			jobs = append(jobs, job{prob: q, seed: cfg.seed(s), attack: false})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		def := defense.Config{VerifyProb: j.prob}
+		if j.attack {
+			return runOneAttack(ctx, j.seed, n, campaign.Config{
+				Solver: campaign.SolverCSA, Defense: def,
+			})
+		}
+		return runOneLegit(ctx, j.seed, n, campaign.Config{Defense: def})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Fig 10 — harvest verification vs CSA",
 		"verify_prob", "exhaust_ratio", "exposed_frac", "exposed_day_mean", "false_alarms_legit", "verify_cost_kj")
 	exhaust := &metrics.Series{Label: "exhaust_ratio"}
 	exposed := &metrics.Series{Label: "exposed_frac"}
+	var points []PointTiming
+	k := 0
 	for _, q := range probs {
-		def := defense.Config{VerifyProb: q}
 		var ratio, exp, expDay, alarms, cost metrics.Summary
-		for s := 0; s < cfg.seeds(); s++ {
-			o, err := runOneAttack(cfg.seed(s), n, campaign.Config{
-				Solver: campaign.SolverCSA, Defense: def,
-			})
-			if err != nil {
-				return nil, err
-			}
+		row := k
+		for s := 0; s < seeds; s++ {
+			o := outs[k].Value
+			lg := outs[k+1].Value
+			k += runsPerCell
 			if len(o.KeyNodes) == 0 {
 				continue
 			}
@@ -49,10 +83,6 @@ func RunDefenseVerification(cfg Config) (*Output, error) {
 			if gotExposed {
 				expDay.Add(o.Exposures[0].At / 86400)
 			}
-			lg, err := runOneLegit(cfg.seed(s), n, campaign.Config{Defense: def})
-			if err != nil {
-				return nil, err
-			}
 			alarms.Add(float64(lg.FalseAlarms))
 			// Verification energy across the population: checks ×
 			// per-check cost, approximated from session count × q.
@@ -61,11 +91,16 @@ func RunDefenseVerification(cfg Config) (*Output, error) {
 		tbl.AddRowf(q, ratio.Mean(), exp.Mean(), expDay.Mean(), alarms.Mean(), cost.Mean())
 		exhaust.Append(q, ratio.Mean())
 		exposed.Append(q, exp.Mean())
+		points = append(points, PointTiming{
+			Label:   fmt.Sprintf("q=%.2g", q),
+			Elapsed: sumElapsed(outs, row, k),
+		})
 	}
 	return &Output{
 		ID: "rfig10", Title: "Harvest verification countermeasure",
 		Table: tbl, XName: "verify_prob",
 		Series: []*metrics.Series{exhaust, exposed},
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension beyond the paper: the node-side countermeasure its threat model implies.",
 			"Expected shape: exposure probability ≈ 1−(1−q)^spoofs rises steeply with q; the attacker is typically exposed at its first audited spoofs and exhaustion collapses toward the honest baseline; false alarms scale with q × benign failure rate.",
@@ -77,8 +112,9 @@ func RunDefenseVerification(cfg Config) (*Output, error) {
 // deployment densities. The spoof's null is local, so any witness inside
 // the charger's RF range plus a zero-gain session is damning — but at
 // standard densities nobody lives that close, so the countermeasure is
-// geometry-limited.
-func RunDefenseWitness(cfg Config) (*Output, error) {
+// geometry-limited. The variant × seed grid fans out over the worker
+// pool.
+func RunDefenseWitness(ctx context.Context, cfg Config) (*Output, error) {
 	n := 150
 	if cfg.Quick {
 		n = 80
@@ -98,30 +134,52 @@ func RunDefenseWitness(cfg Config) (*Output, error) {
 		{"corridor 6m pitch", 6, 8},
 	}
 	duty := 0.5
+	seeds := cfg.seeds()
+
+	type job struct {
+		variant int
+		seed    uint64
+	}
+	jobs := make([]job, 0, len(variants)*seeds)
+	for vi := range variants {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{variant: vi, seed: cfg.seed(s)})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		v := variants[j.variant]
+		sc := trace.DefaultScenario(j.seed, n)
+		sc.Deploy.Pattern = trace.DeployCorridor
+		sc.Deploy.Field = fieldRect(v.pitchM*float64(n), v.heightM)
+		// Dense deployments run short-range radios (otherwise the
+		// chain is k-connected and has no key nodes at all); scale
+		// the radio with the pitch.
+		sc.CommRange = 2 * v.pitchM
+		return runAttackOnScenario(ctx, sc, campaign.Config{
+			Seed:   j.seed,
+			Solver: campaign.SolverCSA,
+			Defense: defense.Config{
+				WitnessDutyCycle: duty,
+			},
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Fig 11 — neighbor witnessing vs deployment density",
 		"deployment", "witness_samples_per_session", "exposed_frac", "exhaust_ratio")
 	samplesSeries := &metrics.Series{Label: "witness_samples_per_session"}
 	exposedSeries := &metrics.Series{Label: "exposed_frac"}
+	var points []PointTiming
+	k := 0
 	for vi, v := range variants {
 		var perSession, exp, ratio metrics.Summary
-		for s := 0; s < cfg.seeds(); s++ {
-			sc := trace.DefaultScenario(cfg.seed(s), n)
-			sc.Deploy.Pattern = trace.DeployCorridor
-			sc.Deploy.Field = fieldRect(v.pitchM*float64(n), v.heightM)
-			// Dense deployments run short-range radios (otherwise the
-			// chain is k-connected and has no key nodes at all); scale
-			// the radio with the pitch.
-			sc.CommRange = 2 * v.pitchM
-			o, err := runAttackOnScenario(sc, campaign.Config{
-				Seed:   cfg.seed(s),
-				Solver: campaign.SolverCSA,
-				Defense: defense.Config{
-					WitnessDutyCycle: duty,
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
+		row := k
+		for s := 0; s < seeds; s++ {
+			o := outs[k].Value
+			k++
 			if len(o.KeyNodes) == 0 {
 				continue
 			}
@@ -132,11 +190,13 @@ func RunDefenseWitness(cfg Config) (*Output, error) {
 		tbl.AddRowf(v.name, perSession.Mean(), exp.Mean(), ratio.Mean())
 		samplesSeries.Append(float64(vi), perSession.Mean())
 		exposedSeries.Append(float64(vi), exp.Mean())
+		points = append(points, PointTiming{Label: v.name, Elapsed: sumElapsed(outs, row, k)})
 	}
 	return &Output{
 		ID: "rfig11", Title: "Neighbor witnessing countermeasure",
 		Table: tbl, XName: "density_variant",
 		Series: []*metrics.Series{samplesSeries, exposedSeries},
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension beyond the paper. The charger's RF range is ~8 m; at the standard 36 m deployment pitch almost no node can witness a session, so exposure stays near 0 regardless of duty cycle.",
 			"Expected shape: witness coverage and exposure probability rise sharply with density; at very dense pitches the first spoof with any awake witness ends the attack.",

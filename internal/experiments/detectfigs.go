@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/detect"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
@@ -16,8 +19,9 @@ func rngFor(seed uint64) *rng.Stream { return rng.New(seed).Split("experiments")
 // Scores come from the horizon audit with live impoundment disabled, so
 // the full evidence of each behavior is judged. The paper's stealth claim
 // corresponds to CSA's AUC sitting near chance while Direct is trivially
-// separable.
-func RunDetectionROC(cfg Config) (*Output, error) {
+// separable. The seed × behavior campaign grid fans out over the worker
+// pool; scores are extracted from the outcomes in seed order.
+func RunDetectionROC(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	if cfg.Quick {
 		n = 100
@@ -25,36 +29,46 @@ func RunDetectionROC(cfg Config) (*Output, error) {
 	seeds := cfg.seeds() * 2 // ROC needs more samples than a mean
 	detectors := detect.Suite()
 
-	// Collect per-detector score samples for each behavior.
+	// Three behaviors per seed: legitimate, CSA, Direct — one job each.
+	const behaviors = 3
+	outs, err := mapTimed(ctx, cfg, seeds*behaviors, func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		seed := cfg.seed(i / behaviors)
+		base := campaign.Config{AuditEverySec: -1} // judge only at horizon
+		switch i % behaviors {
+		case 0:
+			return runOneLegit(ctx, seed, n, base)
+		case 1:
+			base.Solver = campaign.SolverCSA
+			return runOneAttack(ctx, seed, n, base)
+		default:
+			base.Solver = campaign.SolverDirect
+			base.NoFill = true
+			return runOneAttack(ctx, seed, n, base)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect per-detector score samples for each behavior, in seed order.
 	type sampleSet struct {
 		legit, csa, direct []float64
 	}
 	samples := make([]sampleSet, len(detectors))
+	var points []PointTiming
 	for s := 0; s < seeds; s++ {
-		seed := cfg.seed(s)
-		base := campaign.Config{AuditEverySec: -1} // judge only at horizon
-		lg, err := runOneLegit(seed, n, base)
-		if err != nil {
-			return nil, err
-		}
-		at := base
-		at.Solver = campaign.SolverCSA
-		ca, err := runOneAttack(seed, n, at)
-		if err != nil {
-			return nil, err
-		}
-		dr := base
-		dr.Solver = campaign.SolverDirect
-		dr.NoFill = true
-		di, err := runOneAttack(seed, n, dr)
-		if err != nil {
-			return nil, err
-		}
+		lg := outs[s*behaviors].Value
+		ca := outs[s*behaviors+1].Value
+		di := outs[s*behaviors+2].Value
 		for i, d := range detectors {
 			samples[i].legit = append(samples[i].legit, d.Score(lg.Audit))
 			samples[i].csa = append(samples[i].csa, d.Score(ca.Audit))
 			samples[i].direct = append(samples[i].direct, d.Score(di.Audit))
 		}
+		points = append(points, PointTiming{
+			Label:   fmt.Sprintf("seed#%d", s),
+			Elapsed: sumElapsed(outs, s*behaviors, (s+1)*behaviors),
+		})
 	}
 
 	tbl := report.NewTable("R-Fig 6 — detector ROC (attack vs legitimate)",
@@ -86,6 +100,7 @@ func RunDetectionROC(cfg Config) (*Output, error) {
 	return &Output{
 		ID: "rfig6", Title: "Detection ROC",
 		Table: tbl, XName: "fpr", Series: series,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Expected shape: Direct is near-perfectly detectable (AUC ≈ 1, TPR ≈ 1 at default thresholds); CSA sits near chance (AUC ≈ 0.5, TPR ≈ 0).",
 		},

@@ -1,0 +1,122 @@
+// Package engine is the parallel execution core of the experiment suite:
+// a bounded worker pool that fans independent jobs (seed replications,
+// sweep points) out over GOMAXPROCS-sized concurrency while keeping the
+// result order — and therefore every rendered table and CSV — identical
+// to a sequential run.
+//
+// Determinism contract: jobs are identified by their index in [0, n).
+// Results land in a slice at their own index, so the caller's merge loop
+// reads them in exactly the order a sequential loop would have produced
+// them. When several jobs fail, the error of the lowest-indexed failure
+// is returned — again matching what a sequential run would have seen
+// first. Cancellation (parent context or first failure) stops workers
+// from claiming new jobs; in-flight jobs run to completion.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Result carries one job's value and its wall-clock cost, so callers can
+// report per-point timing without re-instrumenting every driver.
+type Result[T any] struct {
+	Value   T
+	Elapsed time.Duration
+}
+
+// Workers normalizes a worker-count request: non-positive means "size to
+// the hardware" (GOMAXPROCS), and a pool never needs more workers than
+// jobs.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// MapTimed runs fn(ctx, i) for every i in [0, n) over a pool of at most
+// `workers` goroutines (non-positive: GOMAXPROCS) and returns the results
+// indexed by job, each with its elapsed wall clock. The first failure
+// cancels the pool's context so outstanding jobs can abort promptly; the
+// returned error is the lowest-indexed one, which is what a sequential
+// run would have hit first. A canceled parent context surfaces as its
+// ctx.Err().
+func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers, n)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result[T], n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				start := time.Now()
+				v, err := fn(ctx, i)
+				results[i] = Result[T]{Value: v, Elapsed: time.Since(start)}
+				if err != nil {
+					errs[i] = err
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// No job failed, so the only way ctx can be done here is a parent
+	// cancellation (the deferred cancel has not run yet): some jobs were
+	// never claimed and the result set is incomplete.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Map is MapTimed without the timing data.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	timed, err := MapTimed(ctx, workers, n, fn)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(timed))
+	for i, r := range timed {
+		out[i] = r.Value
+	}
+	return out, nil
+}
+
+// ForEach runs fn(ctx, i) for every i in [0, n) over the pool, for jobs
+// that write their results into caller-owned, per-index storage.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := MapTimed(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}

@@ -2,16 +2,31 @@
 // table of the evaluation (see DESIGN.md for the R-Fig/R-Tab index). Each
 // driver returns a text table plus the CSV series behind the figure, so
 // cmd/experiments can regenerate the full evaluation from scratch.
+//
+// Drivers are context-aware — `func(ctx, cfg) (*Output, error)` — and the
+// campaign-heavy sweeps fan their seed replications and sweep points out
+// over a bounded worker pool (see the engine subpackage). Parallel runs
+// are deterministic: for a fixed BaseSeed the rendered tables, CSV series
+// and notes are byte-identical at any worker count.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
 
+	"github.com/reprolab/wrsn-csa/internal/experiments/engine"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
 
-// Config scopes an experiment run.
+// Config scopes an experiment run. Construct it with NewConfig and
+// functional options; direct struct literals remain valid for existing
+// callers but new code should prefer the options.
 type Config struct {
 	// Quick shrinks sweeps and seed counts for CI/tests; the full runs
 	// reproduce the evaluation at paper scale.
@@ -21,7 +36,42 @@ type Config struct {
 	Seeds int
 	// BaseSeed offsets the seed sequence for independent replications.
 	BaseSeed uint64
+	// Workers bounds the experiment worker pool; non-positive sizes the
+	// pool to the hardware (GOMAXPROCS). Workers=1 reproduces the
+	// sequential execution exactly — and any other value produces
+	// byte-identical output anyway; only the wall clock changes.
+	Workers int
 }
+
+// Option mutates a Config under construction; see NewConfig.
+type Option func(*Config)
+
+// NewConfig assembles a Config from functional options:
+//
+//	cfg := experiments.NewConfig(
+//		experiments.WithQuick(true),
+//		experiments.WithWorkers(8),
+//	)
+func NewConfig(opts ...Option) Config {
+	var c Config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithQuick shrinks sweeps and seed counts for CI/tests.
+func WithQuick(quick bool) Option { return func(c *Config) { c.Quick = quick } }
+
+// WithSeeds sets the number of independent seeds averaged per point
+// (non-positive keeps the default).
+func WithSeeds(n int) Option { return func(c *Config) { c.Seeds = n } }
+
+// WithBaseSeed offsets the seed sequence for independent replications.
+func WithBaseSeed(seed uint64) Option { return func(c *Config) { c.BaseSeed = seed } }
+
+// WithWorkers bounds the worker pool (non-positive: GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 func (c Config) seeds() int {
 	if c.Seeds > 0 {
@@ -35,6 +85,34 @@ func (c Config) seeds() int {
 
 func (c Config) seed(i int) uint64 { return c.BaseSeed + 1000 + uint64(i)*7919 }
 
+// workers resolves the configured pool size.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PointTiming is the wall-clock cost of one merged sweep point (typically
+// one table row: every seed replication behind it, summed).
+type PointTiming struct {
+	Label   string
+	Elapsed time.Duration
+}
+
+// Timing is the performance telemetry of one experiment run. It is
+// observability only — never rendered into the deterministic table/CSV
+// output (wall clocks vary run to run; the results must not).
+type Timing struct {
+	// Wall is the experiment's end-to-end wall clock (filled by Run).
+	Wall time.Duration
+	// Workers is the pool size the run used (filled by Run).
+	Workers int
+	// Points carries per-sweep-point campaign timing for drivers that
+	// fan out over the engine; empty for cheap analytic drivers.
+	Points []PointTiming
+}
+
 // Output is one experiment's result bundle.
 type Output struct {
 	// ID and Title identify the reconstructed figure/table.
@@ -47,16 +125,34 @@ type Output struct {
 	Series []*metrics.Series
 	// Notes records caveats and the expected shape from the paper.
 	Notes []string
+	// Timing is the run's performance telemetry (not part of the
+	// deterministic output).
+	Timing Timing
 }
 
-// Runner executes one experiment.
-type Runner func(cfg Config) (*Output, error)
+// Runner executes one experiment. Implementations must honor ctx
+// cancellation promptly (campaign loops checkpoint it) and must keep
+// their rendered output independent of Config.Workers.
+type Runner func(ctx context.Context, cfg Config) (*Output, error)
 
 // Experiment pairs an ID with its runner.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   Runner
+}
+
+// Run executes one experiment with wall-clock accounting: the elapsed
+// time and effective worker count land in Output.Timing.
+func Run(ctx context.Context, e Experiment, cfg Config) (*Output, error) {
+	start := time.Now()
+	out, err := e.Run(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Timing.Wall = time.Since(start)
+	out.Timing.Workers = cfg.workers()
+	return out, nil
 }
 
 // All returns every experiment in the reconstructed evaluation, in
@@ -85,12 +181,44 @@ func All() []Experiment {
 	}
 }
 
-// ByID returns the experiment with the given ID.
-func ByID(id string) (Experiment, error) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, nil
-		}
+// ErrUnknownExperiment reports a ByID lookup that matched no experiment.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// byIDIndex is the lookup table behind ByID, built once.
+var byIDIndex = sync.OnceValue(func() map[string]Experiment {
+	all := All()
+	m := make(map[string]Experiment, len(all))
+	for _, e := range all {
+		m[normalizeID(e.ID)] = e
 	}
-	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+	return m
+})
+
+// normalizeID canonicalizes a user-supplied experiment ID: IDs are
+// case-insensitive and tolerate surrounding whitespace.
+func normalizeID(id string) string { return strings.ToLower(strings.TrimSpace(id)) }
+
+// ByID returns the experiment with the given ID (case-insensitive,
+// whitespace-tolerant). Unknown IDs report ErrUnknownExperiment.
+func ByID(id string) (Experiment, error) {
+	if e, ok := byIDIndex()[normalizeID(id)]; ok {
+		return e, nil
+	}
+	return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// mapTimed fans n jobs out over the configured worker pool with
+// deterministic result order; see engine.MapTimed.
+func mapTimed[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]engine.Result[T], error) {
+	return engine.MapTimed(ctx, cfg.workers(), n, fn)
+}
+
+// sumElapsed totals the wall clock of a contiguous job range [lo, hi) —
+// the per-point cost of one merged table row.
+func sumElapsed[T any](results []engine.Result[T], lo, hi int) time.Duration {
+	var d time.Duration
+	for _, r := range results[lo:hi] {
+		d += r.Elapsed
+	}
+	return d
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -32,7 +33,7 @@ func TestRegistry(t *testing.T) {
 }
 
 func TestRectifierCurveShape(t *testing.T) {
-	out, err := RunRectifierCurve(quickCfg)
+	out, err := RunRectifierCurve(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestRectifierCurveShape(t *testing.T) {
 }
 
 func TestSuperpositionShape(t *testing.T) {
-	out, err := RunSuperpositionSweep(quickCfg)
+	out, err := RunSuperpositionSweep(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSuperpositionShape(t *testing.T) {
 }
 
 func TestNullSteeringShape(t *testing.T) {
-	out, err := RunNullSteering(quickCfg)
+	out, err := RunNullSteering(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestNullSteeringShape(t *testing.T) {
 type seriesRef struct{ y []float64 }
 
 func TestExhaustionVsN(t *testing.T) {
-	out, err := RunExhaustionVsN(quickCfg)
+	out, err := RunExhaustionVsN(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestExhaustionVsN(t *testing.T) {
 }
 
 func TestUtilityVsBudget(t *testing.T) {
-	out, err := RunUtilityVsBudget(quickCfg)
+	out, err := RunUtilityVsBudget(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestUtilityVsBudget(t *testing.T) {
 }
 
 func TestDetectionROC(t *testing.T) {
-	out, err := RunDetectionROC(quickCfg)
+	out, err := RunDetectionROC(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestDetectionROC(t *testing.T) {
 }
 
 func TestApproxRatio(t *testing.T) {
-	out, err := RunApproxRatio(quickCfg)
+	out, err := RunApproxRatio(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestApproxRatio(t *testing.T) {
 }
 
 func TestLifetime(t *testing.T) {
-	out, err := RunLifetime(quickCfg)
+	out, err := RunLifetime(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestLifetime(t *testing.T) {
 }
 
 func TestRuntime(t *testing.T) {
-	out, err := RunRuntime(quickCfg)
+	out, err := RunRuntime(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestRuntime(t *testing.T) {
 }
 
 func TestHeadlineTable(t *testing.T) {
-	out, err := RunHeadline(quickCfg)
+	out, err := RunHeadline(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestHeadlineTable(t *testing.T) {
 }
 
 func TestAblationsTable(t *testing.T) {
-	out, err := RunAblations(quickCfg)
+	out, err := RunAblations(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestTestbedExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second wall-clock test")
 	}
-	out, err := RunTestbed(quickCfg)
+	out, err := RunTestbed(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestRandomInstanceValid(t *testing.T) {
 }
 
 func TestCounterWitnessShape(t *testing.T) {
-	out, err := RunCounterWitness(quickCfg)
+	out, err := RunCounterWitness(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +299,7 @@ func TestCounterWitnessShape(t *testing.T) {
 func TestDefenseVerificationShape(t *testing.T) {
 	// One quick seed can legitimately have a single spoof that dodges a
 	// 40% check; average over a few seeds for a stable shape.
-	out, err := RunDefenseVerification(Config{Quick: true, Seeds: 4})
+	out, err := RunDefenseVerification(context.Background(), Config{Quick: true, Seeds: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +315,7 @@ func TestDefenseVerificationShape(t *testing.T) {
 }
 
 func TestFleetShape(t *testing.T) {
-	out, err := RunFleet(quickCfg)
+	out, err := RunFleet(context.Background(), quickCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
@@ -15,32 +17,54 @@ import (
 // It quantifies the substrate assumption behind the whole evaluation —
 // that the charger fleet is sized to its network — and shows what
 // saturation looks like (missed requests, first deaths, busy fractions).
-func RunFleet(cfg Config) (*Output, error) {
+// The fleet-size × seed grid fans out over the worker pool.
+func RunFleet(ctx context.Context, cfg Config) (*Output, error) {
 	n := 800
 	fleets := []int{1, 2, 3, 4}
 	if cfg.Quick {
 		n = 400
 		fleets = []int{1, 2}
 	}
+	seeds := cfg.seeds()
+
+	type job struct {
+		chargers int
+		seed     uint64
+	}
+	jobs := make([]job, 0, len(fleets)*seeds)
+	for _, k := range fleets {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{chargers: k, seed: cfg.seed(s)})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.FleetOutcome, error) {
+		j := jobs[i]
+		nw, _, err := trace.DefaultScenario(j.seed, n).Build()
+		if err != nil {
+			return nil, err
+		}
+		chargers := make([]*mc.Charger, j.chargers)
+		for i := range chargers {
+			chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
+		}
+		return campaign.RunLegitFleetContext(ctx, nw, chargers, campaign.Config{Seed: j.seed})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Tab 4 — fleet scaling at saturation",
 		"chargers", "dead", "first_death_day", "served_frac", "busy_frac", "utility_mj")
 	deadSeries := &metrics.Series{Label: "dead"}
 	busySeries := &metrics.Series{Label: "busy_frac"}
+	var points []PointTiming
+	idx := 0
 	for _, k := range fleets {
 		var dead, firstDeath, served, busy, util metrics.Summary
-		for s := 0; s < cfg.seeds(); s++ {
-			nw, _, err := trace.DefaultScenario(cfg.seed(s), n).Build()
-			if err != nil {
-				return nil, err
-			}
-			chargers := make([]*mc.Charger, k)
-			for i := range chargers {
-				chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
-			}
-			o, err := campaign.RunLegitFleet(nw, chargers, campaign.Config{Seed: cfg.seed(s)})
-			if err != nil {
-				return nil, err
-			}
+		row := idx
+		for s := 0; s < seeds; s++ {
+			o := outs[idx].Value
+			idx++
 			dead.Add(float64(o.DeadTotal))
 			if !math.IsInf(o.FirstDeathAt, 1) {
 				firstDeath.Add(o.FirstDeathAt / 86400)
@@ -52,11 +76,16 @@ func RunFleet(cfg Config) (*Output, error) {
 		tbl.AddRowf(k, dead.Mean(), firstDeath.Mean(), served.Mean(), busy.Mean(), util.Mean())
 		deadSeries.Append(float64(k), dead.Mean())
 		busySeries.Append(float64(k), busy.Mean())
+		points = append(points, PointTiming{
+			Label:   fmt.Sprintf("chargers=%d", k),
+			Elapsed: sumElapsed(outs, row, idx),
+		})
 	}
 	return &Output{
 		ID: "rtab4", Title: "Fleet scaling (extension)",
 		Table: tbl, XName: "chargers",
 		Series: []*metrics.Series{deadSeries, busySeries},
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension: multi-charger on-demand service over the shared queue, driven by the discrete-event engine.",
 			"Expected shape: a single charger cannot absorb the initial request wave — a mass die-off follows, after which the survivors match its capacity (low average busy over the whole horizon). Adding chargers moves the first death out and then eliminates deaths entirely.",

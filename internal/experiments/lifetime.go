@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
@@ -10,8 +12,9 @@ import (
 // sink-reachable) nodes and surviving key nodes over the horizon, under
 // legitimate service versus the CSA attack. The gap between the two
 // connected-node curves is the damage the attack inflicts while staying
-// invisible to the charging telemetry.
-func RunLifetime(cfg Config) (*Output, error) {
+// invisible to the charging telemetry. The two campaigns are independent
+// and run concurrently on the worker pool.
+func RunLifetime(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	if cfg.Quick {
 		n = 100
@@ -19,16 +22,18 @@ func RunLifetime(cfg Config) (*Output, error) {
 	sampleEvery := 6 * 3600.0
 	seed := cfg.seed(0)
 
-	legit, err := runOneLegit(seed, n, campaign.Config{SampleEverySec: sampleEvery})
-	if err != nil {
-		return nil, err
-	}
-	att, err := runOneAttack(seed, n, campaign.Config{
-		Solver: campaign.SolverCSA, SampleEverySec: sampleEvery,
+	outs, err := mapTimed(ctx, cfg, 2, func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		if i == 0 {
+			return runOneLegit(ctx, seed, n, campaign.Config{SampleEverySec: sampleEvery})
+		}
+		return runOneAttack(ctx, seed, n, campaign.Config{
+			Solver: campaign.SolverCSA, SampleEverySec: sampleEvery,
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	legit, att := outs[0].Value, outs[1].Value
 
 	connLegit := &metrics.Series{Label: "connected_legit"}
 	connAtt := &metrics.Series{Label: "connected_csa"}
@@ -53,6 +58,10 @@ func RunLifetime(cfg Config) (*Output, error) {
 		ID: "rfig8", Title: "Network lifetime under attack",
 		Table: tbl, XName: "day",
 		Series: []*metrics.Series{connLegit, connAtt, keyLegit, keyAtt},
+		Timing: Timing{Points: []PointTiming{
+			{Label: "legit", Elapsed: outs[0].Elapsed},
+			{Label: "csa", Elapsed: outs[1].Elapsed},
+		}},
 		Notes: []string{
 			"Expected shape: legitimate service holds connectivity ≈ N for the whole horizon; under CSA, key-node deaths produce cliff-shaped connectivity collapses while the charging telemetry stays clean.",
 		},

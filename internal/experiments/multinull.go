@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
@@ -18,7 +20,7 @@ import (
 // nothing to attest and the countermeasure starves of evidence. Harvest
 // verification, which measures at the victim itself, survives every array
 // order.
-func RunCounterWitness(cfg Config) (*Output, error) {
+func RunCounterWitness(_ context.Context, cfg Config) (*Output, error) {
 	rect := wpt.DefaultRectifier()
 	witnessThreshold := (defense.Config{}).WitnessThreshold()
 	victim := geom.Pt(0, 0.8)

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -12,8 +15,10 @@ import (
 // Sink connectivity vs nodes removed, for random failures, targeted
 // betweenness removal, and severance-ordered removal (the attack's target
 // order). The severance curve's cliff after a handful of removals is why
-// the attack only needs to exhaust the key nodes.
-func RunRobustness(cfg Config) (*Output, error) {
+// the attack only needs to exhaust the key nodes. Seeds fan out over the
+// worker pool; each job owns its network replica and sweeps all three
+// strategies on it, exactly as the sequential loop did.
+func RunRobustness(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	steps := 25
 	if cfg.Quick {
@@ -23,6 +28,30 @@ func RunRobustness(cfg Config) (*Output, error) {
 	strategies := []wrsn.RemovalStrategy{
 		wrsn.RemoveRandom, wrsn.RemoveByBetweenness, wrsn.RemoveBySeverance,
 	}
+	seeds := cfg.seeds()
+
+	outs, err := mapTimed(ctx, cfg, seeds, func(ctx context.Context, s int) ([][]wrsn.RobustnessPoint, error) {
+		nw, _, err := trace.DefaultScenario(cfg.seed(s), n).Build()
+		if err != nil {
+			return nil, err
+		}
+		sweeps := make([][]wrsn.RobustnessPoint, len(strategies))
+		for si, strat := range strategies {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pts, err := nw.RobustnessSweep(strat, steps, rng.New(cfg.seed(s)).Split("robust"))
+			if err != nil {
+				return nil, err
+			}
+			sweeps[si] = pts
+		}
+		return sweeps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Fig 13 — connectivity under node removal",
 		"removed", "random", "betweenness", "severance")
 	series := make([]*metrics.Series, len(strategies))
@@ -31,20 +60,17 @@ func RunRobustness(cfg Config) (*Output, error) {
 		series[i] = &metrics.Series{Label: s.String()}
 		curves[i] = make([]metrics.Summary, steps+1)
 	}
-	for s := 0; s < cfg.seeds(); s++ {
-		nw, _, err := trace.DefaultScenario(cfg.seed(s), n).Build()
-		if err != nil {
-			return nil, err
-		}
-		for si, strat := range strategies {
-			pts, err := nw.RobustnessSweep(strat, steps, rng.New(cfg.seed(s)).Split("robust"))
-			if err != nil {
-				return nil, err
-			}
-			for _, p := range pts {
+	var points []PointTiming
+	for s := 0; s < seeds; s++ {
+		for si := range strategies {
+			for _, p := range outs[s].Value[si] {
 				curves[si][p.Removed].Add(float64(p.Connected) / float64(n))
 			}
 		}
+		points = append(points, PointTiming{
+			Label:   fmt.Sprintf("seed#%d", s),
+			Elapsed: outs[s].Elapsed,
+		})
 	}
 	for k := 0; k <= steps; k++ {
 		vals := make([]float64, len(strategies))
@@ -57,6 +83,7 @@ func RunRobustness(cfg Config) (*Output, error) {
 	return &Output{
 		ID: "rfig13", Title: "Structural robustness (extension)",
 		Table: tbl, XName: "removed", Series: series,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension: the structural case for key-node targeting. Severance-ordered removal is exactly the attack's kill order.",
 			"Expected shape: random removals erode connectivity roughly linearly; severance-ordered removal produces cliffs, stranding large fractions within the first handful of kills; betweenness sits between.",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
@@ -14,8 +15,10 @@ import (
 // the attack? Energy-aware routing shifts load off draining relays and is
 // the folklore remedy for uneven depletion — but articulation points have
 // no alternative paths by definition, so the attack's targets and their
-// fate barely move. A negative result worth measuring.
-func RunRoutingMitigation(cfg Config) (*Output, error) {
+// fate barely move. A negative result worth measuring. Each (policy,
+// seed) cell needs an attack run and a legitimate baseline; both fan out
+// over the worker pool.
+func RunRoutingMitigation(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	if cfg.Quick {
 		n = 100
@@ -25,35 +28,60 @@ func RunRoutingMitigation(cfg Config) (*Output, error) {
 		wrsn.PolicyHopCount,
 		wrsn.PolicyEnergyAware,
 	}
+	seeds := cfg.seeds()
+
+	// Two campaigns per (policy, seed) cell, adjacent in job order: the
+	// attack run and the legitimate health baseline.
+	const runsPerCell = 2
+	type job struct {
+		policy wrsn.RoutingPolicy
+		seed   uint64
+		attack bool
+	}
+	jobs := make([]job, 0, len(policies)*seeds*runsPerCell)
+	for _, pol := range policies {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{policy: pol, seed: cfg.seed(s), attack: true})
+			jobs = append(jobs, job{policy: pol, seed: cfg.seed(s), attack: false})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		sc := trace.DefaultScenario(j.seed, n)
+		sc.Policy = j.policy
+		if j.attack {
+			return runAttackOnScenario(ctx, sc, campaign.Config{
+				Seed: j.seed, Solver: campaign.SolverCSA,
+			})
+		}
+		nw, _, err := sc.Build()
+		if err != nil {
+			return nil, err
+		}
+		return campaign.RunLegitContext(ctx, nw, newDefaultCharger(nw), campaign.Config{Seed: j.seed})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Tab 5 — routing policy vs the attack",
 		"policy", "keys", "exhaust_ratio", "detected_frac", "legit_dead", "legit_first_death_day")
 	exhaustSeries := &metrics.Series{Label: "exhaust_ratio"}
+	var points []PointTiming
+	k := 0
 	for pi, pol := range policies {
 		var keys, ratio, det, legitDead, firstDeath metrics.Summary
-		for s := 0; s < cfg.seeds(); s++ {
-			sc := trace.DefaultScenario(cfg.seed(s), n)
-			sc.Policy = pol
-			o, err := runAttackOnScenario(sc, campaign.Config{
-				Seed: cfg.seed(s), Solver: campaign.SolverCSA,
-			})
-			if err != nil {
-				return nil, err
-			}
+		row := k
+		for s := 0; s < seeds; s++ {
+			o := outs[k].Value
+			lg := outs[k+1].Value
+			k += runsPerCell
 			if len(o.KeyNodes) == 0 {
 				continue
 			}
 			keys.Add(float64(len(o.KeyNodes)))
 			ratio.Add(o.KeyExhaustRatio())
 			det.Add(b2f(o.Detected))
-
-			nw, _, err := sc.Build()
-			if err != nil {
-				return nil, err
-			}
-			lg, err := campaign.RunLegit(nw, newDefaultCharger(nw), campaign.Config{Seed: cfg.seed(s)})
-			if err != nil {
-				return nil, err
-			}
 			legitDead.Add(float64(lg.DeadTotal))
 			if !math.IsInf(lg.FirstDeathAt, 1) {
 				firstDeath.Add(lg.FirstDeathAt / 86400)
@@ -61,11 +89,13 @@ func RunRoutingMitigation(cfg Config) (*Output, error) {
 		}
 		tbl.AddRowf(pol.String(), keys.Mean(), ratio.Mean(), det.Mean(), legitDead.Mean(), firstDeath.Mean())
 		exhaustSeries.Append(float64(pi), ratio.Mean())
+		points = append(points, PointTiming{Label: pol.String(), Elapsed: sumElapsed(outs, row, k)})
 	}
 	return &Output{
 		ID: "rtab5", Title: "Routing-policy mitigation (extension)",
 		Table: tbl, XName: "policy_index",
 		Series: []*metrics.Series{exhaustSeries},
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension: articulation points are a property of the connectivity graph, not of the routing objective — energy-aware routing rebalances depletion but cannot create alternative paths, so CSA's exhaustion barely moves.",
 			"Expected shape: similar key counts and ≥0.8 exhaustion under every policy; the legitimate columns confirm each policy is a healthy baseline.",

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
@@ -11,8 +13,10 @@ import (
 // compared as legitimate baselines — queueing delay, travel, service rate
 // and deaths under a single charger. It grounds the evaluation's choice
 // of NJNP and quantifies the latency/travel trade the tour-based policy
-// makes.
-func RunSchedulers(cfg Config) (*Output, error) {
+// makes. The policy × seed grid fans out over the worker pool; each job
+// constructs its own scheduler instance, since tour-based policies carry
+// state.
+func RunSchedulers(ctx context.Context, cfg Config) (*Output, error) {
 	// Policies only differentiate under queue contention; size the
 	// network so a single charger runs at high utilization.
 	n := 500
@@ -25,17 +29,38 @@ func RunSchedulers(cfg Config) (*Output, error) {
 		func() charging.Scheduler { return charging.EDF{} },
 		func() charging.Scheduler { return &charging.PeriodicTSP{} },
 	}
+	seeds := cfg.seeds()
+
+	type job struct {
+		sched int
+		seed  uint64
+	}
+	jobs := make([]job, 0, len(schedulers)*seeds)
+	for si := range schedulers {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{sched: si, seed: cfg.seed(s)})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		return runOneLegit(ctx, j.seed, n, campaign.Config{Scheduler: schedulers[j.sched]()})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Tab 6 — on-demand scheduling policies (legitimate service)",
 		"scheduler", "mean_wait_h", "served_frac", "dead", "energy_mj", "utility_mj")
 	waitSeries := &metrics.Series{Label: "mean_wait_h"}
+	var points []PointTiming
+	k := 0
 	for si, mk := range schedulers {
 		var wait, served, dead, energy, util metrics.Summary
 		name := mk().Name()
-		for s := 0; s < cfg.seeds(); s++ {
-			o, err := runOneLegit(cfg.seed(s), n, campaign.Config{Scheduler: mk()})
-			if err != nil {
-				return nil, err
-			}
+		row := k
+		for s := 0; s < seeds; s++ {
+			o := outs[k].Value
+			k++
 			wait.Add(o.MeanWaitSec / 3600)
 			served.Add(metrics.Ratio(float64(o.RequestsServed), float64(o.RequestsIssued)))
 			dead.Add(float64(o.DeadTotal))
@@ -44,11 +69,13 @@ func RunSchedulers(cfg Config) (*Output, error) {
 		}
 		tbl.AddRowf(name, wait.Mean(), served.Mean(), dead.Mean(), energy.Mean(), util.Mean())
 		waitSeries.Append(float64(si), wait.Mean())
+		points = append(points, PointTiming{Label: name, Elapsed: sumElapsed(outs, row, k)})
 	}
 	return &Output{
 		ID: "rtab6", Title: "Scheduler comparison (extension)",
 		Table: tbl, XName: "scheduler_index",
 		Series: []*metrics.Series{waitSeries},
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Extension: legitimate on-demand policies under one saturated charger.",
 			"Expected shape: at saturation the policies separate sharply — NJNP's travel thrift wins (fewest deaths, shortest waits); FCFS squanders the budget criss-crossing the field and collapses; EDF saves urgent nodes at the cost of long average waits; PeriodicTSP sits between.",

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
@@ -11,30 +14,56 @@ import (
 // RunHeadline reproduces R-Tab 1: the paper's headline claim across
 // deployment patterns — exhaustion ratio, stealth, and how much genuine
 // charging service the network still received, for the CSA attacker
-// against the no-cover Direct attacker.
-func RunHeadline(cfg Config) (*Output, error) {
+// against the no-cover Direct attacker. The pattern × solver × seed grid
+// fans out over the worker pool.
+func RunHeadline(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	if cfg.Quick {
 		n = 100
 	}
 	patterns := []trace.Deployment{trace.DeployUniform, trace.DeployClustered, trace.DeployCorridor}
+	specs := []struct {
+		solver string
+		noFill bool
+	}{{campaign.SolverCSA, false}, {campaign.SolverDirect, true}}
+	seeds := cfg.seeds()
+
+	type job struct {
+		pat  trace.Deployment
+		spec int
+		seed uint64
+	}
+	jobs := make([]job, 0, len(patterns)*len(specs)*seeds)
+	for _, pat := range patterns {
+		for si := range specs {
+			for s := 0; s < seeds; s++ {
+				jobs = append(jobs, job{pat: pat, spec: si, seed: cfg.seed(s)})
+			}
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		sc := trace.DefaultScenario(j.seed, n)
+		sc.Deploy.Pattern = j.pat
+		return runAttackOnScenario(ctx, sc, campaign.Config{
+			Seed: j.seed, Solver: specs[j.spec].solver, NoFill: specs[j.spec].noFill,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Tab 1 — headline: exhaustion and stealth by scenario",
 		"deployment", "solver", "keys", "exhaust_ratio", "detected_frac", "served_frac", "util_mj")
+	var points []PointTiming
+	k := 0
 	for _, pat := range patterns {
-		for _, spec := range []struct {
-			solver string
-			noFill bool
-		}{{campaign.SolverCSA, false}, {campaign.SolverDirect, true}} {
+		for _, spec := range specs {
 			var keys, ratio, det, served, util metrics.Summary
-			for s := 0; s < cfg.seeds(); s++ {
-				sc := trace.DefaultScenario(cfg.seed(s), n)
-				sc.Deploy.Pattern = pat
-				o, err := runAttackOnScenario(sc, campaign.Config{
-					Seed: cfg.seed(s), Solver: spec.solver, NoFill: spec.noFill,
-				})
-				if err != nil {
-					return nil, err
-				}
+			row := k
+			for s := 0; s < seeds; s++ {
+				o := outs[k].Value
+				k++
 				if len(o.KeyNodes) == 0 {
 					continue // no separators: exhaustion is vacuous
 				}
@@ -45,11 +74,16 @@ func RunHeadline(cfg Config) (*Output, error) {
 				util.Add(o.CoverUtilityJ / 1e6)
 			}
 			tbl.AddRowf(pat.String(), spec.solver, keys.Mean(), ratio.Mean(), det.Mean(), served.Mean(), util.Mean())
+			points = append(points, PointTiming{
+				Label:   fmt.Sprintf("%s/%s", pat, spec.solver),
+				Elapsed: sumElapsed(outs, row, k),
+			})
 		}
 	}
 	return &Output{
 		ID: "rtab1", Title: "Headline table",
-		Table: tbl,
+		Table:  tbl,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Paper claim: CSA exhausts ≥80% of key nodes undetected; expect exhaust_ratio ≥ 0.8 with detected_frac 0 for CSA, and detected_frac ≈ 1 with low exhaustion for Direct.",
 		},
@@ -58,8 +92,10 @@ func RunHeadline(cfg Config) (*Output, error) {
 
 // RunTestbed reproduces R-Tab 2: the TCP software-in-the-loop test bed —
 // real node and charger agents exchanging protocol messages over loopback
-// TCP — under attack and under legitimate service.
-func RunTestbed(cfg Config) (*Output, error) {
+// TCP — under attack and under legitimate service. The test bed runs real
+// agents against the wall clock, so the two modes execute sequentially;
+// parallelizing them would contend for CPU inside their real-time windows.
+func RunTestbed(ctx context.Context, cfg Config) (*Output, error) {
 	duration := 4000
 	if cfg.Quick {
 		duration = 1500
@@ -70,6 +106,9 @@ func RunTestbed(cfg Config) (*Output, error) {
 		name   string
 		attack bool
 	}{{"attack(CSA)", true}, {"legitimate", false}} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		rep, err := testbed.Run(testbed.RunConfig{
 			Nodes:          testbed.DefaultNodes(),
 			Attack:         mode.attack,
@@ -97,8 +136,9 @@ func RunTestbed(cfg Config) (*Output, error) {
 // time shows why each exists. no-cover (Direct) and no-fill lose stealth;
 // a single emitter cannot create the null, so the 'spoof' genuinely
 // charges its victims; commodity phase jitter leaves residuals the
-// rectifier harvests.
-func RunAblations(cfg Config) (*Output, error) {
+// rectifier harvests. The variant × seed grid fans out over the worker
+// pool.
+func RunAblations(ctx context.Context, cfg Config) (*Output, error) {
 	n := 200
 	if cfg.Quick {
 		n = 100
@@ -115,17 +155,38 @@ func RunAblations(cfg Config) (*Output, error) {
 		{"progressive (extension)", func(c *campaign.Config) { c.Progressive = true }},
 		{"CSA+polish (extension)", func(c *campaign.Config) { c.Solver = campaign.SolverCSAPolished }},
 	}
+	seeds := cfg.seeds()
+
+	type job struct {
+		variant int
+		seed    uint64
+	}
+	jobs := make([]job, 0, len(variants)*seeds)
+	for vi := range variants {
+		for s := 0; s < seeds; s++ {
+			jobs = append(jobs, job{variant: vi, seed: cfg.seed(s)})
+		}
+	}
+	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
+		j := jobs[i]
+		ccfg := campaign.Config{Seed: j.seed, Solver: campaign.SolverCSA}
+		variants[j.variant].mut(&ccfg)
+		return runOneAttack(ctx, j.seed, n, ccfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := report.NewTable("R-Tab 3 — ablations",
 		"variant", "exhaust_ratio", "detected_frac", "caught_day_mean", "served_frac")
+	var points []PointTiming
+	k := 0
 	for _, v := range variants {
 		var ratio, det, caughtDay, served metrics.Summary
-		for s := 0; s < cfg.seeds(); s++ {
-			ccfg := campaign.Config{Seed: cfg.seed(s), Solver: campaign.SolverCSA}
-			v.mut(&ccfg)
-			o, err := runOneAttack(cfg.seed(s), n, ccfg)
-			if err != nil {
-				return nil, err
-			}
+		row := k
+		for s := 0; s < seeds; s++ {
+			o := outs[k].Value
+			k++
 			if len(o.KeyNodes) == 0 {
 				continue // no separators: exhaustion is vacuous
 			}
@@ -137,10 +198,12 @@ func RunAblations(cfg Config) (*Output, error) {
 			}
 		}
 		tbl.AddRowf(v.name, ratio.Mean(), det.Mean(), caughtDay.Mean(), served.Mean())
+		points = append(points, PointTiming{Label: v.name, Elapsed: sumElapsed(outs, row, k)})
 	}
 	return &Output{
 		ID: "rtab3", Title: "Ablations",
-		Table: tbl,
+		Table:  tbl,
+		Timing: Timing{Points: points},
 		Notes: []string{
 			"Expected: full CSA ≈ 1.0 exhaustion, 0 detection. no-cover/no-fill get caught (shortfall). single-emitter cannot null — victims get genuinely charged and survive.",
 		},
@@ -148,11 +211,11 @@ func RunAblations(cfg Config) (*Output, error) {
 }
 
 // runAttackOnScenario runs an attack campaign on an explicit scenario.
-func runAttackOnScenario(sc trace.Scenario, ccfg campaign.Config) (*campaign.Outcome, error) {
+func runAttackOnScenario(ctx context.Context, sc trace.Scenario, ccfg campaign.Config) (*campaign.Outcome, error) {
 	nw, _, err := sc.Build()
 	if err != nil {
 		return nil, err
 	}
 	ch := newDefaultCharger(nw)
-	return campaign.RunAttack(nw, ch, ccfg)
+	return campaign.RunAttackContext(ctx, nw, ch, ccfg)
 }

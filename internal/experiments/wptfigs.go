@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/geom"
@@ -14,7 +15,7 @@ import (
 // dead zone below −10 dBm, the rising conversion region, and saturation.
 // The dead zone is the attack's lever: any residual RF under it harvests
 // exactly zero.
-func RunRectifierCurve(cfg Config) (*Output, error) {
+func RunRectifierCurve(_ context.Context, cfg Config) (*Output, error) {
 	rect := wpt.DefaultRectifier()
 	tbl := report.NewTable("R-Fig 1 — rectifier transfer curve", "rf_in_w", "efficiency", "dc_out_w")
 	dc := &metrics.Series{Label: "dc_out_w"}
@@ -47,7 +48,7 @@ func RunRectifierCurve(cfg Config) (*Output, error) {
 // 0..2π, against the incoherent (power-additive) prediction. The collapse
 // at π — invisible to the incoherent model — is the nonlinear superposition
 // effect the attack is built on.
-func RunSuperpositionSweep(cfg Config) (*Output, error) {
+func RunSuperpositionSweep(_ context.Context, cfg Config) (*Output, error) {
 	arr := wpt.NewArray(geom.Pt(-0.3, 0), geom.Pt(0.3, 0))
 	rect := wpt.DefaultRectifier()
 	victim := geom.Pt(0, 1.5)
@@ -89,8 +90,10 @@ func RunSuperpositionSweep(cfg Config) (*Output, error) {
 // focused power) and spoof feasibility at increasing victim distance, for
 // several phase-jitter grades. It maps the hardware-precision boundary of
 // the attack: commodity-grade jitter leaves residuals above the rectifier
-// dead zone and the spoof fails.
-func RunNullSteering(cfg Config) (*Output, error) {
+// dead zone and the spoof fails. The Monte Carlo draws consume a single
+// sequential RNG stream, so this driver stays sequential by design (a
+// parallel split would change the drawn samples and the output bytes).
+func RunNullSteering(ctx context.Context, cfg Config) (*Output, error) {
 	sigmas := []float64{1e-4, 1e-3, 5e-3, 0.035} // rad RMS; 0.035 ≈ 2° commodity
 	band := wpt.DefaultSpoofBand()
 	rect := wpt.DefaultRectifier()
@@ -114,6 +117,9 @@ func RunNullSteering(cfg Config) (*Output, error) {
 		steps = 6
 	}
 	for i := 0; i <= steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		d := 0.5 + 7.0*float64(i)/float64(steps)
 		victim := geom.Pt(0, d)
 		for si, sigma := range sigmas {

@@ -18,6 +18,8 @@
 package wrsncsa
 
 import (
+	"context"
+
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/defense"
@@ -87,15 +89,29 @@ func NewCharger(nw *Network) *Charger {
 
 // Attack runs the full charging spoofing attack campaign on the network:
 // TIDE planning, adaptive spoof execution, opportunistic cover service,
-// live audits. See campaign.RunAttack.
+// live audits. See campaign.RunAttack. It is AttackContext with a
+// background context; prefer AttackContext when the caller may need to
+// cancel.
 func Attack(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
 	return campaign.RunAttack(nw, ch, cfg)
 }
 
+// AttackContext is Attack with cancellation: the campaign checkpoints ctx
+// at every world-step and service boundary and returns ctx.Err() promptly
+// once the context is canceled. See campaign.RunAttackContext.
+func AttackContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return campaign.RunAttackContext(ctx, nw, ch, cfg)
+}
+
 // Legit runs the uncompromised on-demand charging baseline. See
-// campaign.RunLegit.
+// campaign.RunLegit. It is LegitContext with a background context.
 func Legit(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
 	return campaign.RunLegit(nw, ch, cfg)
+}
+
+// LegitContext is Legit with cancellation; see campaign.RunLegitContext.
+func LegitContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return campaign.RunLegitContext(ctx, nw, ch, cfg)
 }
 
 // PlanTIDE builds the TIDE instance for the network's current state and
@@ -156,7 +172,14 @@ type Exposure = defense.Exposure
 type FleetOutcome = campaign.FleetOutcome
 
 // LegitFleet runs K honest chargers over the shared request queue. See
-// campaign.RunLegitFleet.
+// campaign.RunLegitFleet. It is LegitFleetContext with a background
+// context.
 func LegitFleet(nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
 	return campaign.RunLegitFleet(nw, chargers, cfg)
+}
+
+// LegitFleetContext is LegitFleet with cancellation; see
+// campaign.RunLegitFleetContext.
+func LegitFleetContext(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
+	return campaign.RunLegitFleetContext(ctx, nw, chargers, cfg)
 }
