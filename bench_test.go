@@ -18,12 +18,13 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/experiments"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
 func benchAttack(nw *wrsn.Network, ch *mc.Charger) (*campaign.Outcome, error) {
-	return campaign.RunAttack(nw, ch, campaign.Config{Seed: 42})
+	return campaign.RunAttack(context.Background(), nw, ch, campaign.Config{Seed: 42})
 }
 
 var benchCfg = experiments.Config{Quick: true, Seeds: 1}
@@ -134,6 +135,42 @@ func BenchmarkExperimentSweep(b *testing.B) {
 				}
 				if out.Table.Rows() == 0 {
 					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProbeOverhead measures what telemetry costs a full attack
+// campaign: the same 200-node run with no probe (the no-op default, the
+// <2% overhead contract), and with a recording probe. Outcomes are
+// byte-identical in all three cases — telemetry is observational only.
+func BenchmarkProbeOverhead(b *testing.B) {
+	variants := []struct {
+		name  string
+		probe func() obs.Probe
+	}{
+		{"off", func() obs.Probe { return nil }},
+		{"nop", func() obs.Probe { return obs.Nop() }},
+		{"recorder", func() obs.Probe { return obs.NewRecorder() }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				nw, _, err := trace.DefaultScenario(42, 200).Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch := mc.New(nw.Sink(), mc.DefaultParams())
+				probe := v.probe()
+				if probe != nil {
+					ch.Instrument(probe)
+				}
+				b.StartTimer()
+				cfg := campaign.Config{Seed: 42, Probe: probe}
+				if _, err := campaign.RunAttack(context.Background(), nw, ch, cfg); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

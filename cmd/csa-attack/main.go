@@ -3,31 +3,73 @@
 // spoofed (or how it fell to the cascade), when it died, and what the
 // detector suite concluded.
 //
+// With -metrics and/or -events the run records campaign telemetry
+// (sessions, spoofs, deaths, audits, charger travel) and exports it as
+// CSV, or JSON when the file extension is .json.
+//
 // Usage:
 //
 //	csa-attack [-seed 42] [-n 200] [-days 14] [-solver CSA] [-plan-only]
+//	           [-metrics telemetry.csv] [-events events.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "csa-attack:", err)
 		os.Exit(1)
 	}
+}
+
+// telemetryProbe returns the probe for the run: a recorder when any
+// export path is set, the no-op probe otherwise.
+func telemetryProbe(paths ...string) (obs.Probe, *obs.Recorder) {
+	for _, p := range paths {
+		if p != "" {
+			rec := obs.NewRecorder()
+			return rec, rec
+		}
+	}
+	return obs.Nop(), nil
+}
+
+// exportTelemetry writes the recorder's snapshot to the requested paths
+// (CSV, or JSON for .json extensions).
+func exportTelemetry(rec *obs.Recorder, metricsPath, eventsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	snap := rec.Snapshot()
+	if metricsPath != "" {
+		if err := snap.ExportMetrics(metricsPath); err != nil {
+			return fmt.Errorf("export metrics: %w", err)
+		}
+	}
+	if eventsPath != "" {
+		if err := snap.ExportEvents(eventsPath); err != nil {
+			return fmt.Errorf("export events: %w", err)
+		}
+	}
+	return nil
 }
 
 // renderMap draws the deployment, the key-node targets and the planned
@@ -60,7 +102,7 @@ func renderMap(nw *wrsn.Network, keys []wrsn.KeyNode, in *attack.Instance, res a
 	return m.Render(os.Stdout)
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("csa-attack", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "scenario seed")
 	n := fs.Int("n", 200, "node count")
@@ -69,15 +111,20 @@ func run(args []string) error {
 	planOnly := fs.Bool("plan-only", false, "print the TIDE plan and exit without executing")
 	showMap := fs.Bool("map", false, "render the field, targets and planned route as ASCII art")
 	timeline := fs.Bool("timeline", false, "print the campaign's chronological event narrative")
+	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
+	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	probe, rec := telemetryProbe(*metricsPath, *eventsPath)
 
 	nw, _, err := trace.DefaultScenario(*seed, *n).Build()
 	if err != nil {
 		return err
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	ch.Instrument(probe)
 	keys := nw.KeyNodes()
 	fmt.Printf("network: %d nodes, %d key nodes\n", nw.Len(), len(keys))
 
@@ -105,11 +152,14 @@ func run(args []string) error {
 			site := in.Sites[stop.Site]
 			tbl.AddRowf(i, int(site.Node), site.Kind.String(), stop.Arrive/86400, stop.Begin/86400, site.Dur/60)
 		}
-		return tbl.Render(os.Stdout)
+		if err := tbl.Render(os.Stdout); err != nil {
+			return err
+		}
+		return exportTelemetry(rec, *metricsPath, *eventsPath)
 	}
 
-	o, err := campaign.RunAttack(nw, ch, campaign.Config{
-		Seed: *seed, HorizonSec: *days * 86400, Solver: *solver,
+	o, err := campaign.RunAttack(ctx, nw, ch, campaign.Config{
+		Seed: *seed, HorizonSec: *days * 86400, Solver: *solver, Probe: probe,
 	})
 	if err != nil {
 		return err
@@ -164,5 +214,5 @@ func run(args []string) error {
 			fmt.Println(" ", line)
 		}
 	}
-	return nil
+	return exportTelemetry(rec, *metricsPath, *eventsPath)
 }

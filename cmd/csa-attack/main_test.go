@@ -1,21 +1,53 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestPlanOnly(t *testing.T) {
-	if err := run([]string{"-n", "60", "-plan-only"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-plan-only"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestFullCampaignWithMapAndTimeline(t *testing.T) {
-	if err := run([]string{"-n", "60", "-days", "4", "-map", "-timeline"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "4", "-map", "-timeline"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBaselineSolver(t *testing.T) {
-	if err := run([]string{"-n", "60", "-days", "3", "-solver", "Direct"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "3", "-solver", "Direct"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTelemetryExport(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	events := filepath.Join(dir, "events.csv")
+	args := []string{"-n", "60", "-days", "3", "-metrics", metrics, "-events", events}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"counters"`, "campaign.requests.served", "charger.travel_m"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics JSON export missing %q", want)
+		}
+	}
+	e, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(e), "t,kind,node,value,detail\n") {
+		t.Errorf("events CSV header missing, got %q", string(e[:min(len(e), 60)]))
 	}
 }

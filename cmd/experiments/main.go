@@ -9,9 +9,16 @@
 // wall-clock changes. Per-experiment timing goes to stderr so stdout stays
 // a stable artifact.
 //
+// With -metrics and/or -events the run attaches a telemetry recorder to
+// the worker pool — per-job latency, job counts, pool utilization — and
+// exports it after the last experiment (CSV, or JSON when the file
+// extension is .json). Telemetry never changes the rendered tables or
+// CSV series.
+//
 // Usage:
 //
 //	experiments [-quick] [-seeds N] [-workers N] [-only rfig4] [-out results/]
+//	            [-metrics telemetry.csv] [-events events.json]
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/experiments"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
 
@@ -51,14 +59,23 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 	outDir := fs.String("out", "", "directory to write <id>.txt and <id>.csv into")
 	baseSeed := fs.Uint64("seed", 0, "base seed offset for independent replications")
 	timing := fs.Bool("timing", true, "print per-experiment timing to stderr")
+	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
+	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	probe := obs.Nop()
+	var rec *obs.Recorder
+	if *metricsPath != "" || *eventsPath != "" {
+		rec = obs.NewRecorder()
+		probe = rec
 	}
 	cfg := experiments.NewConfig(
 		experiments.WithQuick(*quick),
 		experiments.WithSeeds(*seeds),
 		experiments.WithWorkers(*workers),
 		experiments.WithBaseSeed(*baseSeed),
+		experiments.WithProbe(probe),
 	)
 
 	var selected []experiments.Experiment
@@ -98,6 +115,19 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		if *outDir != "" {
 			if err := writeOutputs(*outDir, out); err != nil {
 				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+		}
+	}
+	if rec != nil {
+		snap := rec.Snapshot()
+		if *metricsPath != "" {
+			if err := snap.ExportMetrics(*metricsPath); err != nil {
+				return fmt.Errorf("export metrics: %w", err)
+			}
+		}
+		if *eventsPath != "" {
+			if err := snap.ExportEvents(*eventsPath); err != nil {
+				return fmt.Errorf("export events: %w", err)
 			}
 		}
 	}

@@ -61,6 +61,35 @@ func TestWorkersStdoutIdentical(t *testing.T) {
 	}
 }
 
+// TestTelemetryExport checks the -metrics flag records the worker pool
+// without perturbing the deterministic stdout stream.
+func TestTelemetryExport(t *testing.T) {
+	runOnce := func(extra ...string) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		args := append([]string{"-quick", "-seeds", "1", "-only", "rfig4", "-workers", "2"}, extra...)
+		if err := run(context.Background(), args, &buf, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	plain := runOnce()
+	metrics := filepath.Join(t.TempDir(), "telemetry.csv")
+	probed := runOnce("-metrics", metrics)
+	if !bytes.Equal(plain, probed) {
+		t.Error("stdout differs with -metrics attached; telemetry must be observational only")
+	}
+	b, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"engine.jobs", "engine.job_sec", "engine.workers", "engine.pool_utilization"} {
+		if !bytes.Contains(b, []byte(want)) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+}
+
 func TestCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

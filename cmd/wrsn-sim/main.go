@@ -2,33 +2,63 @@
 // legitimate on-demand service by default, or the full charging spoofing
 // attack with -attack — and prints the outcome and detector verdicts.
 //
+// With -metrics and/or -events the run records telemetry (sim engine
+// throughput, charger travel, campaign sessions) and exports it as CSV,
+// or JSON when the file extension is .json.
+//
 // Usage:
 //
 //	wrsn-sim [-seed 42] [-n 200] [-pattern uniform|clustered|grid|corridor]
 //	         [-days 14] [-scheduler NJNP|FCFS|EDF] [-attack] [-solver CSA]
+//	         [-metrics telemetry.csv] [-events events.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// exportTelemetry snapshots the recorder (when one exists) and writes the
+// requested export files (CSV, or JSON for .json extensions).
+func exportTelemetry(rec *obs.Recorder, metricsPath, eventsPath string) error {
+	if rec == nil {
+		return nil
+	}
+	snap := rec.Snapshot()
+	if metricsPath != "" {
+		if err := snap.ExportMetrics(metricsPath); err != nil {
+			return fmt.Errorf("export metrics: %w", err)
+		}
+	}
+	if eventsPath != "" {
+		if err := snap.ExportEvents(eventsPath); err != nil {
+			return fmt.Errorf("export events: %w", err)
+		}
+	}
+	return nil
+}
+
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("wrsn-sim", flag.ContinueOnError)
 	seed := fs.Uint64("seed", 42, "scenario seed")
 	n := fs.Int("n", 200, "node count")
@@ -41,8 +71,16 @@ func run(args []string) error {
 	verify := fs.Float64("verify", 0, "harvest-verification probability (countermeasure extension)")
 	scenarioIn := fs.String("scenario", "", "load the scenario from this JSON file (overrides -seed/-n/-pattern)")
 	scenarioOut := fs.String("emit-scenario", "", "write the effective scenario as JSON to this file")
+	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
+	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	probe := obs.Nop()
+	var rec *obs.Recorder
+	if *metricsPath != "" || *eventsPath != "" {
+		rec = obs.NewRecorder()
+		probe = rec
 	}
 	if *chargers < 1 {
 		return fmt.Errorf("chargers must be ≥ 1")
@@ -89,12 +127,14 @@ func run(args []string) error {
 		return err
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	ch.Instrument(probe)
 	cfg := campaign.Config{
 		Seed:       *seed,
 		HorizonSec: *days * 86400,
 		Scheduler:  sched,
 		Solver:     *solver,
 		Defense:    defense.Config{VerifyProb: *verify},
+		Probe:      probe,
 	}
 
 	keys := nw.KeyNodes()
@@ -105,8 +145,9 @@ func run(args []string) error {
 		fleet := make([]*mc.Charger, *chargers)
 		for i := range fleet {
 			fleet[i] = mc.New(nw.Sink(), mc.DefaultParams())
+			fleet[i].Instrument(probe)
 		}
-		fo, err := campaign.RunLegitFleet(nw, fleet, cfg)
+		fo, err := campaign.RunLegitFleet(ctx, nw, fleet, cfg)
 		if err != nil {
 			return err
 		}
@@ -115,14 +156,14 @@ func run(args []string) error {
 			len(fo.Audit.Sessions), fo.RequestsServed, fo.RequestsIssued,
 			fo.CoverUtilityJ/1000, fo.EnergySpentJ/1e6, 100*fo.BusyFrac)
 		fmt.Printf("dead: %d/%d\n", fo.DeadTotal, nw.Len())
-		return nil
+		return exportTelemetry(rec, *metricsPath, *eventsPath)
 	}
 
 	var o *campaign.Outcome
 	if *doAttack {
-		o, err = campaign.RunAttack(nw, ch, cfg)
+		o, err = campaign.RunAttack(ctx, nw, ch, cfg)
 	} else {
-		o, err = campaign.RunLegit(nw, ch, cfg)
+		o, err = campaign.RunLegit(ctx, nw, ch, cfg)
 	}
 	if err != nil {
 		return err
@@ -147,5 +188,5 @@ func run(args []string) error {
 	if *doAttack {
 		fmt.Printf("key-node exhaustion: %.0f%%, detected: %v\n", 100*o.KeyExhaustRatio(), o.Detected)
 	}
-	return nil
+	return exportTelemetry(rec, *metricsPath, *eventsPath)
 }

@@ -1,35 +1,80 @@
 package main
 
 import (
+	"context"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 func TestRunLegit(t *testing.T) {
-	if err := run([]string{"-n", "60", "-days", "2"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "2"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAttack(t *testing.T) {
-	if err := run([]string{"-n", "60", "-days", "3", "-attack"}); err != nil {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "3", "-attack"}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFleet(t *testing.T) {
-	if err := run([]string{"-n", "60", "-days", "2", "-chargers", "2"}); err != nil {
+	metrics := filepath.Join(t.TempDir(), "fleet.csv")
+	args := []string{"-n", "60", "-days", "2", "-chargers", "2", "-metrics", metrics}
+	if err := run(context.Background(), args); err != nil {
 		t.Fatal(err)
+	}
+	// The fleet path runs on the discrete event engine, so its telemetry
+	// includes the sim.* series on top of the fleet gauges.
+	m, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sim.events", "fleet.chargers", "fleet.energy_spent_j"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("fleet metrics export missing %q", want)
+		}
 	}
 }
 
 func TestRunScenarioRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "sc.json")
-	if err := run([]string{"-n", "40", "-days", "1", "-emit-scenario", path}); err != nil {
+	if err := run(context.Background(), []string{"-n", "40", "-days", "1", "-emit-scenario", path}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-scenario", path, "-days", "1"}); err != nil {
+	if err := run(context.Background(), []string{"-scenario", path, "-days", "1"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTelemetryExport(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.csv")
+	events := filepath.Join(dir, "events.json")
+	args := []string{"-n", "60", "-days", "2", "-attack", "-metrics", metrics, "-events", events}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	m, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(m), "kind,name,n,value,mean,std,min,max\n") {
+		t.Errorf("metrics CSV header missing, got %q", string(m[:min(len(m), 60)]))
+	}
+	for _, want := range []string{"campaign.requests.issued", "campaign.wait_sec", "charger.travel_m"} {
+		if !strings.Contains(string(m), want) {
+			t.Errorf("metrics export missing %q", want)
+		}
+	}
+	e, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(e), `"kind"`) || !strings.Contains(string(e), "request") {
+		t.Errorf("events JSON export missing expected content")
 	}
 }
 
@@ -42,7 +87,7 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-scenario", "/definitely/missing.json"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

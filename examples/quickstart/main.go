@@ -1,26 +1,29 @@
 // Command quickstart is the five-minute tour of the library: build a
 // 200-node WRSN, find its key nodes, run the charging spoofing attack
-// campaign, and print the headline metrics — how many key nodes were
-// exhausted and whether any detector noticed.
+// campaign with a telemetry probe attached, and print the headline
+// metrics — how many key nodes were exhausted, whether any detector
+// noticed, and what the probe recorded along the way.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	// A 200-node network, uniformly deployed around a central sink,
 	// reproducible from the seed.
 	scenario := trace.DefaultScenario(42, 200)
@@ -40,10 +43,17 @@ func run() error {
 		fmt.Printf("  key node %3d severs %3d nodes if it dies\n", k.ID, k.Severed)
 	}
 
+	// A recording probe captures the campaign's internals — sessions,
+	// spoofs, deaths, charger travel — without changing the outcome:
+	// telemetry is strictly observational, so the run below is
+	// byte-identical to one with no probe at all.
+	rec := obs.NewRecorder()
+
 	// The compromised mobile charger runs the CSA attack: spoof every key
 	// node inside its time window while genuinely serving everyone else.
 	charger := mc.New(nw.Sink(), mc.DefaultParams())
-	outcome, err := campaign.RunAttack(nw, charger, campaign.Config{Seed: 42})
+	charger.Instrument(rec)
+	outcome, err := campaign.RunAttack(ctx, nw, charger, campaign.Config{Seed: 42, Probe: rec})
 	if err != nil {
 		return err
 	}
@@ -64,5 +74,14 @@ func run() error {
 	} else {
 		fmt.Println("  → the attack went undetected")
 	}
+
+	// The probe's snapshot is the machine-readable companion of the
+	// summary above; cmd/* expose the same data via -metrics/-events.
+	wait := rec.Histogram("campaign.wait_sec")
+	fmt.Printf("\ntelemetry: %.0f spoof sessions, %.1f km charger travel, "+
+		"mean request wait %.0f min over %d sessions, %d events recorded\n",
+		rec.Counter("campaign.session.spoof"),
+		rec.Counter("charger.travel_m")/1000,
+		wait.Mean()/60, wait.N(), len(rec.Events()))
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/detect"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
 	"github.com/reprolab/wrsn-csa/internal/wpt"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
@@ -102,6 +103,12 @@ type Config struct {
 	// Defense enables the countermeasure extensions (harvest
 	// verification, neighbor witnessing); the zero value disables both.
 	Defense defense.Config
+	// Probe receives campaign telemetry (sessions, spoofs, deaths,
+	// audits, defense exposures, charger travel, queueing delays); nil
+	// gets the no-op probe. Telemetry is strictly observational: a run
+	// with a recording probe produces a byte-identical Outcome to one
+	// without.
+	Probe obs.Probe
 }
 
 // Sample is one point of the lifetime time series.
@@ -152,6 +159,7 @@ func (c *Config) applyDefaults() {
 	case c.BenignFailRate < 0:
 		c.BenignFailRate = 0
 	}
+	c.Probe = obs.Or(c.Probe)
 }
 
 // Outcome is the result of one campaign run.
@@ -232,6 +240,9 @@ type runner struct {
 	now  float64
 	qu   charging.Queue
 	cool map[wrsn.NodeID]float64
+	// probe is cfg.Probe after normalization: always non-nil, the no-op
+	// probe when telemetry is off.
+	probe obs.Probe
 
 	sessions []charging.Session
 	audit    detect.Audit
@@ -281,6 +292,7 @@ func newRunner(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config
 		cfg:        cfg,
 		r:          rng.New(cfg.Seed).Split("campaign"),
 		cool:       make(map[wrsn.NodeID]float64),
+		probe:      cfg.Probe,
 		rect:       ch.Rectifier(),
 		firstDeath: math.Inf(1),
 		targetSet:  make(map[wrsn.NodeID]bool),
@@ -358,11 +370,13 @@ func (rn *runner) maybeAudit() {
 		if len(view.Sessions)+len(view.Unserved) < rn.cfg.MinAuditSessions {
 			continue
 		}
-		for _, v := range detect.Judge(view, rn.cfg.Detectors) {
+		rn.probe.Add("campaign.audits", 1)
+		for _, v := range detect.JudgeProbed(view, rn.cfg.Detectors, rn.probe, rn.now) {
 			if v.Flagged {
 				rn.caught = true
 				rn.caughtAt = rn.now
 				rn.caughtBy = v.Detector
+				rn.probe.Event(obs.Event{T: rn.now, Kind: "charger.impounded", Node: -1, Value: v.Score, Detail: v.Detector})
 				return
 			}
 		}
@@ -394,12 +408,21 @@ func (rn *runner) maybeSample() {
 }
 
 func (rn *runner) recordDeath(id wrsn.NodeID) {
+	reachable := rn.nw.Connected(id)
 	rn.audit.Deaths = append(rn.audit.Deaths, detect.DeathObs{
 		Node: id, Time: rn.now,
 		// Routing still reflects the pre-death topology here (Recompute
 		// runs after the batch), so this is the node's state as it died.
-		Reachable: rn.nw.Connected(id),
+		Reachable: reachable,
 	})
+	if rn.probe.Enabled() {
+		detail := "partitioned"
+		if reachable {
+			detail = "reachable"
+		}
+		rn.probe.Add("campaign.deaths", 1)
+		rn.probe.Event(obs.Event{T: rn.now, Kind: "node.death", Node: int(id), Detail: detail})
+	}
 	if rn.now < rn.firstDeath {
 		rn.firstDeath = rn.now
 	}
@@ -431,15 +454,20 @@ func (rn *runner) scanRequests() {
 		if drain > 0 {
 			deadline = rn.now + n.Battery.Level()/drain
 		}
+		need := cap - n.Battery.Level()
 		err := rn.qu.Add(charging.Request{
 			Node:     n.ID,
 			Pos:      n.Pos,
 			IssuedAt: rn.now,
 			Deadline: deadline,
-			NeedJ:    cap - n.Battery.Level(),
+			NeedJ:    need,
 		})
 		if err == nil {
 			rn.issued++
+			if rn.probe.Enabled() {
+				rn.probe.Add("campaign.requests.issued", 1)
+				rn.probe.Event(obs.Event{T: rn.now, Kind: "request", Node: int(n.ID), Value: need})
+			}
 		}
 	}
 }
@@ -586,6 +614,8 @@ func (rn *runner) applyDefenses(node *wrsn.Node, s charging.Session, claimedRate
 		}
 		if spoofed {
 			rn.exposures = append(rn.exposures, e)
+			rn.probe.Add("campaign.defense.exposures", 1)
+			rn.probe.Event(obs.Event{T: rn.now, Kind: "defense.exposure", Node: int(node.ID), Value: dc, Detail: by})
 			if rn.auditing && !rn.caught {
 				rn.caught = true
 				rn.caughtAt = rn.now
@@ -595,6 +625,8 @@ func (rn *runner) applyDefenses(node *wrsn.Node, s charging.Session, claimedRate
 			// A benign dead session looks exactly like a spoof to the
 			// measurement; the operator investigates and finds a misdock.
 			rn.falseAlarms++
+			rn.probe.Add("campaign.defense.false_alarms", 1)
+			rn.probe.Event(obs.Event{T: rn.now, Kind: "defense.false_alarm", Node: int(node.ID), Value: dc, Detail: by})
 		}
 	}
 
@@ -625,6 +657,7 @@ func (rn *runner) applyDefenses(node *wrsn.Node, s charging.Session, claimedRate
 				continue
 			}
 			rn.witnessSamples++
+			rn.probe.Add("campaign.defense.witness_samples", 1)
 			cost := def.WitnessCostJ
 			if cost <= 0 {
 				cost = defense.DefaultWitnessCostJ
@@ -663,12 +696,23 @@ func (rn *runner) completeSession(id wrsn.NodeID, s charging.Session, carrierSee
 	if req, ok := rn.qu.Get(id); ok {
 		rn.waitSum += s.Start - req.IssuedAt
 		rn.waitN++
+		rn.probe.Observe("campaign.wait_sec", s.Start-req.IssuedAt)
 	}
 	if rn.qu.Remove(id) {
 		rn.served++
+		rn.probe.Add("campaign.requests.served", 1)
 	}
 	if carrierSeen {
 		rn.cool[id] = s.End + rn.cfg.CooldownSec
+	}
+	if rn.probe.Enabled() {
+		kind := "session.focus"
+		if s.Kind == charging.SessionSpoof {
+			kind = "session.spoof"
+		}
+		rn.probe.Add("campaign."+kind, 1)
+		rn.probe.Observe("campaign.session_sec", s.End-s.Start)
+		rn.probe.Event(obs.Event{T: s.Start, Kind: kind, Node: int(id), Value: s.MeterGainJ})
 	}
 }
 
@@ -677,6 +721,9 @@ func (rn *runner) completeSession(id wrsn.NodeID, s charging.Session, carrierSee
 func (rn *runner) travelTo(node *wrsn.Node) error {
 	dock := rn.ch.ServicePoint(node.Pos)
 	dt := rn.ch.TravelTime(dock)
+	if rn.probe.Enabled() {
+		rn.probe.Event(obs.Event{T: rn.now, Kind: "charger.travel", Node: int(node.ID), Value: rn.ch.Pos().Dist(dock)})
+	}
 	if err := rn.ch.Travel(dock); err != nil {
 		return err
 	}
@@ -736,8 +783,14 @@ func (rn *runner) finish(solver string, keys []wrsn.KeyNode, planned *attack.Res
 			o.Disconnected++
 		}
 	}
-	o.Verdicts = detect.Judge(rn.audit, rn.cfg.Detectors)
+	o.Verdicts = detect.JudgeProbed(rn.audit, rn.cfg.Detectors, rn.probe, rn.now)
 	o.Detected = rn.caught || detect.AnyFlagged(o.Verdicts)
+	if rn.probe.Enabled() {
+		rn.probe.Set("campaign.key_dead", float64(o.KeyDead))
+		rn.probe.Set("campaign.dead_total", float64(o.DeadTotal))
+		rn.probe.Set("campaign.energy_spent_j", o.EnergySpentJ)
+		rn.probe.Set("campaign.mean_wait_sec", o.MeanWaitSec)
+	}
 	return o
 }
 
@@ -745,15 +798,14 @@ func (rn *runner) finish(solver string, keys []wrsn.KeyNode, planned *attack.Res
 // requests under the configured scheduler until the horizon or budget
 // exhaustion. It is both the lifetime baseline and the negative sample
 // for detector ROC curves.
-func RunLegit(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
-	return RunLegitContext(context.Background(), nw, ch, cfg)
-}
-
-// RunLegitContext is RunLegit with cancellation: the simulation checks
-// ctx at every world-step and scheduling boundary and returns ctx.Err()
-// (typically context.Canceled or context.DeadlineExceeded) as soon as it
-// observes a canceled context.
-func RunLegitContext(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
+//
+// The context is first-class: the simulation checks ctx at every
+// world-step and scheduling boundary and returns ctx.Err() (typically
+// context.Canceled or context.DeadlineExceeded) as soon as it observes a
+// canceled context. Callers without cancellation needs pass
+// context.Background(); the wrsncsa package keeps no-ctx convenience
+// wrappers.
+func RunLegit(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
 	rn := newRunner(ctx, nw, ch, cfg)
 	keys := nw.KeyNodes()
@@ -827,14 +879,11 @@ func solve(in *attack.Instance, solver string, r *rng.Stream) (attack.Result, er
 // forecasts), executes the stops at their scheduled times, and — unless
 // NoFill is set — serves emergent requests opportunistically between stops
 // to keep its cover. Key-node requests are never genuinely served.
-func RunAttack(nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
-	return RunAttackContext(context.Background(), nw, ch, cfg)
-}
-
-// RunAttackContext is RunAttack with cancellation: the campaign checks
-// ctx at every world-step, target-selection, and service boundary, and
-// returns ctx.Err() promptly once the context is canceled.
-func RunAttackContext(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
+//
+// The context is first-class: the campaign checks ctx at every
+// world-step, target-selection, and service boundary, and returns
+// ctx.Err() promptly once the context is canceled.
+func RunAttack(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
 	rn := newRunner(ctx, nw, ch, cfg)
 	keys := nw.KeyNodes()
@@ -1087,6 +1136,7 @@ func (rn *runner) recruitEmergentTargets(engaged map[wrsn.NodeID]bool, pending *
 		engaged[k.ID] = true
 		rn.blocked[k.ID] = true
 		rn.targetSet[k.ID] = true
+		rn.probe.Event(obs.Event{T: rn.now, Kind: "target.recruited", Node: int(k.ID), Value: float64(k.Severed)})
 		*pending = append(*pending, attack.Site{
 			Node:      k.ID,
 			Pos:       node.Pos,

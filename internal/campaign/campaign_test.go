@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -23,7 +24,7 @@ func buildScenario(t *testing.T, seed uint64, n int) (*wrsn.Network, *mc.Charger
 // for the full horizon and the detector suite stays quiet.
 func TestLegitBaseline(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunLegit(nw, ch, Config{Seed: 42})
+	o, err := RunLegit(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestCSAHeadline(t *testing.T) {
 	var sum float64
 	for _, seed := range seeds {
 		nw, ch := buildScenario(t, seed, 150)
-		o, err := RunAttack(nw, ch, Config{Seed: seed})
+		o, err := RunAttack(context.Background(), nw, ch, Config{Seed: seed})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +76,7 @@ func TestCSAHeadline(t *testing.T) {
 // The naive attacker gets impounded.
 func TestDirectAttackerCaught(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunAttack(nw, ch, Config{Seed: 42, Solver: SolverDirect, NoFill: true})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, Solver: SolverDirect, NoFill: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestDirectAttackerCaught(t *testing.T) {
 // degenerate to genuine charges.
 func TestSingleEmitterAblation(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunAttack(nw, ch, Config{Seed: 42, SingleEmitter: true})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, SingleEmitter: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestSingleEmitterAblation(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	run := func() *Outcome {
 		nw, ch := buildScenario(t, 7, 120)
-		o, err := RunAttack(nw, ch, Config{Seed: 7})
+		o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestDeterminism(t *testing.T) {
 // the rectifier dead zone, and deliver essentially nothing.
 func TestSpoofSessionPhysics(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestSpoofSessionPhysics(t *testing.T) {
 // The audit the detectors judge must be consistent with ground truth.
 func TestAuditConsistency(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 120)
-	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestAuditConsistency(t *testing.T) {
 // Lifetime samples are well-formed and monotone in time.
 func TestSamples(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 100)
-	o, err := RunAttack(nw, ch, Config{Seed: 42, SampleEverySec: 6 * 3600})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, SampleEverySec: 6 * 3600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestSamples(t *testing.T) {
 
 func TestUnknownSolver(t *testing.T) {
 	nw, ch := buildScenario(t, 1, 60)
-	if _, err := RunAttack(nw, ch, Config{Seed: 1, Solver: "Bogus"}); err == nil {
+	if _, err := RunAttack(context.Background(), nw, ch, Config{Seed: 1, Solver: "Bogus"}); err == nil {
 		t.Error("unknown solver accepted")
 	}
 }
@@ -220,7 +221,7 @@ func TestUnknownSolver(t *testing.T) {
 func TestSchedulerVariants(t *testing.T) {
 	for _, sched := range []charging.Scheduler{charging.FCFS{}, charging.NJNP{}, charging.EDF{}} {
 		nw, ch := buildScenario(t, 42, 100)
-		o, err := RunLegit(nw, ch, Config{Seed: 42, Scheduler: sched})
+		o, err := RunLegit(context.Background(), nw, ch, Config{Seed: 42, Scheduler: sched})
 		if err != nil {
 			t.Fatalf("%s: %v", sched.Name(), err)
 		}
@@ -237,7 +238,7 @@ func TestSchedulerVariants(t *testing.T) {
 // nothing is ever impounded mid-run.
 func TestAuditDisabled(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 120)
-	o, err := RunAttack(nw, ch, Config{Seed: 42, Solver: SolverDirect, NoFill: true, AuditEverySec: -1})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, Solver: SolverDirect, NoFill: true, AuditEverySec: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,12 +262,12 @@ func TestKeyExhaustRatioEdge(t *testing.T) {
 // stealth must hold.
 func TestProgressiveAttack(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 200)
-	base, err := RunAttack(nw, ch, Config{Seed: 42})
+	base, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
 	nw2, ch2 := buildScenario(t, 42, 200)
-	prog, err := RunAttack(nw2, ch2, Config{Seed: 42, Progressive: true})
+	prog, err := RunAttack(context.Background(), nw2, ch2, Config{Seed: 42, Progressive: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestProgressiveAttack(t *testing.T) {
 func TestStaticBaselineExecution(t *testing.T) {
 	for _, solver := range []string{SolverRandom, SolverGreedyNearest} {
 		nw, ch := buildScenario(t, 42, 150)
-		o, err := RunAttack(nw, ch, Config{Seed: 42, Solver: solver})
+		o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, Solver: solver})
 		if err != nil {
 			t.Fatalf("%s: %v", solver, err)
 		}
@@ -319,7 +320,7 @@ func TestStaticBaselineExecution(t *testing.T) {
 // CSA+polish runs through the campaign exactly like CSA (window-aware).
 func TestPolishedSolverCampaign(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunAttack(nw, ch, Config{Seed: 42, Solver: SolverCSAPolished})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, Solver: SolverCSAPolished})
 	if err != nil {
 		t.Fatal(err)
 	}

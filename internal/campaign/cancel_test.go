@@ -15,19 +15,19 @@ func TestCampaignCanceled(t *testing.T) {
 	cancel()
 
 	nw, ch := buildScenario(t, 42, 60)
-	if _, err := RunLegitContext(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
-		t.Errorf("RunLegitContext err = %v, want context.Canceled", err)
+	if _, err := RunLegit(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLegit err = %v, want context.Canceled", err)
 	}
 
 	nw, ch = buildScenario(t, 42, 60)
-	if _, err := RunAttackContext(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
-		t.Errorf("RunAttackContext err = %v, want context.Canceled", err)
+	if _, err := RunAttack(ctx, nw, ch, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAttack err = %v, want context.Canceled", err)
 	}
 
 	nw, ch = buildScenario(t, 42, 60)
 	chargers := []*mc.Charger{ch, mc.New(nw.Sink(), mc.DefaultParams())}
-	if _, err := RunLegitFleetContext(ctx, nw, chargers, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
-		t.Errorf("RunLegitFleetContext err = %v, want context.Canceled", err)
+	if _, err := RunLegitFleet(ctx, nw, chargers, Config{Seed: 42}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunLegitFleet err = %v, want context.Canceled", err)
 	}
 }
 
@@ -35,7 +35,7 @@ func TestCampaignCanceled(t *testing.T) {
 // context redesign: run to completion with no error.
 func TestBackgroundWrappersStillComplete(t *testing.T) {
 	nw, ch := buildScenario(t, 7, 60)
-	if _, err := RunLegit(nw, ch, Config{Seed: 7, HorizonSec: 6 * 3600}); err != nil {
+	if _, err := RunLegit(context.Background(), nw, ch, Config{Seed: 7, HorizonSec: 6 * 3600}); err != nil {
 		t.Fatalf("RunLegit: %v", err)
 	}
 }

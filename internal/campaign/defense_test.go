@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"github.com/reprolab/wrsn-csa/internal/defense"
@@ -14,7 +15,7 @@ func TestVerificationExposesCSA(t *testing.T) {
 	for s := 0; s < seeds; s++ {
 		seed := uint64(100 + s)
 		nw, ch := buildScenario(t, seed, 150)
-		o, err := RunAttack(nw, ch, Config{
+		o, err := RunAttack(context.Background(), nw, ch, Config{
 			Seed:    seed,
 			Defense: defense.Config{VerifyProb: 0.5},
 		})
@@ -41,7 +42,7 @@ func TestVerificationExposesCSA(t *testing.T) {
 // sessions surface as false alarms, not exposures.
 func TestVerificationOnLegit(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunLegit(nw, ch, Config{
+	o, err := RunLegit(context.Background(), nw, ch, Config{
 		Seed:    42,
 		Defense: defense.Config{VerifyProb: 0.5},
 	})
@@ -64,7 +65,7 @@ func TestVerificationOnLegit(t *testing.T) {
 // exposes — the geometric limitation.
 func TestWitnessSparseDeployment(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 150)
-	o, err := RunAttack(nw, ch, Config{
+	o, err := RunAttack(context.Background(), nw, ch, Config{
 		Seed:    42,
 		Defense: defense.Config{WitnessDutyCycle: 1},
 	})
@@ -85,7 +86,7 @@ func TestWitnessSparseDeployment(t *testing.T) {
 // Defenses off by default: zero config leaves outcomes untouched.
 func TestDefenseDisabledByDefault(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 120)
-	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,20 +44,18 @@ type FleetOutcome struct {
 // scheduler's pick, travels, serves the full recharge, and frees again;
 // the event engine interleaves the fleet correctly. Deaths, requests and
 // audits follow the same rules as the single-charger runs.
-func RunLegitFleet(nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
-	return RunLegitFleetContext(context.Background(), nw, chargers, cfg)
-}
-
-// RunLegitFleetContext is RunLegitFleet with cancellation: event handlers
-// stop scheduling follow-up events once ctx is canceled, the event engine
-// drains, and ctx.Err() is returned.
-func RunLegitFleetContext(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
+//
+// The context is first-class: event handlers stop scheduling follow-up
+// events once ctx is canceled, the event engine drains, and ctx.Err()
+// is returned.
+func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger, cfg Config) (*FleetOutcome, error) {
 	if len(chargers) == 0 {
 		return nil, fmt.Errorf("campaign: fleet needs at least one charger")
 	}
 	cfg.applyDefaults()
 	rn := newRunner(ctx, nw, chargers[0], cfg)
 	eng := sim.New()
+	eng.Instrument(cfg.Probe)
 
 	out := &FleetOutcome{Chargers: len(chargers), FirstDeathAt: math.Inf(1)}
 	var busy float64
@@ -206,6 +204,11 @@ func RunLegitFleetContext(ctx context.Context, nw *wrsn.Network, chargers []*mc.
 		}
 	}
 	out.BusyFrac = busy / (cfg.HorizonSec * float64(len(chargers)))
+	if cfg.Probe.Enabled() {
+		cfg.Probe.Set("fleet.chargers", float64(out.Chargers))
+		cfg.Probe.Set("fleet.busy_frac", out.BusyFrac)
+		cfg.Probe.Set("fleet.energy_spent_j", out.EnergySpentJ)
+	}
 	return out, nil
 }
 

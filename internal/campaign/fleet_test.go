@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"testing"
 
 	"github.com/reprolab/wrsn-csa/internal/mc"
@@ -17,7 +18,7 @@ func runFleet(t *testing.T, seed uint64, n, k int) *FleetOutcome {
 	for i := range chargers {
 		chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
 	}
-	o, err := RunLegitFleet(nw, chargers, Config{Seed: seed})
+	o, err := RunLegitFleet(context.Background(), nw, chargers, Config{Seed: seed})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFleetValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunLegitFleet(nw, nil, Config{}); err == nil {
+	if _, err := RunLegitFleet(context.Background(), nw, nil, Config{}); err == nil {
 		t.Error("empty fleet accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -55,7 +56,7 @@ func TestFormatTimeline(t *testing.T) {
 // Integration: a real attack outcome's timeline is internally consistent.
 func TestTimelineFromRealCampaign(t *testing.T) {
 	nw, ch := buildScenario(t, 42, 100)
-	o, err := RunAttack(nw, ch, Config{Seed: 42})
+	o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}

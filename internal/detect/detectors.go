@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
@@ -361,15 +362,32 @@ func (v Verdict) String() string {
 
 // Judge runs every detector over the audit.
 func Judge(audit Audit, detectors []Detector) []Verdict {
+	return JudgeProbed(audit, detectors, obs.Nop(), 0)
+}
+
+// JudgeProbed is Judge with telemetry: each detector's score lands in
+// the "detect.score.<name>" histogram, each firing increments
+// "detect.flagged.<name>", and every verdict emits a "detect.verdict"
+// event stamped with the caller's audit time. The verdicts themselves
+// are identical to Judge's — probes observe, never influence.
+func JudgeProbed(audit Audit, detectors []Detector, p obs.Probe, now float64) []Verdict {
 	out := make([]Verdict, 0, len(detectors))
 	for _, d := range detectors {
 		s := d.Score(audit)
-		out = append(out, Verdict{
+		v := Verdict{
 			Detector:  d.Name(),
 			Score:     s,
 			Threshold: d.Threshold(),
 			Flagged:   s >= d.Threshold(),
-		})
+		}
+		out = append(out, v)
+		if p.Enabled() {
+			p.Observe("detect.score."+v.Detector, s)
+			if v.Flagged {
+				p.Add("detect.flagged."+v.Detector, 1)
+			}
+			p.Event(obs.Event{T: now, Kind: "detect.verdict", Node: -1, Value: s, Detail: v.Detector})
+		}
 	}
 	return out
 }

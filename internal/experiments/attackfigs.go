@@ -261,7 +261,7 @@ func runOneAttack(ctx context.Context, seed uint64, n int, ccfg campaign.Config)
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
-	return campaign.RunAttackContext(ctx, nw, ch, ccfg)
+	return campaign.RunAttack(ctx, nw, ch, ccfg)
 }
 
 // runOneLegit builds a fresh scenario and runs the legitimate baseline.
@@ -272,7 +272,7 @@ func runOneLegit(ctx context.Context, seed uint64, n int, ccfg campaign.Config) 
 	}
 	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
-	return campaign.RunLegitContext(ctx, nw, ch, ccfg)
+	return campaign.RunLegit(ctx, nw, ch, ccfg)
 }
 
 // buildInstance constructs the TIDE instance of a fresh scenario.

@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/obs"
 )
 
 // Result carries one job's value and its wall-clock cost, so callers can
@@ -53,13 +55,26 @@ func Workers(requested, jobs int) int {
 // run would have hit first. A canceled parent context surfaces as its
 // ctx.Err().
 func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
+	return MapTimedProbed(ctx, workers, n, obs.Nop(), fn)
+}
+
+// MapTimedProbed is MapTimed with pool telemetry: each job's latency is
+// observed into the "engine.job_sec" histogram and counted into
+// "engine.jobs", the resolved pool size lands in the "engine.workers"
+// gauge, and the pool's utilization — total job time over workers ×
+// wall time, 1.0 meaning every worker was busy the whole run — in
+// "engine.pool_utilization". Telemetry never affects job scheduling or
+// result order; a nil probe disables it.
+func MapTimedProbed[T any](ctx context.Context, workers, n int, probe obs.Probe, fn func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
+	probe = obs.Or(probe)
 	workers = Workers(workers, n)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	poolStart := time.Now()
 	results := make([]Result[T], n)
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -75,7 +90,12 @@ func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Co
 				}
 				start := time.Now()
 				v, err := fn(ctx, i)
-				results[i] = Result[T]{Value: v, Elapsed: time.Since(start)}
+				elapsed := time.Since(start)
+				results[i] = Result[T]{Value: v, Elapsed: elapsed}
+				if probe.Enabled() {
+					probe.Add("engine.jobs", 1)
+					probe.Observe("engine.job_sec", elapsed.Seconds())
+				}
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -85,6 +105,16 @@ func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Co
 		}()
 	}
 	wg.Wait()
+	if probe.Enabled() {
+		var total time.Duration
+		for _, r := range results {
+			total += r.Elapsed
+		}
+		probe.Set("engine.workers", float64(workers))
+		if wall := time.Since(poolStart); wall > 0 {
+			probe.Set("engine.pool_utilization", total.Seconds()/(wall.Seconds()*float64(workers)))
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -21,6 +21,7 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/experiments/engine"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
 
@@ -41,6 +42,11 @@ type Config struct {
 	// sequential execution exactly — and any other value produces
 	// byte-identical output anyway; only the wall clock changes.
 	Workers int
+	// Probe receives run telemetry (per-job latency, pool utilization;
+	// see the engine package). Nil gets the no-op probe. Telemetry is
+	// observability only: rendered tables, notes and CSV series stay
+	// byte-identical with or without a recording probe.
+	Probe obs.Probe
 }
 
 // Option mutates a Config under construction; see NewConfig.
@@ -73,6 +79,9 @@ func WithBaseSeed(seed uint64) Option { return func(c *Config) { c.BaseSeed = se
 // WithWorkers bounds the worker pool (non-positive: GOMAXPROCS).
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
+// WithProbe attaches a telemetry probe to the run (nil: disabled).
+func WithProbe(p obs.Probe) Option { return func(c *Config) { c.Probe = p } }
+
 func (c Config) seeds() int {
 	if c.Seeds > 0 {
 		return c.Seeds
@@ -92,6 +101,9 @@ func (c Config) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// probe resolves the configured probe (never nil).
+func (c Config) probe() obs.Probe { return obs.Or(c.Probe) }
 
 // PointTiming is the wall-clock cost of one merged sweep point (typically
 // one table row: every seed replication behind it, summed).
@@ -208,9 +220,10 @@ func ByID(id string) (Experiment, error) {
 }
 
 // mapTimed fans n jobs out over the configured worker pool with
-// deterministic result order; see engine.MapTimed.
+// deterministic result order, wiring the run's probe into the pool; see
+// engine.MapTimedProbed.
 func mapTimed[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]engine.Result[T], error) {
-	return engine.MapTimed(ctx, cfg.workers(), n, fn)
+	return engine.MapTimedProbed(ctx, cfg.workers(), n, cfg.probe(), fn)
 }
 
 // sumElapsed totals the wall clock of a contiguous job range [lo, hi) —

@@ -47,7 +47,7 @@ func RunFleet(ctx context.Context, cfg Config) (*Output, error) {
 		for i := range chargers {
 			chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
 		}
-		return campaign.RunLegitFleetContext(ctx, nw, chargers, campaign.Config{Seed: j.seed})
+		return campaign.RunLegitFleet(ctx, nw, chargers, campaign.Config{Seed: j.seed})
 	})
 	if err != nil {
 		return nil, err

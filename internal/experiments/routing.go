@@ -58,7 +58,7 @@ func RunRoutingMitigation(ctx context.Context, cfg Config) (*Output, error) {
 		if err != nil {
 			return nil, err
 		}
-		return campaign.RunLegitContext(ctx, nw, newDefaultCharger(nw), campaign.Config{Seed: j.seed})
+		return campaign.RunLegit(ctx, nw, newDefaultCharger(nw), campaign.Config{Seed: j.seed})
 	})
 	if err != nil {
 		return nil, err

@@ -217,5 +217,5 @@ func runAttackOnScenario(ctx context.Context, sc trace.Scenario, ccfg campaign.C
 		return nil, err
 	}
 	ch := newDefaultCharger(nw)
-	return campaign.RunAttackContext(ctx, nw, ch, ccfg)
+	return campaign.RunAttack(ctx, nw, ch, ccfg)
 }

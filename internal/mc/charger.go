@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/wpt"
 )
 
@@ -80,6 +81,9 @@ type Charger struct {
 	spent  float64
 	array  *wpt.Array
 	rect   wpt.Rectifier
+	// probe receives charger telemetry (travel distance/energy, radiated
+	// energy); always non-nil (the no-op probe when uninstrumented).
+	probe obs.Probe
 }
 
 // New returns a charger parked at depot.
@@ -96,8 +100,16 @@ func New(depot geom.Point, params Params) *Charger {
 		depot:  depot,
 		array:  arr,
 		rect:   wpt.DefaultRectifier(),
+		probe:  obs.Nop(),
 	}
 }
+
+// Instrument attaches a telemetry probe: travel accumulates into the
+// "charger.travel_m" and "charger.travel_j" counters, every energy spend
+// (radiation, spoof transmission) into "charger.spend_j", and tour
+// resets into "charger.resets". A nil probe disables instrumentation.
+// Telemetry never alters charger behavior.
+func (c *Charger) Instrument(p obs.Probe) { c.probe = obs.Or(p) }
 
 // Params returns the charger's configuration.
 func (c *Charger) Params() Params { return c.params }
@@ -144,6 +156,10 @@ func (c *Charger) Travel(dst geom.Point) error {
 	if cost > c.Remaining() {
 		return fmt.Errorf("mc: travel to %v needs %.0f J, only %.0f J remain", dst, cost, c.Remaining())
 	}
+	if c.probe.Enabled() {
+		c.probe.Add("charger.travel_m", c.pos.Dist(dst))
+		c.probe.Add("charger.travel_j", cost)
+	}
 	c.spent += cost
 	c.pos = dst
 	c.array.MoveTo(dst)
@@ -165,6 +181,7 @@ func (c *Charger) SpendEnergy(j float64) error {
 	if j > c.Remaining() {
 		return fmt.Errorf("mc: spending %.0f J exceeds remaining %.0f J", j, c.Remaining())
 	}
+	c.probe.Add("charger.spend_j", j)
 	c.spent += j
 	return nil
 }
@@ -227,6 +244,7 @@ func (c *Charger) FullRechargeTime(nodePos geom.Point, joules float64) (float64,
 // Reset returns the charger to its depot with a full budget, beginning a
 // new tour. Position and array follow.
 func (c *Charger) Reset() {
+	c.probe.Add("charger.resets", 1)
 	c.pos = c.depot
 	c.spent = 0
 	c.array.MoveTo(c.depot)

@@ -1,0 +1,338 @@
+// Package obs is the campaign telemetry subsystem: a Probe interface the
+// simulation layers emit counters, gauges, histogram samples and
+// structured timestamped events into, with a zero-overhead no-op default
+// and a thread-safe recording implementation.
+//
+// Telemetry is strictly observational — probes never feed back into
+// simulation decisions, so a run with a recording probe attached produces
+// byte-identical results to one without. The no-op probe is
+// allocation-free: every Probe method takes fixed-shape arguments (no
+// variadics, no interface boxing), and hot paths guard expensive argument
+// construction (clock reads, string concatenation) behind Enabled().
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/reprolab/wrsn-csa/internal/metrics"
+)
+
+// Probe is the instrumentation hook the simulation layers accept. Three
+// metric kinds plus an event stream cover the internals the experiments
+// need: counters for monotonic tallies (sessions, deaths, joules),
+// gauges for last-write-wins levels (queue depth, pool size), histograms
+// for distributions (queueing delay, per-job latency), and events for
+// the chronological campaign narrative.
+//
+// Implementations must be safe for concurrent use: the experiment worker
+// pool emits from many goroutines into one probe.
+type Probe interface {
+	// Add increments the named counter by delta.
+	Add(name string, delta float64)
+	// Set records the named gauge's current value (last write wins).
+	Set(name string, v float64)
+	// Observe adds one sample to the named histogram.
+	Observe(name string, v float64)
+	// Event appends one structured entry to the event stream.
+	Event(e Event)
+	// Enabled reports whether the probe records anything. Hot paths use
+	// it to skip work that exists only to build telemetry arguments —
+	// wall-clock reads, string concatenation — when telemetry is off.
+	Enabled() bool
+}
+
+// Event is one entry of the structured campaign event stream. The fixed
+// shape (no maps, no interfaces) keeps emission allocation-free under
+// the no-op probe and cheap under the recorder.
+type Event struct {
+	// T is the simulated time in seconds (wall-clock streams may use
+	// seconds since run start).
+	T float64 `json:"t"`
+	// Kind is the dot-scoped event name, e.g. "session.spoof",
+	// "node.death", "audit.flagged", "charger.travel".
+	Kind string `json:"kind"`
+	// Node is the subject node id, or -1 when the event has no subject.
+	Node int `json:"node"`
+	// Value carries the event's numeric payload (joules, meters,
+	// score…); its meaning is Kind-specific.
+	Value float64 `json:"value"`
+	// Detail is an optional free-form qualifier (detector name, solver,
+	// site kind).
+	Detail string `json:"detail,omitempty"`
+}
+
+// nop is the zero-overhead disabled probe.
+type nop struct{}
+
+func (nop) Add(string, float64)     {}
+func (nop) Set(string, float64)     {}
+func (nop) Observe(string, float64) {}
+func (nop) Event(Event)             {}
+func (nop) Enabled() bool           { return false }
+
+// Nop returns the disabled probe. It is allocation-free to call and to
+// emit into.
+func Nop() Probe { return nop{} }
+
+// Or returns p, or the no-op probe when p is nil — the normalization
+// every config applyDefaults uses so call sites never nil-check.
+func Or(p Probe) Probe {
+	if p == nil {
+		return Nop()
+	}
+	return p
+}
+
+// Recorder is the in-memory recording Probe. It is safe for concurrent
+// use; Snapshot returns a deterministic (name-sorted) view for export.
+type Recorder struct {
+	mu       sync.Mutex
+	counters map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*metrics.Summary
+	events   []Event
+}
+
+// NewRecorder returns an empty recording probe.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		counters: make(map[string]float64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*metrics.Summary),
+	}
+}
+
+// Add implements Probe.
+func (r *Recorder) Add(name string, delta float64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// Set implements Probe.
+func (r *Recorder) Set(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Observe implements Probe.
+func (r *Recorder) Observe(name string, v float64) {
+	r.mu.Lock()
+	s, ok := r.hists[name]
+	if !ok {
+		s = &metrics.Summary{}
+		r.hists[name] = s
+	}
+	s.Add(v)
+	r.mu.Unlock()
+}
+
+// Event implements Probe.
+func (r *Recorder) Event(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Enabled implements Probe.
+func (r *Recorder) Enabled() bool { return true }
+
+// Counter returns the named counter's value (0 when never written).
+func (r *Recorder) Counter(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Gauge returns the named gauge's value (0 when never written).
+func (r *Recorder) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Histogram returns a copy of the named histogram's summary (zero value
+// when never observed).
+func (r *Recorder) Histogram(name string) metrics.Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.hists[name]; ok {
+		return *s
+	}
+	return metrics.Summary{}
+}
+
+// Events returns a copy of the event stream in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Metric is one named scalar of a Snapshot.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramStat is one histogram's summary statistics in a Snapshot.
+type HistogramStat struct {
+	Name string  `json:"name"`
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Snapshot is a point-in-time, name-sorted view of a Recorder, the unit
+// of export. Events keep their emission order.
+type Snapshot struct {
+	Counters   []Metric        `json:"counters"`
+	Gauges     []Metric        `json:"gauges"`
+	Histograms []HistogramStat `json:"histograms"`
+	Events     []Event         `json:"events,omitempty"`
+}
+
+// Snapshot captures the recorder's current state. Metric sections are
+// sorted by name so exports are deterministic.
+func (r *Recorder) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		Counters: sortedMetrics(r.counters),
+		Gauges:   sortedMetrics(r.gauges),
+		Events:   append([]Event(nil), r.events...),
+	}
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		s.Histograms = append(s.Histograms, HistogramStat{
+			Name: name, N: h.N(),
+			Mean: h.Mean(), Std: h.Std(), Min: h.Min(), Max: h.Max(),
+		})
+	}
+	return s
+}
+
+func sortedMetrics(m map[string]float64) []Metric {
+	out := make([]Metric, 0, len(m))
+	for name, v := range m {
+		out = append(out, Metric{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteMetricsCSV writes the snapshot's counters, gauges and histograms
+// as one CSV: kind,name,n,value,mean,std,min,max (scalar kinds leave the
+// histogram columns empty).
+func (s *Snapshot) WriteMetricsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "kind,name,n,value,mean,std,min,max"); err != nil {
+		return err
+	}
+	for _, m := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter,%s,,%g,,,,\n", csvEscape(m.Name), m.Value); err != nil {
+			return err
+		}
+	}
+	for _, m := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge,%s,,%g,,,,\n", csvEscape(m.Name), m.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram,%s,%d,,%g,%g,%g,%g\n",
+			csvEscape(h.Name), h.N, h.Mean, h.Std, h.Min, h.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteEventsCSV writes the event stream as CSV: t,kind,node,value,detail.
+func (s *Snapshot) WriteEventsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t,kind,node,value,detail"); err != nil {
+		return err
+	}
+	for _, e := range s.Events {
+		if _, err := fmt.Fprintf(w, "%g,%s,%d,%g,%s\n",
+			e.T, csvEscape(e.Kind), e.Node, e.Value, csvEscape(e.Detail)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the whole snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ExportMetrics writes the snapshot's counters, gauges and histograms to
+// path — as JSON when the extension is .json, as CSV otherwise. This is
+// the writer behind the commands' -metrics flag.
+func (s *Snapshot) ExportMetrics(path string) error {
+	return writeFile(path, func(w io.Writer) error {
+		if isJSON(path) {
+			view := *s
+			view.Events = nil
+			return view.WriteJSON(w)
+		}
+		return s.WriteMetricsCSV(w)
+	})
+}
+
+// ExportEvents writes the snapshot's event stream to path — as JSON when
+// the extension is .json, as CSV otherwise. This is the writer behind
+// the commands' -events flag.
+func (s *Snapshot) ExportEvents(path string) error {
+	return writeFile(path, func(w io.Writer) error {
+		if isJSON(path) {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(s.Events)
+		}
+		return s.WriteEventsCSV(w)
+	})
+}
+
+func isJSON(path string) bool {
+	return strings.EqualFold(filepath.Ext(path), ".json")
+}
+
+func writeFile(path string, fn func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return fn(f)
+}
+
+// csvEscape quotes a field when it contains CSV metacharacters. Metric
+// and event names are dot-scoped identifiers that normally need none.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n\r") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNopAllocationFree pins the zero-overhead contract: emitting into
+// the disabled probe allocates nothing, so instrumented hot loops cost
+// only the virtual call.
+func TestNopAllocationFree(t *testing.T) {
+	p := Nop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Add("campaign.sessions", 1)
+		p.Set("sim.queue_depth", 17)
+		p.Observe("campaign.wait_sec", 123.4)
+		p.Event(Event{T: 1, Kind: "session.focus", Node: 3, Value: 9.5})
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op probe allocated %v times per run, want 0", allocs)
+	}
+	if p.Enabled() {
+		t.Fatal("no-op probe reports Enabled")
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil).Enabled() {
+		t.Fatal("Or(nil) must be the disabled probe")
+	}
+	r := NewRecorder()
+	if Or(r) != Probe(r) {
+		t.Fatal("Or must pass a non-nil probe through")
+	}
+}
+
+// TestRecorderRoundTrip drives every metric kind through the recorder
+// and reads it back via both the accessors and the snapshot.
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Add("deaths", 1)
+	r.Add("deaths", 2)
+	r.Set("queue", 5)
+	r.Set("queue", 3)
+	r.Observe("wait", 10)
+	r.Observe("wait", 20)
+	r.Event(Event{T: 1, Kind: "a", Node: 7, Value: 0.5})
+	r.Event(Event{T: 2, Kind: "b", Node: -1, Detail: "x"})
+
+	if got := r.Counter("deaths"); got != 3 {
+		t.Errorf("Counter(deaths) = %v, want 3", got)
+	}
+	if got := r.Gauge("queue"); got != 3 {
+		t.Errorf("Gauge(queue) = %v, want 3 (last write wins)", got)
+	}
+	if h := r.Histogram("wait"); h.N() != 2 || h.Mean() != 15 {
+		t.Errorf("Histogram(wait) = n=%d mean=%v, want n=2 mean=15", h.N(), h.Mean())
+	}
+	if evs := r.Events(); len(evs) != 2 || evs[0].Kind != "a" || evs[1].Detail != "x" {
+		t.Errorf("Events() = %+v, want the two emitted events in order", evs)
+	}
+	if !r.Enabled() {
+		t.Fatal("recorder must report Enabled")
+	}
+
+	s := r.Snapshot()
+	if len(s.Counters) != 1 || s.Counters[0] != (Metric{Name: "deaths", Value: 3}) {
+		t.Errorf("snapshot counters = %+v", s.Counters)
+	}
+	if len(s.Gauges) != 1 || s.Gauges[0] != (Metric{Name: "queue", Value: 3}) {
+		t.Errorf("snapshot gauges = %+v", s.Gauges)
+	}
+	if len(s.Histograms) != 1 || s.Histograms[0].N != 2 || s.Histograms[0].Min != 10 || s.Histograms[0].Max != 20 {
+		t.Errorf("snapshot histograms = %+v", s.Histograms)
+	}
+	if len(s.Events) != 2 {
+		t.Errorf("snapshot events = %+v", s.Events)
+	}
+}
+
+// TestRecorderMissing reads names that were never written.
+func TestRecorderMissing(t *testing.T) {
+	r := NewRecorder()
+	if r.Counter("nope") != 0 || r.Gauge("nope") != 0 {
+		t.Error("missing scalar metrics must read 0")
+	}
+	if h := r.Histogram("nope"); h.N() != 0 {
+		t.Error("missing histogram must be empty")
+	}
+}
+
+// TestSnapshotSorted pins the deterministic-export contract: metric
+// sections come out name-sorted regardless of write order.
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRecorder()
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		r.Add(name, 1)
+		r.Observe(name, 1)
+	}
+	s := r.Snapshot()
+	for i := 1; i < len(s.Counters); i++ {
+		if s.Counters[i-1].Name >= s.Counters[i].Name {
+			t.Fatalf("counters not sorted: %+v", s.Counters)
+		}
+	}
+	for i := 1; i < len(s.Histograms); i++ {
+		if s.Histograms[i-1].Name >= s.Histograms[i].Name {
+			t.Fatalf("histograms not sorted: %+v", s.Histograms)
+		}
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Add("n", 1)
+				r.Observe("h", float64(i))
+				r.Event(Event{Kind: "e"})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n"); got != 8000 {
+		t.Errorf("Counter(n) = %v, want 8000", got)
+	}
+	if h := r.Histogram("h"); h.N() != 8000 {
+		t.Errorf("Histogram(h).N = %d, want 8000", h.N())
+	}
+	if evs := r.Events(); len(evs) != 8000 {
+		t.Errorf("len(Events) = %d, want 8000", len(evs))
+	}
+}
+
+func TestWriteMetricsCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Add("sessions", 4)
+	r.Set("pool", 8)
+	r.Observe("wait", 2)
+	r.Observe("wait", 4)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteMetricsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "kind,name,n,value,mean,std,min,max\n" +
+		"counter,sessions,,4,,,,\n" +
+		"gauge,pool,,8,,,,\n" +
+		"histogram,wait,2,,3,1.4142135623730951,2,4\n"
+	if sb.String() != want {
+		t.Errorf("metrics CSV =\n%s\nwant\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Event(Event{T: 1.5, Kind: "session.spoof", Node: 9, Value: 100})
+	r.Event(Event{T: 2, Kind: "audit.flagged", Node: -1, Detail: `gain,"zero"`})
+	var sb strings.Builder
+	if err := r.Snapshot().WriteEventsCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "t,kind,node,value,detail\n" +
+		"1.5,session.spoof,9,100,\n" +
+		"2,audit.flagged,-1,0,\"gain,\"\"zero\"\"\"\n"
+	if sb.String() != want {
+		t.Errorf("events CSV =\n%s\nwant\n%s", sb.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Add("c", 1)
+	r.Observe("h", math.Pi)
+	r.Event(Event{T: 3, Kind: "k", Node: 2})
+	var sb strings.Builder
+	if err := r.Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(back.Counters) != 1 || back.Counters[0].Value != 1 {
+		t.Errorf("counters after round trip: %+v", back.Counters)
+	}
+	if len(back.Histograms) != 1 || back.Histograms[0].Mean != math.Pi {
+		t.Errorf("histograms after round trip: %+v", back.Histograms)
+	}
+	if len(back.Events) != 1 || back.Events[0].Kind != "k" {
+		t.Errorf("events after round trip: %+v", back.Events)
+	}
+}

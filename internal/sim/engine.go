@@ -8,6 +8,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/obs"
 )
 
 // ErrPast is returned when an event is scheduled before the current clock.
@@ -25,10 +28,27 @@ type Engine struct {
 	seq   uint64
 	// processed counts events executed, for runaway-simulation guards.
 	processed uint64
+	// probe receives engine telemetry (events processed, queue depth,
+	// per-handler timing); nil means disabled. Telemetry never feeds back
+	// into scheduling, so instrumented runs replay identically.
+	probe obs.Probe
 }
 
 // New returns an engine with the clock at zero.
 func New() *Engine { return &Engine{} }
+
+// Instrument attaches a telemetry probe: every executed event counts
+// into "sim.events", the post-pop queue depth lands in the
+// "sim.queue_depth" gauge, and each handler's wall-clock cost is
+// observed into the "sim.handler_sec.<name>" histogram. A nil probe
+// disables instrumentation. Timing uses the wall clock, so it is
+// observability only — never part of deterministic outputs.
+func (e *Engine) Instrument(p obs.Probe) {
+	e.probe = obs.Or(p)
+	if !e.probe.Enabled() {
+		e.probe = nil
+	}
+}
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -75,6 +95,14 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.t
 	e.processed++
+	if p := e.probe; p != nil {
+		start := time.Now()
+		ev.fn(e)
+		p.Observe("sim.handler_sec."+ev.name, time.Since(start).Seconds())
+		p.Add("sim.events", 1)
+		p.Set("sim.queue_depth", float64(e.queue.Len()))
+		return true
+	}
 	ev.fn(e)
 	return true
 }

@@ -25,6 +25,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
 	"github.com/reprolab/wrsn-csa/internal/testbed"
 	"github.com/reprolab/wrsn-csa/internal/trace"
@@ -63,7 +64,48 @@ type (
 	Array = wpt.Array
 	// SpoofBand is the RF interval a spoof must land in.
 	SpoofBand = wpt.SpoofBand
+	// BuilderConfig parameterizes TIDE instance construction.
+	BuilderConfig = attack.BuilderConfig
+	// Deployment selects a node-placement pattern for BuildScenario.
+	Deployment = trace.Deployment
+	// RoutingPolicy selects the routing objective.
+	RoutingPolicy = wrsn.RoutingPolicy
 )
+
+// Deployment patterns and routing policies for scenario options.
+const (
+	DeployUniform   = trace.DeployUniform
+	DeployClustered = trace.DeployClustered
+	DeployGrid      = trace.DeployGrid
+	DeployCorridor  = trace.DeployCorridor
+
+	PolicyShortestDistance = wrsn.PolicyShortestDistance
+	PolicyHopCount         = wrsn.PolicyHopCount
+	PolicyEnergyAware      = wrsn.PolicyEnergyAware
+)
+
+// Telemetry re-exports: the campaign telemetry subsystem (see the
+// internal obs package). Attach a probe via CampaignConfig.Probe,
+// experiment WithProbe options, or NewCharger's WithProbe option.
+type (
+	// Probe is the telemetry hook every simulation layer accepts:
+	// counters, gauges, histograms and a structured event stream.
+	Probe = obs.Probe
+	// Recorder is the in-memory recording Probe.
+	Recorder = obs.Recorder
+	// TelemetrySnapshot is a deterministic point-in-time Recorder view
+	// with CSV/JSON export methods.
+	TelemetrySnapshot = obs.Snapshot
+	// TelemetryEvent is one structured timestamped event.
+	TelemetryEvent = obs.Event
+)
+
+// NewRecorder returns an empty recording probe.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
+// NopProbe returns the zero-overhead disabled probe (the default
+// everywhere a probe is accepted).
+func NopProbe() Probe { return obs.Nop() }
 
 // Solver names for CampaignConfig.Solver.
 const (
@@ -73,18 +115,84 @@ const (
 	SolverDirect        = campaign.SolverDirect
 )
 
-// BuildScenario constructs the standard evaluation scenario: n nodes
-// uniformly deployed around a centered sink, fully connected, seeded
-// reproducibly. The returned stream carries the scenario's remaining
-// randomness budget.
-func BuildScenario(seed uint64, n int) (*Network, *rng.Stream, error) {
-	return trace.DefaultScenario(seed, n).Build()
+// ScenarioOption customizes the scenario BuildScenario assembles before
+// building it; the zero-option call reproduces the evaluation default.
+type ScenarioOption func(*Scenario)
+
+// WithDeployPattern selects the node-placement pattern (DeployUniform,
+// DeployClustered, DeployGrid, DeployCorridor).
+func WithDeployPattern(p Deployment) ScenarioOption {
+	return func(s *Scenario) { s.Deploy.Pattern = p }
 }
 
-// NewCharger parks a default-parameterized mobile charger at the
-// network's sink.
-func NewCharger(nw *Network) *Charger {
-	return mc.New(nw.Sink(), mc.DefaultParams())
+// WithCommRange overrides the radio range in meters (non-positive keeps
+// the default).
+func WithCommRange(r float64) ScenarioOption {
+	return func(s *Scenario) { s.CommRange = r }
+}
+
+// WithRoutingPolicy selects the routing objective.
+func WithRoutingPolicy(p RoutingPolicy) ScenarioOption {
+	return func(s *Scenario) { s.Policy = p }
+}
+
+// BuildScenario constructs the standard evaluation scenario: n nodes
+// uniformly deployed around a centered sink, fully connected, seeded
+// reproducibly. Options adjust the scenario before building:
+//
+//	nw, _, err := wrsncsa.BuildScenario(42, 200,
+//		wrsncsa.WithDeployPattern(wrsncsa.DeployClustered))
+//
+// The returned stream carries the scenario's remaining randomness
+// budget.
+func BuildScenario(seed uint64, n int, opts ...ScenarioOption) (*Network, *rng.Stream, error) {
+	sc := trace.DefaultScenario(seed, n)
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	return sc.Build()
+}
+
+// DefaultChargerParams returns the evaluation-default charger
+// parameters — the starting point for WithChargerParams tweaks.
+func DefaultChargerParams() ChargerParams { return mc.DefaultParams() }
+
+// ChargerOption customizes NewCharger.
+type ChargerOption func(*chargerOptions)
+
+type chargerOptions struct {
+	params mc.Params
+	probe  Probe
+}
+
+// WithChargerParams replaces the default charger parameters (zero-valued
+// fields still get defaults).
+func WithChargerParams(p ChargerParams) ChargerOption {
+	return func(o *chargerOptions) { o.params = p }
+}
+
+// WithProbe attaches a telemetry probe to the charger: travel distance
+// and energy, radiated energy and tour resets accumulate into it.
+func WithProbe(p Probe) ChargerOption {
+	return func(o *chargerOptions) { o.probe = p }
+}
+
+// NewCharger parks a mobile charger at the network's sink,
+// default-parameterized unless options say otherwise:
+//
+//	ch := wrsncsa.NewCharger(nw,
+//		wrsncsa.WithChargerParams(wrsncsa.ChargerParams{SpeedMps: 8}),
+//		wrsncsa.WithProbe(recorder))
+func NewCharger(nw *Network, opts ...ChargerOption) *Charger {
+	o := chargerOptions{params: mc.DefaultParams()}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ch := mc.New(nw.Sink(), o.params)
+	if o.probe != nil {
+		ch.Instrument(o.probe)
+	}
+	return ch
 }
 
 // Attack runs the full charging spoofing attack campaign on the network:
@@ -93,35 +201,65 @@ func NewCharger(nw *Network) *Charger {
 // background context; prefer AttackContext when the caller may need to
 // cancel.
 func Attack(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunAttack(nw, ch, cfg)
+	return campaign.RunAttack(context.Background(), nw, ch, cfg)
 }
 
 // AttackContext is Attack with cancellation: the campaign checkpoints ctx
 // at every world-step and service boundary and returns ctx.Err() promptly
-// once the context is canceled. See campaign.RunAttackContext.
+// once the context is canceled. See campaign.RunAttack.
 func AttackContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunAttackContext(ctx, nw, ch, cfg)
+	return campaign.RunAttack(ctx, nw, ch, cfg)
 }
 
 // Legit runs the uncompromised on-demand charging baseline. See
 // campaign.RunLegit. It is LegitContext with a background context.
 func Legit(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunLegit(nw, ch, cfg)
+	return campaign.RunLegit(context.Background(), nw, ch, cfg)
 }
 
-// LegitContext is Legit with cancellation; see campaign.RunLegitContext.
+// LegitContext is Legit with cancellation; see campaign.RunLegit.
 func LegitContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunLegitContext(ctx, nw, ch, cfg)
+	return campaign.RunLegit(ctx, nw, ch, cfg)
+}
+
+// PlanOption customizes PlanTIDE.
+type PlanOption func(*planOptions)
+
+type planOptions struct {
+	builder BuilderConfig
+	polish  bool
+}
+
+// WithBuilderConfig replaces the default TIDE instance construction
+// parameters (horizon, request threshold, cover cap, budget override).
+func WithBuilderConfig(cfg BuilderConfig) PlanOption {
+	return func(o *planOptions) { o.builder = cfg }
+}
+
+// WithPolish enables the 2-opt polishing pass on the CSA solution.
+func WithPolish(polish bool) PlanOption {
+	return func(o *planOptions) { o.polish = polish }
 }
 
 // PlanTIDE builds the TIDE instance for the network's current state and
-// solves it with CSA, returning both.
-func PlanTIDE(nw *Network, ch *Charger) (*Instance, PlanResult, error) {
-	in, err := attack.BuildInstance(nw, ch, attack.BuilderConfig{})
+// solves it with CSA, returning both:
+//
+//	in, res, err := wrsncsa.PlanTIDE(nw, ch,
+//		wrsncsa.WithBuilderConfig(wrsncsa.BuilderConfig{MaxCovers: 10}))
+func PlanTIDE(nw *Network, ch *Charger, opts ...PlanOption) (*Instance, PlanResult, error) {
+	var o planOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	in, err := attack.BuildInstance(nw, ch, o.builder)
 	if err != nil {
 		return nil, PlanResult{}, err
 	}
-	res, err := attack.SolveCSA(in)
+	solve := attack.SolveCSA
+	if o.polish {
+		solve = attack.SolveCSAPolished
+	}
+	res, err := solve(in)
 	if err != nil {
 		return nil, PlanResult{}, err
 	}
@@ -175,11 +313,11 @@ type FleetOutcome = campaign.FleetOutcome
 // campaign.RunLegitFleet. It is LegitFleetContext with a background
 // context.
 func LegitFleet(nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
-	return campaign.RunLegitFleet(nw, chargers, cfg)
+	return campaign.RunLegitFleet(context.Background(), nw, chargers, cfg)
 }
 
 // LegitFleetContext is LegitFleet with cancellation; see
-// campaign.RunLegitFleetContext.
+// campaign.RunLegitFleet.
 func LegitFleetContext(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
-	return campaign.RunLegitFleetContext(ctx, nw, chargers, cfg)
+	return campaign.RunLegitFleet(ctx, nw, chargers, cfg)
 }
