@@ -1,0 +1,291 @@
+package campaign
+
+// Golden determinism harness: every representative campaign flavor —
+// legit service, window-aware and window-unaware attacks, the caught
+// path, progressive recruiting, defenses, lifetime sampling, and the
+// fleet — is run at pinned seeds and its Outcome reduced to a SHA-256
+// digest of a canonical JSON form. The digests in
+// testdata/outcome_digests.json were recorded from the pre-refactor
+// monolithic runner; any behavioral drift in a later decomposition of
+// the campaign shows up here as a digest mismatch long before a
+// statistical test would notice.
+//
+// To re-pin after an INTENTIONAL behavior change, run:
+//
+//	WRSN_REGEN_GOLDEN=1 go test ./internal/campaign -run TestGoldenOutcomeDigests
+//
+// and commit the rewritten testdata file together with an explanation of
+// why byte-identical outcomes could not be preserved.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+const goldenPath = "testdata/outcome_digests.json"
+
+// jsonSafe rebuilds v as a tree of maps, slices and scalars that
+// encoding/json accepts: non-finite floats (FirstDeathAt is +Inf when
+// nobody died) become strings, pointers are followed, nil pointers become
+// nil. Struct fields keep their names, so the digest covers every
+// exported field of Outcome and its nested types.
+func jsonSafe(v reflect.Value) any {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return nil
+		}
+		return jsonSafe(v.Elem())
+	case reflect.Struct:
+		m := make(map[string]any, v.NumField())
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			m[t.Field(i).Name] = jsonSafe(v.Field(i))
+		}
+		return m
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			return nil
+		}
+		out := make([]any, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out[i] = jsonSafe(v.Index(i))
+		}
+		return out
+	case reflect.Map:
+		// Outcome holds no maps today; render deterministically anyway.
+		keys := v.MapKeys()
+		sort.Slice(keys, func(i, j int) bool {
+			return fmt.Sprint(keys[i].Interface()) < fmt.Sprint(keys[j].Interface())
+		})
+		m := make(map[string]any, len(keys))
+		for _, k := range keys {
+			m[fmt.Sprint(k.Interface())] = jsonSafe(v.MapIndex(k))
+		}
+		return m
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return fmt.Sprint(f)
+		}
+		return f
+	default:
+		return v.Interface()
+	}
+}
+
+// digestOf reduces any outcome-like value to a hex SHA-256 over its
+// canonical JSON form (map keys sort, so the encoding is deterministic).
+func digestOf(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(jsonSafe(reflect.ValueOf(v)))
+	if err != nil {
+		t.Fatalf("marshal outcome: %v", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// goldenCase runs one pinned campaign configuration. probe is attached to
+// both the charger and the campaign when non-nil; the digest must not
+// move either way — telemetry is strictly observational.
+type goldenCase struct {
+	name string
+	run  func(t *testing.T, probe obs.Probe) any
+}
+
+func attackCase(seed uint64, n int, mutate func(*Config)) func(t *testing.T, probe obs.Probe) any {
+	return func(t *testing.T, probe obs.Probe) any {
+		t.Helper()
+		nw, _, err := trace.DefaultScenario(seed, n).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		if probe != nil {
+			ch.Instrument(probe)
+		}
+		cfg := Config{Seed: seed, Probe: probe}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		o, err := RunAttack(context.Background(), nw, ch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+}
+
+func legitCase(seed uint64, n int, mutate func(*Config)) func(t *testing.T, probe obs.Probe) any {
+	return func(t *testing.T, probe obs.Probe) any {
+		t.Helper()
+		nw, _, err := trace.DefaultScenario(seed, n).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		if probe != nil {
+			ch.Instrument(probe)
+		}
+		cfg := Config{Seed: seed, Probe: probe}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		o, err := RunLegit(context.Background(), nw, ch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+}
+
+func fleetCase(seed uint64, n, k int) func(t *testing.T, probe obs.Probe) any {
+	return func(t *testing.T, probe obs.Probe) any {
+		t.Helper()
+		nw, _, err := trace.DefaultScenario(seed, n).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		chargers := make([]*mc.Charger, k)
+		for i := range chargers {
+			chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
+			if probe != nil {
+				chargers[i].Instrument(probe)
+			}
+		}
+		o, err := RunLegitFleet(context.Background(), nw, chargers, Config{Seed: seed, Probe: probe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+}
+
+// goldenCases is the pinned behavioral surface: three seeds per solver
+// family per the acceptance bar, plus one case for every special code
+// path (impoundment + honest replacement, progressive recruiting,
+// countermeasures, lifetime sampling, the no-fill ablation, fleet).
+func goldenCases() []goldenCase {
+	cases := []goldenCase{}
+	for _, seed := range []uint64{42, 1000, 8919} {
+		seed := seed
+		cases = append(cases,
+			goldenCase{fmt.Sprintf("legit/seed%d", seed), legitCase(seed, 120, nil)},
+			goldenCase{fmt.Sprintf("csa/seed%d", seed), attackCase(seed, 120, nil)},
+			goldenCase{fmt.Sprintf("greedy/seed%d", seed), attackCase(seed, 120, func(c *Config) { c.Solver = SolverGreedyNearest })},
+		)
+	}
+	cases = append(cases,
+		goldenCase{"random/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverRandom })},
+		goldenCase{"polished/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverCSAPolished })},
+		goldenCase{"direct-nofill/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverDirect; c.NoFill = true })},
+		goldenCase{"progressive/seed42", attackCase(42, 150, func(c *Config) { c.Progressive = true })},
+		goldenCase{"defense-verify/seed100", attackCase(100, 120, func(c *Config) { c.Defense = defense.Config{VerifyProb: 0.5} })},
+		goldenCase{"defense-witness/seed42", attackCase(42, 120, func(c *Config) { c.Defense = defense.Config{WitnessDutyCycle: 1} })},
+		goldenCase{"sampled/seed42", attackCase(42, 100, func(c *Config) { c.SampleEverySec = 6 * 3600 })},
+		goldenCase{"legit-edf/seed42", legitCase(42, 120, func(c *Config) { c.Scheduler = charging.EDF{} })},
+		goldenCase{"fleet2/seed42", fleetCase(42, 150, 2)},
+		goldenCase{"fleet3/seed11", fleetCase(11, 150, 3)},
+	)
+	return cases
+}
+
+func loadGolden(t *testing.T) map[string]string {
+	t.Helper()
+	b, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden digests missing (%v); regenerate with WRSN_REGEN_GOLDEN=1", err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("parse %s: %v", goldenPath, err)
+	}
+	return m
+}
+
+// TestGoldenOutcomeDigests is the refactor safety net: Outcomes at every
+// pinned seed must be byte-identical to the recorded pre-refactor values.
+func TestGoldenOutcomeDigests(t *testing.T) {
+	regen := os.Getenv("WRSN_REGEN_GOLDEN") != ""
+	var want map[string]string
+	if !regen {
+		want = loadGolden(t)
+	}
+	got := make(map[string]string)
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			d := digestOf(t, gc.run(t, nil))
+			got[gc.name] = d
+			if regen {
+				return
+			}
+			exp, ok := want[gc.name]
+			if !ok {
+				t.Fatalf("no pinned digest for %q; regenerate goldens", gc.name)
+			}
+			if d != exp {
+				t.Errorf("outcome digest drifted:\n got %s\nwant %s\nthe campaign's behavior changed at this seed", d, exp)
+			}
+		})
+	}
+	if regen {
+		b, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("pinned %d digests to %s", len(got), goldenPath)
+	}
+}
+
+// TestGoldenProbeInvariance re-runs representative cases with a recording
+// probe attached everywhere a probe can attach: the digests must match
+// the unprobed goldens bit for bit.
+func TestGoldenProbeInvariance(t *testing.T) {
+	want := loadGolden(t)
+	for _, name := range []string{"legit/seed42", "csa/seed42", "greedy/seed42", "fleet2/seed42"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for _, gc := range goldenCases() {
+				if gc.name != name {
+					continue
+				}
+				rec := obs.NewRecorder()
+				d := digestOf(t, gc.run(t, rec))
+				if exp := want[name]; d != exp {
+					t.Errorf("probed outcome digest %s != unprobed golden %s; telemetry perturbed the run", d, exp)
+				}
+				if len(rec.Snapshot().Counters) == 0 {
+					t.Error("recorder stayed empty; probe was not attached")
+				}
+				return
+			}
+			t.Fatalf("case %q not found", name)
+		})
+	}
+}
