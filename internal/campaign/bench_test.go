@@ -1,0 +1,42 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+// BenchmarkCampaignRun exercises the hot path of a full campaign — the
+// event-hosted world advance plus the policy serve loop — for both the
+// honest baseline and the window-aware attack. Network construction is
+// excluded from the timed region (runs mutate node state, so each
+// iteration needs a fresh build).
+func BenchmarkCampaignRun(b *testing.B) {
+	bench := func(attack bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				nw, _, err := trace.DefaultScenario(42, 120).Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch := mc.New(nw.Sink(), mc.DefaultParams())
+				cfg := Config{Seed: 42}
+				b.StartTimer()
+				if attack {
+					_, err = RunAttack(context.Background(), nw, ch, cfg)
+				} else {
+					_, err = RunLegit(context.Background(), nw, ch, cfg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("legit", bench(false))
+	b.Run("attack", bench(true))
+}

@@ -4,19 +4,29 @@
 // executes a TIDE plan — spoofing key nodes inside their windows — while
 // opportunistically serving every other request to keep network-side
 // detectors quiet. Runs are deterministic under a seed.
+//
+// The package is a thin composition root over four layers:
+//
+//	policy  — decides the charger's next action (internal/campaign/policy)
+//	session — charging-session physics, travel, defenses (…/session)
+//	world   — clock, drain, deaths, requests, audits on the sim engine (…/world)
+//	ledger  — accumulates everything a run produces (…/ledger)
+//
+// RunLegit, RunAttack, and RunLegitFleet wire the layers together and
+// assemble the public Outcome from the ledger.
 package campaign
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/campaign/policy"
+	"github.com/reprolab/wrsn-csa/internal/campaign/session"
+	"github.com/reprolab/wrsn-csa/internal/campaign/world"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
-	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -26,12 +36,15 @@ import (
 
 // Solver names accepted by Config.Solver.
 const (
-	SolverCSA           = "CSA"
-	SolverCSAPolished   = "CSA+polish"
-	SolverRandom        = "Random"
-	SolverGreedyNearest = "GreedyNearest"
-	SolverDirect        = "Direct"
+	SolverCSA           = policy.SolverCSA
+	SolverCSAPolished   = policy.SolverCSAPolished
+	SolverRandom        = policy.SolverRandom
+	SolverGreedyNearest = policy.SolverGreedyNearest
+	SolverDirect        = policy.SolverDirect
 )
+
+// ErrUnknownSolver reports an unrecognized Config.Solver.
+var ErrUnknownSolver = policy.ErrUnknownSolver
 
 // Config parameterizes a campaign run.
 type Config struct {
@@ -112,12 +125,7 @@ type Config struct {
 }
 
 // Sample is one point of the lifetime time series.
-type Sample struct {
-	T         float64
-	Alive     int
-	Connected int
-	KeyAlive  int
-}
+type Sample = ledger.Sample
 
 func (c *Config) applyDefaults() {
 	if c.HorizonSec <= 0 {
@@ -230,568 +238,65 @@ func (o *Outcome) KeyExhaustRatio() float64 {
 	return float64(o.KeyDead) / float64(len(o.KeyNodes))
 }
 
-// runner carries the mutable world state of one campaign.
-type runner struct {
-	ctx  context.Context
-	nw   *wrsn.Network
-	ch   *mc.Charger
-	cfg  Config
-	r    *rng.Stream
-	now  float64
-	qu   charging.Queue
-	cool map[wrsn.NodeID]float64
-	// probe is cfg.Probe after normalization: always non-nil, the no-op
-	// probe when telemetry is off.
-	probe obs.Probe
-
-	sessions []charging.Session
-	audit    detect.Audit
-	issued   int
-	served   int
-	rect     wpt.Rectifier
-	// targetSet holds the attack's spoof targets (empty for legit runs);
-	// the opportunistic fill never genuinely serves them.
-	targetSet map[wrsn.NodeID]bool
-	// keySet holds the plan-time key nodes for lifetime sampling.
-	keySet     map[wrsn.NodeID]bool
-	samples    []Sample
-	nextSample float64
-	// spoofOnRequest marks window-unaware attackers: they answer target
-	// re-requests with another spoof instead of deferring.
-	spoofOnRequest bool
-	// blocked holds targets the attacker must not genuinely serve. A
-	// target leaves the set once spoofed (a post-drift re-request gets a
-	// genuine charge — the kill is lost, stealth is not) or once its
-	// window is irrecoverably missed.
-	blocked map[wrsn.NodeID]bool
-	// Live-audit state: auditing starts after the first boundary and, once
-	// the charger is caught, the attack is over.
-	nextAudit float64
-	auditing  bool
-	caught    bool
-	caughtAt  float64
-	caughtBy  string
-	// Countermeasure bookkeeping.
-	exposures      []defense.Exposure
-	falseAlarms    int
-	witnessSamples int
-	extraTargets   int
-	// Queueing-delay statistics over served requests.
-	waitSum float64
-	waitN   int
-
-	firstDeath float64
+// layers wires the four layers for one single-charger run. The returned
+// Env carries the run configuration into the policy driver.
+func layers(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*policy.Env, *ledger.L, *world.W) {
+	led := ledger.New()
+	w := world.New(ctx, nw, led, world.Params{
+		PollSec:          cfg.PollSec,
+		RequestFrac:      cfg.RequestFrac,
+		SampleEverySec:   cfg.SampleEverySec,
+		AuditEverySec:    cfg.AuditEverySec,
+		MinAuditSessions: cfg.MinAuditSessions,
+		PendingGraceSec:  cfg.PendingGraceSec,
+		Detectors:        cfg.Detectors,
+	}, cfg.Probe)
+	// The campaign stream must be split before any draw so solver and
+	// session randomness stay on the pre-refactor sequence.
+	r := rng.New(cfg.Seed).Split("campaign")
+	a := session.NewActor(w, ch, led, r, session.Params{
+		Band:           cfg.Band,
+		BenignFailRate: cfg.BenignFailRate,
+		SingleEmitter:  cfg.SingleEmitter,
+		CooldownSec:    cfg.CooldownSec,
+		Defense:        cfg.Defense,
+	}, cfg.Probe)
+	env := &policy.Env{
+		W: w, A: a, L: led,
+		Horizon:         cfg.HorizonSec,
+		PollSec:         cfg.PollSec,
+		RequestFrac:     cfg.RequestFrac,
+		CooldownSec:     cfg.CooldownSec,
+		PendingGraceSec: cfg.PendingGraceSec,
+		NoFill:          cfg.NoFill,
+		Progressive:     cfg.Progressive,
+		MaxCovers:       cfg.MaxCovers,
+		InstanceBudgetJ: cfg.InstanceBudgetJ,
+		AuditEverySec:   cfg.AuditEverySec,
+		Scheduler:       cfg.Scheduler,
+		Rand:            r,
+		Probe:           cfg.Probe,
+		Targets:         make(map[wrsn.NodeID]bool),
+		Blocked:         make(map[wrsn.NodeID]bool),
+	}
+	return env, led, w
 }
 
-func newRunner(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) *runner {
-	cfg.applyDefaults()
-	return &runner{
-		ctx:        ctx,
-		nw:         nw,
-		ch:         ch,
-		cfg:        cfg,
-		r:          rng.New(cfg.Seed).Split("campaign"),
-		cool:       make(map[wrsn.NodeID]float64),
-		probe:      cfg.Probe,
-		rect:       ch.Rectifier(),
-		firstDeath: math.Inf(1),
-		targetSet:  make(map[wrsn.NodeID]bool),
-		keySet:     make(map[wrsn.NodeID]bool),
-		blocked:    make(map[wrsn.NodeID]bool),
-	}
-}
-
-// canceled reports whether the campaign's context has been canceled; the
-// simulation loops treat it as an immediate stop signal and the Run
-// entry points surface ctx.Err() to the caller.
-func (rn *runner) canceled() bool { return rn.ctx.Err() != nil }
-
-// advanceTo moves the world clock to t, draining batteries piecewise,
-// recording deaths, recomputing routing on topology change, and scanning
-// for new charging requests at every step boundary. A canceled context
-// stops the advance at the current step boundary.
-func (rn *runner) advanceTo(t float64) {
-	for rn.now < t && !rn.canceled() {
-		step := math.Min(t, rn.now+rn.cfg.PollSec)
-		if dt, _ := rn.nw.NextDepletion(rn.now); dt > rn.now && dt < step {
-			step = dt
-		}
-		died := rn.nw.AdvanceEnergy(step - rn.now)
-		rn.now = step
-		if len(died) > 0 {
-			for _, id := range died {
-				rn.recordDeath(id)
-			}
-			rn.nw.Recompute()
-		}
-		rn.scanRequests()
-		rn.maybeSample()
-		rn.maybeAudit()
-		// Energy-aware routing responds to battery levels, not just
-		// deaths; refresh it at step granularity so load actually shifts
-		// off draining relays.
-		if rn.nw.Policy() == wrsn.PolicyEnergyAware {
-			rn.nw.Recompute()
-		}
-	}
-}
-
-// auditView returns the evidence a live audit sees: everything recorded
-// so far, plus pending requests old enough (past the grace age) to count
-// as ignored — the sink knows what it dispatched and what has been
-// waiting suspiciously long.
-func (rn *runner) auditView() detect.Audit {
-	view := rn.audit
-	stale := make([]detect.RequestObs, 0, 4)
-	for _, req := range rn.qu.Pending() {
-		if rn.now-req.IssuedAt >= rn.cfg.PendingGraceSec {
-			stale = append(stale, detect.RequestObs{
-				Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
-			})
-		}
-	}
-	if len(stale) > 0 {
-		view.Unserved = append(append([]detect.RequestObs(nil), rn.audit.Unserved...), stale...)
-	}
-	return view
-}
-
-// maybeAudit runs the sink's cumulative detector audit at its cadence
-// (attack runs only). Once any detector fires, the charger is caught —
-// the attack loop observes rn.caught and hands the network back to honest
-// service.
-func (rn *runner) maybeAudit() {
-	if !rn.auditing || rn.caught || rn.cfg.AuditEverySec < 0 {
-		return
-	}
-	for rn.nextAudit <= rn.now {
-		rn.nextAudit += rn.cfg.AuditEverySec
-		view := rn.auditView()
-		if len(view.Sessions)+len(view.Unserved) < rn.cfg.MinAuditSessions {
-			continue
-		}
-		rn.probe.Add("campaign.audits", 1)
-		for _, v := range detect.JudgeProbed(view, rn.cfg.Detectors, rn.probe, rn.now) {
-			if v.Flagged {
-				rn.caught = true
-				rn.caughtAt = rn.now
-				rn.caughtBy = v.Detector
-				rn.probe.Event(obs.Event{T: rn.now, Kind: "charger.impounded", Node: -1, Value: v.Score, Detail: v.Detector})
-				return
-			}
-		}
-	}
-}
-
-// maybeSample records lifetime samples at the configured cadence.
-func (rn *runner) maybeSample() {
-	if rn.cfg.SampleEverySec <= 0 {
-		return
-	}
-	for rn.nextSample <= rn.now {
-		s := Sample{T: rn.nextSample}
-		for _, n := range rn.nw.Nodes() {
-			if !n.Alive() {
-				continue
-			}
-			s.Alive++
-			if rn.nw.Connected(n.ID) {
-				s.Connected++
-			}
-			if rn.keySet[n.ID] {
-				s.KeyAlive++
-			}
-		}
-		rn.samples = append(rn.samples, s)
-		rn.nextSample += rn.cfg.SampleEverySec
-	}
-}
-
-func (rn *runner) recordDeath(id wrsn.NodeID) {
-	reachable := rn.nw.Connected(id)
-	rn.audit.Deaths = append(rn.audit.Deaths, detect.DeathObs{
-		Node: id, Time: rn.now,
-		// Routing still reflects the pre-death topology here (Recompute
-		// runs after the batch), so this is the node's state as it died.
-		Reachable: reachable,
-	})
-	if rn.probe.Enabled() {
-		detail := "partitioned"
-		if reachable {
-			detail = "reachable"
-		}
-		rn.probe.Add("campaign.deaths", 1)
-		rn.probe.Event(obs.Event{T: rn.now, Kind: "node.death", Node: int(id), Detail: detail})
-	}
-	if rn.now < rn.firstDeath {
-		rn.firstDeath = rn.now
-	}
-	if req, ok := rn.qu.Get(id); ok {
-		rn.audit.Unserved = append(rn.audit.Unserved, detect.RequestObs{
-			Node: id, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
-		})
-		rn.qu.Remove(id)
-	}
-}
-
-// scanRequests issues charging requests for alive, connected,
-// below-threshold nodes that are outside their cooldown and have nothing
-// pending.
-func (rn *runner) scanRequests() {
-	for _, n := range rn.nw.Nodes() {
-		if !n.Alive() || !rn.nw.Connected(n.ID) || rn.qu.Has(n.ID) {
-			continue
-		}
-		if rn.now < rn.cool[n.ID] {
-			continue
-		}
-		cap := n.Battery.Capacity()
-		if n.Battery.Level() > rn.cfg.RequestFrac*cap {
-			continue
-		}
-		drain := rn.nw.DrainWatts(n.ID)
-		deadline := math.Inf(1)
-		if drain > 0 {
-			deadline = rn.now + n.Battery.Level()/drain
-		}
-		need := cap - n.Battery.Level()
-		err := rn.qu.Add(charging.Request{
-			Node:     n.ID,
-			Pos:      n.Pos,
-			IssuedAt: rn.now,
-			Deadline: deadline,
-			NeedJ:    need,
-		})
-		if err == nil {
-			rn.issued++
-			if rn.probe.Enabled() {
-				rn.probe.Add("campaign.requests.issued", 1)
-				rn.probe.Event(obs.Event{T: rn.now, Kind: "request", Node: int(n.ID), Value: need})
-			}
-		}
-	}
-}
-
-// focusSession performs a genuine charge of the node for up to dur seconds
-// (clamped so the victim cannot die mid-session), returning the session.
-// The caller must already have positioned the charger at the node's dock.
-func (rn *runner) focusSession(node *wrsn.Node, dur float64) (charging.Session, error) {
-	rate, err := rn.ch.DeliveredPower(node.Pos)
-	if err != nil {
-		return charging.Session{}, err
-	}
-	drain := rn.nw.DrainWatts(node.ID)
-	if net := rate - drain; net > 0 {
-		// Clamp to topping the battery off at the *net* fill rate.
-		if fill := (node.Battery.Capacity() - node.Battery.Level()) / net; fill < dur {
-			dur = fill
-		}
-	}
-	if drain > 0 {
-		if life := node.Battery.Level() / drain; dur > 0.95*life && rate <= drain {
-			dur = 0.95 * life
-		}
-	}
-	if err := rn.ch.SpendRadiation(dur); err != nil {
-		return charging.Session{}, err
-	}
-	solicited := rn.qu.Has(node.ID)
-	requested, meterBefore := rn.pendingNeed(node), node.Battery.MeterRead()
-	start := rn.now
-	// Benign session failure: the charger misdocks or is obstructed and
-	// the session delivers nothing — the background noise real detectors
-	// must tolerate (which is why the gain detector needs consecutive
-	// zeros to fire).
-	nominalRate := rate
-	if rn.r.Bool(rn.cfg.BenignFailRate) {
-		rate = 0
-	}
-	// The victim drains with everyone else during the session; the charge
-	// lands continuously but is applied at session end (the clamp above
-	// guarantees survival).
-	rn.advanceTo(start + dur)
-	delivered := node.Battery.Charge(rate * dur)
-	s := charging.Session{
-		Node:       node.ID,
-		Kind:       charging.SessionFocus,
-		Start:      start,
-		End:        rn.now,
-		RequestedJ: requested,
-		DeliveredJ: delivered,
-		MeterGainJ: node.Battery.MeterRead() - meterBefore,
-		RFAtNodeW:  4 * rn.ch.Array().Model.Power(rn.ch.Params().ServiceDist),
-	}
-	rn.completeSession(node.ID, s, true, solicited)
-	rn.applyDefenses(node, s, nominalRate, rate, false, func(at geom.Point) float64 {
-		rf, err := rn.ch.RadiatedPowerAt(node.Pos, at)
-		if err != nil {
-			return 0
-		}
-		return rf
-	})
-	return s, nil
-}
-
-// spoofSession performs a destructive-interference visit: the charger
-// steers a null at the victim and radiates — at full drive, so external
-// observers see a normal charging session — while the victim harvests
-// (almost) nothing. With the SingleEmitter ablation the null is physically
-// impossible and the "spoof" degenerates into a genuine charge.
-func (rn *runner) spoofSession(node *wrsn.Node, dur float64) (charging.Session, error) {
-	if rn.cfg.SingleEmitter {
-		// One coherent element cannot cancel itself; to keep up
-		// appearances it must radiate, and radiating charges the victim.
-		return rn.focusSession(node, dur)
-	}
-	arr := rn.ch.Array()
-	scale, err := wpt.SteerSpoof(arr, node.Pos, rn.cfg.Band)
-	if err != nil {
-		return charging.Session{}, err
-	}
-	errs := []float64{
-		rn.r.NormMeanStd(0, arr.PhaseJitterRad),
-		rn.r.NormMeanStd(0, arr.PhaseJitterRad),
-	}
-	rf, err := arr.RFPowerAtWithJitter(node.Pos, errs)
-	if err != nil {
-		return charging.Session{}, err
-	}
-	spoofPower := rn.ch.Params().RadiateW * scale * scale
-	if err := rn.ch.SpendEnergy(spoofPower * dur); err != nil {
-		return charging.Session{}, err
-	}
-	solicited := rn.qu.Has(node.ID)
-	requested, meterBefore := rn.pendingNeed(node), node.Battery.MeterRead()
-	start := rn.now
-	rn.advanceTo(start + dur)
-	delivered := node.Battery.Charge(rn.rect.DCOutput(rf) * dur)
-	s := charging.Session{
-		Node:       node.ID,
-		Kind:       charging.SessionSpoof,
-		Start:      start,
-		End:        rn.now,
-		RequestedJ: requested,
-		DeliveredJ: delivered,
-		MeterGainJ: node.Battery.MeterRead() - meterBefore,
-		RFAtNodeW:  rf,
-	}
-	// Cooldown applies only when the victim's carrier detector saw an
-	// active charger; a failed spoof (null too deep) leaves the node free
-	// to re-request immediately.
-	rn.completeSession(node.ID, s, rf >= rn.cfg.Band.CarrierDetectW, solicited)
-	claimed, err := rn.ch.DeliveredPower(node.Pos)
-	if err != nil {
-		claimed = 0
-	}
-	rn.applyDefenses(node, s, claimed, rn.rect.DCOutput(rf), true, arr.RFPowerAt)
-	return s, nil
-}
-
-// pendingNeed returns the node's pending requested energy, or its current
-// shortfall when no request is pending (an unsolicited session still
-// claims a requested amount in telemetry).
-func (rn *runner) pendingNeed(node *wrsn.Node) float64 {
-	if req, ok := rn.qu.Get(node.ID); ok {
-		return req.NeedJ
-	}
-	return node.Battery.Capacity() - node.Battery.Level()
-}
-
-// applyDefenses runs the enabled countermeasures against a just-completed
-// session. claimedRateW is the DC rate the session purported to deliver;
-// actualDCW what the victim's rectifier truly produced; fieldAt evaluates
-// the charger's RF field at arbitrary points for witnesses; spoofed is
-// simulation ground truth deciding exposure vs false alarm.
-func (rn *runner) applyDefenses(node *wrsn.Node, s charging.Session, claimedRateW, actualDCW float64, spoofed bool, fieldAt func(geom.Point) float64) {
-	def := rn.cfg.Defense
-	if !def.Enabled() {
-		return
-	}
-	expose := func(by string, dc, rf float64) {
-		e := defense.Exposure{
-			By: by, At: rn.now, Victim: int(node.ID),
-			MeasuredDCW: dc, WitnessRFW: rf,
-		}
-		if spoofed {
-			rn.exposures = append(rn.exposures, e)
-			rn.probe.Add("campaign.defense.exposures", 1)
-			rn.probe.Event(obs.Event{T: rn.now, Kind: "defense.exposure", Node: int(node.ID), Value: dc, Detail: by})
-			if rn.auditing && !rn.caught {
-				rn.caught = true
-				rn.caughtAt = rn.now
-				rn.caughtBy = by
-			}
-		} else {
-			// A benign dead session looks exactly like a spoof to the
-			// measurement; the operator investigates and finds a misdock.
-			rn.falseAlarms++
-			rn.probe.Add("campaign.defense.false_alarms", 1)
-			rn.probe.Event(obs.Event{T: rn.now, Kind: "defense.false_alarm", Node: int(node.ID), Value: dc, Detail: by})
-		}
-	}
-
-	// Harvest verification: the victim samples its own DC mid-session.
-	if def.VerifyProb > 0 && node.Alive() && rn.r.Bool(def.VerifyProb) {
-		cost := def.VerifyCostJ
-		if cost <= 0 {
-			cost = defense.DefaultVerifyCostJ
-		}
-		rn.drainForDefense(node, cost)
-		if def.Judge(claimedRateW, actualDCW) == defense.VerifyFail {
-			expose("harvest-verification", actualDCW, 0)
-		}
-	}
-
-	// Neighbor witnessing: nodes inside the charger's RF range sample the
-	// field. A strong attested field plus a zero-gain session is the
-	// spoof's remote signature — the null is local to the victim.
-	if def.WitnessDutyCycle > 0 {
-		gainLow := s.MeterGainJ <= 1
-		rangeM := rn.ch.Array().Model.Range
-		pos := rn.ch.Pos()
-		for _, w := range rn.nw.Nodes() {
-			if w.ID == node.ID || !w.Alive() || pos.Dist(w.Pos) > rangeM {
-				continue
-			}
-			if !rn.r.Bool(def.WitnessDutyCycle) {
-				continue
-			}
-			rn.witnessSamples++
-			rn.probe.Add("campaign.defense.witness_samples", 1)
-			cost := def.WitnessCostJ
-			if cost <= 0 {
-				cost = defense.DefaultWitnessCostJ
-			}
-			rn.drainForDefense(w, cost)
-			rf := fieldAt(w.Pos)
-			if rf >= def.WitnessThreshold() && gainLow {
-				expose("neighbor-witness", actualDCW, rf)
-				break
-			}
-		}
-	}
-}
-
-// drainForDefense charges a node the energy of a countermeasure action,
-// recording the (rare) death it can cause — the drain bypasses the
-// world-advance path that normally notices deaths.
-func (rn *runner) drainForDefense(node *wrsn.Node, cost float64) {
-	if !node.Alive() {
-		return
-	}
-	node.Battery.Drain(cost)
-	if node.Battery.Depleted() {
-		rn.recordDeath(node.ID)
-		rn.nw.Recompute()
-	}
-}
-
-func (rn *runner) completeSession(id wrsn.NodeID, s charging.Session, carrierSeen, solicited bool) {
-	rn.sessions = append(rn.sessions, s)
-	rn.audit.Sessions = append(rn.audit.Sessions, detect.SessionObs{
-		Node: id, Start: s.Start, End: s.End,
-		RequestedJ: s.RequestedJ, MeterGainJ: s.MeterGainJ,
-		Solicited: solicited,
-	})
-	if req, ok := rn.qu.Get(id); ok {
-		rn.waitSum += s.Start - req.IssuedAt
-		rn.waitN++
-		rn.probe.Observe("campaign.wait_sec", s.Start-req.IssuedAt)
-	}
-	if rn.qu.Remove(id) {
-		rn.served++
-		rn.probe.Add("campaign.requests.served", 1)
-	}
-	if carrierSeen {
-		rn.cool[id] = s.End + rn.cfg.CooldownSec
-	}
-	if rn.probe.Enabled() {
-		kind := "session.focus"
-		if s.Kind == charging.SessionSpoof {
-			kind = "session.spoof"
-		}
-		rn.probe.Add("campaign."+kind, 1)
-		rn.probe.Observe("campaign.session_sec", s.End-s.Start)
-		rn.probe.Event(obs.Event{T: s.Start, Kind: kind, Node: int(id), Value: s.MeterGainJ})
-	}
-}
-
-// travelTo moves the charger to the node's dock, advancing the world by
-// the travel time.
-func (rn *runner) travelTo(node *wrsn.Node) error {
-	dock := rn.ch.ServicePoint(node.Pos)
-	dt := rn.ch.TravelTime(dock)
-	if rn.probe.Enabled() {
-		rn.probe.Event(obs.Event{T: rn.now, Kind: "charger.travel", Node: int(node.ID), Value: rn.ch.Pos().Dist(dock)})
-	}
-	if err := rn.ch.Travel(dock); err != nil {
-		return err
-	}
-	rn.advanceTo(rn.now + dt)
-	return nil
-}
-
-// finish assembles the outcome after the horizon.
-func (rn *runner) finish(solver string, keys []wrsn.KeyNode, planned *attack.Result) *Outcome {
-	// Requests still pending at the horizon were never served.
-	for _, req := range rn.qu.Pending() {
-		rn.audit.Unserved = append(rn.audit.Unserved, detect.RequestObs{
-			Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
-		})
-	}
-	o := &Outcome{
-		Solver:         solver,
-		KeyNodes:       keys,
-		Sessions:       rn.sessions,
-		Audit:          rn.audit,
-		EnergySpentJ:   rn.ch.Spent(),
-		RequestsIssued: rn.issued,
-		RequestsServed: rn.served,
-		FirstDeathAt:   rn.firstDeath,
-		Planned:        planned,
-		Samples:        rn.samples,
-		Caught:         rn.caught,
-		CaughtAt:       rn.caughtAt,
-		CaughtBy:       rn.caughtBy,
-		Exposures:      rn.exposures,
-		FalseAlarms:    rn.falseAlarms,
-		WitnessSamples: rn.witnessSamples,
-		ExtraTargets:   rn.extraTargets,
-	}
-	if rn.waitN > 0 {
-		o.MeanWaitSec = rn.waitSum / float64(rn.waitN)
-	}
-	if planned != nil {
-		o.SkippedTargets = len(planned.SkippedTargets)
-	}
+// run drives one single-charger campaign under the given policy and
+// assembles its Outcome.
+func run(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config, pol policy.Policy) (*Outcome, error) {
+	env, led, w := layers(ctx, nw, ch, cfg)
+	keys := nw.KeyNodes()
 	for _, k := range keys {
-		n, err := rn.nw.Node(k.ID)
-		if err == nil && !n.Alive() {
-			o.KeyDead++
-		}
+		w.MarkKey(k.ID)
 	}
-	for _, s := range rn.sessions {
-		if s.Kind == charging.SessionFocus {
-			o.CoverUtilityJ += s.Utility()
-		}
+	if err := policy.Drive(env, pol); err != nil {
+		return nil, err
 	}
-	for _, n := range rn.nw.Nodes() {
-		switch {
-		case !n.Alive():
-			o.DeadTotal++
-		case !rn.nw.Connected(n.ID):
-			o.Disconnected++
-		}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	o.Verdicts = detect.JudgeProbed(rn.audit, rn.cfg.Detectors, rn.probe, rn.now)
-	o.Detected = rn.caught || detect.AnyFlagged(o.Verdicts)
-	if rn.probe.Enabled() {
-		rn.probe.Set("campaign.key_dead", float64(o.KeyDead))
-		rn.probe.Set("campaign.dead_total", float64(o.DeadTotal))
-		rn.probe.Set("campaign.energy_spent_j", o.EnergySpentJ)
-		rn.probe.Set("campaign.mean_wait_sec", o.MeanWaitSec)
-	}
-	return o
+	return finish(led, w, ch, cfg, pol.Name(), keys, pol.Planned()), nil
 }
 
 // RunLegit simulates the uncompromised network: the charger serves
@@ -807,71 +312,7 @@ func (rn *runner) finish(solver string, keys []wrsn.KeyNode, planned *attack.Res
 // wrappers.
 func RunLegit(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
-	rn := newRunner(ctx, nw, ch, cfg)
-	keys := nw.KeyNodes()
-	for _, k := range keys {
-		rn.keySet[k.ID] = true
-	}
-	rn.scanRequests()
-	rn.maybeSample()
-	for rn.now < cfg.HorizonSec && !rn.canceled() {
-		req, ok := cfg.Scheduler.Next(&rn.qu, rn.ch.Pos(), rn.now)
-		if !ok {
-			rn.advanceTo(math.Min(cfg.HorizonSec, rn.now+cfg.PollSec))
-			continue
-		}
-		node, err := nw.Node(req.Node)
-		if err != nil {
-			return nil, err
-		}
-		if !node.Alive() {
-			rn.qu.Remove(req.Node)
-			continue
-		}
-		if err := rn.travelTo(node); err != nil {
-			// Budget exhausted: idle out the rest of the horizon.
-			rn.advanceTo(cfg.HorizonSec)
-			break
-		}
-		if !node.Alive() { // died while we were driving over
-			rn.qu.Remove(req.Node)
-			continue
-		}
-		rate, err := rn.ch.DeliveredPower(node.Pos)
-		if err != nil {
-			return nil, err
-		}
-		need := node.Battery.Capacity() - node.Battery.Level()
-		if _, err := rn.focusSession(node, need/rate); err != nil {
-			rn.advanceTo(cfg.HorizonSec)
-			break
-		}
-	}
-	rn.advanceTo(cfg.HorizonSec)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return rn.finish("legit", keys, nil), nil
-}
-
-// ErrUnknownSolver reports an unrecognized Config.Solver.
-var ErrUnknownSolver = errors.New("campaign: unknown solver")
-
-func solve(in *attack.Instance, solver string, r *rng.Stream) (attack.Result, error) {
-	switch solver {
-	case SolverCSA:
-		return attack.SolveCSA(in)
-	case SolverCSAPolished:
-		return attack.SolveCSAPolished(in)
-	case SolverRandom:
-		return attack.SolveRandom(in, r)
-	case SolverGreedyNearest:
-		return attack.SolveGreedyNearest(in)
-	case SolverDirect:
-		return attack.SolveDirect(in)
-	default:
-		return attack.Result{}, fmt.Errorf("%w: %q", ErrUnknownSolver, solver)
-	}
+	return run(ctx, nw, ch, cfg, policy.NewLegit())
 }
 
 // RunAttack simulates the compromised charger: it plans a TIDE solution at
@@ -885,460 +326,67 @@ func solve(in *attack.Instance, solver string, r *rng.Stream) (attack.Result, er
 // ctx.Err() promptly once the context is canceled.
 func RunAttack(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*Outcome, error) {
 	cfg.applyDefaults()
-	rn := newRunner(ctx, nw, ch, cfg)
-	keys := nw.KeyNodes()
-	for _, k := range keys {
-		rn.keySet[k.ID] = true
-	}
-	isTarget := make(map[wrsn.NodeID]bool, len(keys))
-
-	in, err := attack.BuildInstance(nw, ch, attack.BuilderConfig{
-		Now:         0,
-		RequestFrac: cfg.RequestFrac,
-		CooldownSec: cfg.CooldownSec,
-		HorizonSec:  cfg.HorizonSec,
-		MaxCovers:   cfg.MaxCovers,
-		BudgetJ:     cfg.InstanceBudgetJ,
-	})
-	if err != nil {
-		return nil, err
-	}
-	res, err := solve(in, cfg.Solver, rn.r.Split("solver"))
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range in.Sites {
-		if s.Mandatory {
-			isTarget[s.Node] = true
-		}
-	}
-	rn.targetSet = isTarget
-	for id := range isTarget {
-		rn.blocked[id] = true
-	}
-	rn.auditing = true
-	rn.nextAudit = cfg.AuditEverySec
-
-	rn.scanRequests()
-	rn.maybeSample()
-	// Window-aware planners (CSA, and Direct's skeleton) re-derive their
-	// windows live during execution: node deaths shift relay loads, so
-	// plan-time forecasts drift by hours over a multi-day campaign and a
-	// static schedule would miss. The window-unaware baselines execute
-	// their schedule as planned and handle re-requests naively — exactly
-	// the behavioral difference the detectors exploit.
-	windowAware := cfg.Solver == SolverCSA || cfg.Solver == SolverCSAPolished || cfg.Solver == SolverDirect
-	if windowAware {
-		targets := make([]attack.Site, 0, len(res.Plan.Schedule))
-		for _, stop := range res.Plan.Schedule {
-			if site := in.Sites[stop.Site]; site.Mandatory {
-				targets = append(targets, site)
-			}
-		}
-		if err := rn.runTargets(targets); err != nil {
-			return nil, err
-		}
-	} else {
-		rn.spoofOnRequest = true
-		if err := rn.runStaticPlan(in, res); err != nil {
-			return nil, err
-		}
-	}
-	// Plan handled: keep the cover by running on-demand service for the
-	// remaining horizon. Window-aware attackers genuinely serve whatever
-	// re-requests (their kills are done); window-unaware ones answer
-	// target re-requests with yet another spoof.
-	if !cfg.NoFill && !rn.caught {
-		rn.serveLoop(cfg.HorizonSec, rn.blocked, true)
-	}
-	if rn.caught {
-		// The flagged charger is impounded; the operator deploys an honest
-		// replacement that serves everyone, including surviving targets.
-		rn.auditing = false
-		rn.spoofOnRequest = false
-		rn.ch.Reset()
-		rn.serveLoop(cfg.HorizonSec, nil, false)
-	}
-	rn.advanceTo(cfg.HorizonSec)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return rn.finish(cfg.Solver, keys, &res), nil
+	return run(ctx, nw, ch, cfg, policy.NewAttacker(cfg.Solver))
 }
 
-// runTargets executes the spoof targets adaptively: at every step it picks
-// the target with the most urgent live window (last CooldownSec before its
-// *current* projected death), serves cover requests while no window is
-// due, and spoofs each target inside its window. Targets that drift out of
-// danger (their relay load vanished with an upstream death) or die early
-// are dropped.
-func (rn *runner) runTargets(targets []attack.Site) error {
-	pending := append([]attack.Site(nil), targets...)
-	engaged := make(map[wrsn.NodeID]bool, len(targets))
-	for _, s := range targets {
-		engaged[s.Node] = true
-	}
-	for (len(pending) > 0 || rn.cfg.Progressive) && !rn.caught && !rn.canceled() {
-		if rn.cfg.Progressive {
-			added := rn.recruitEmergentTargets(engaged, &pending)
-			rn.extraTargets += added
-			if len(pending) == 0 {
-				if rn.now >= rn.cfg.HorizonSec {
-					return nil
-				}
-				// Nothing to kill right now: serve covers and wait for
-				// the topology to yield new separators.
-				if rn.cfg.NoFill || !rn.fillOne(rn.now+rn.cfg.PollSec, rn.ch.Pos()) {
-					rn.advanceTo(math.Min(rn.cfg.HorizonSec, rn.now+rn.cfg.PollSec))
-				}
-				continue
-			}
-		}
-		bestIdx := -1
-		var bestDepart float64
-		bestAppease := false
-		alivePending := pending[:0]
-		for _, s := range pending {
-			node, err := rn.nw.Node(s.Node)
-			if err != nil {
-				return err
-			}
-			if !node.Alive() {
-				continue // died before we got to it; still exhausted
-			}
-			f, err := rn.nw.ForecastAt(s.Node, rn.now, rn.cfg.RequestFrac)
-			if err != nil {
-				return err
-			}
-			if math.IsInf(f.DeathAt, 1) {
-				// Drift saved it: no longer dies. Drop the target and let
-				// ordinary service have it again.
-				delete(rn.blocked, s.Node)
-				continue
-			}
-			travel := rn.ch.TravelTime(rn.ch.ServicePoint(node.Pos))
-			if rn.now+travel >= f.DeathAt-s.Dur/2 {
-				// Irrecoverably late: a spoof can no longer complete
-				// before death. Give the kill up — a genuine serve on its
-				// pending request keeps the telemetry clean, whereas
-				// letting it die starved is exactly what the
-				// died-awaiting-charge detector looks for.
-				delete(rn.blocked, s.Node)
-				continue
-			}
-			alivePending = append(alivePending, s)
-			// Strike as late as safely possible: the cooldown trick needs
-			// the spoof after death−cooldown, but a late spoof also
-			// shrinks the window in which post-spoof load drift could let
-			// the victim outlive its cooldown and re-request.
-			finalAt := math.Max(f.RequestAt, f.DeathAt-rn.cfg.CooldownSec/2)
-			appease := false
-			// Slow-draining targets request long before they die; letting
-			// the request age past the sink's patience is starvation
-			// evidence. Appease such a request with a token partial
-			// charge before it goes stale.
-			if req, ok := rn.qu.Get(s.Node); ok {
-				staleAt := req.IssuedAt + rn.cfg.PendingGraceSec - appeaseMarginSec
-				if staleAt < finalAt {
-					finalAt = staleAt
-					appease = true
-				}
-			}
-			depart := finalAt - travel
-			if bestIdx < 0 || depart < bestDepart {
-				bestIdx, bestDepart, bestAppease = len(alivePending)-1, depart, appease
-			}
-		}
-		pending = alivePending
-		if bestIdx < 0 {
-			if !rn.cfg.Progressive {
-				return nil
-			}
-			// Progressive mode: no viable target right now; the top of the
-			// loop waits for the topology to yield new separators.
-			continue
-		}
-		if rn.now < bestDepart {
-			// No window due yet: keep the cover going, but stay free to
-			// make the next departure.
-			if !rn.cfg.NoFill && rn.fillOne(bestDepart, pending[bestIdx].Pos) {
-				continue
-			}
-			rn.advanceTo(math.Min(bestDepart, rn.now+rn.cfg.PollSec))
-			continue
-		}
-		site := pending[bestIdx]
-		if bestAppease {
-			// Token service: clears the pending request and restarts its
-			// cooldown; the victim's death slips a little, and the target
-			// stays on the list for its real (final) spoof.
-			if err := rn.appeaseTarget(site); err != nil {
-				return err
-			}
-			continue
-		}
-		pending = append(pending[:bestIdx], pending[bestIdx+1:]...)
-		if err := rn.spoofTarget(site); err != nil {
-			return err
-		}
-		// Spoofed (or conclusively missed): if drift lets the victim
-		// re-request, serve it genuinely rather than leave evidence.
-		delete(rn.blocked, site.Node)
-	}
-	return nil
-}
-
-// appeaseMarginSec is how far before a pending request goes stale the
-// attacker acts on it, covering travel plus a session.
-const appeaseMarginSec = 3 * 3600
-
-// appeaseTarget performs a short genuine charge at a target whose pending
-// request is about to look ignored: the request clears, the meter shows a
-// real (small) gain, and the kill is merely postponed.
-func (rn *runner) appeaseTarget(site attack.Site) error {
-	node, err := rn.nw.Node(site.Node)
-	if err != nil {
-		return err
-	}
-	if err := rn.travelTo(node); err != nil {
-		return nil // budget exhausted
-	}
-	if rn.caught || !node.Alive() {
-		return nil
-	}
-	_, err = rn.focusSession(node, site.Dur*appeaseFraction)
-	return err
-}
-
-// appeaseFraction sizes the token charge relative to a full session: long
-// enough to read as a genuine (if poor) service, short enough to barely
-// postpone the victim's death.
-const appeaseFraction = 0.15
-
-// recruitEmergentTargets (Progressive mode) recomputes the alive
-// topology's separators and adds any not yet engaged to the pending list,
-// blocked from genuine service like the originals. It returns how many
-// joined.
-func (rn *runner) recruitEmergentTargets(engaged map[wrsn.NodeID]bool, pending *[]attack.Site) int {
-	added := 0
-	for _, k := range rn.nw.KeyNodes() {
-		if engaged[k.ID] {
-			continue
-		}
-		node, err := rn.nw.Node(k.ID)
-		if err != nil || !node.Alive() {
-			continue
-		}
-		rate, err := rn.ch.DeliveredPower(node.Pos)
-		if err != nil || rate <= 0 {
-			continue
-		}
-		engaged[k.ID] = true
-		rn.blocked[k.ID] = true
-		rn.targetSet[k.ID] = true
-		rn.probe.Event(obs.Event{T: rn.now, Kind: "target.recruited", Node: int(k.ID), Value: float64(k.Severed)})
-		*pending = append(*pending, attack.Site{
-			Node:      k.ID,
-			Pos:       node.Pos,
-			Dur:       node.Battery.Capacity() * (1 - rn.cfg.RequestFrac) / rate,
-			Mandatory: true,
-			Kind:      attack.VisitSpoof,
+// finish assembles the outcome after the horizon.
+func finish(led *ledger.L, w *world.W, ch *mc.Charger, cfg Config, solver string, keys []wrsn.KeyNode, planned *attack.Result) *Outcome {
+	// Requests still pending at the horizon were never served.
+	for _, req := range w.Queue().Pending() {
+		led.Audit.Unserved = append(led.Audit.Unserved, detect.RequestObs{
+			Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
 		})
-		added++
 	}
-	return added
-}
-
-// spoofTarget travels to the victim and runs the spoof session, waiting
-// for the victim's request first if forecast drift made the charger early
-// (an uninvited session is what the unsolicited-session detector catches).
-func (rn *runner) spoofTarget(site attack.Site) error {
-	node, err := rn.nw.Node(site.Node)
-	if err != nil {
-		return err
+	o := &Outcome{
+		Solver:         solver,
+		KeyNodes:       keys,
+		Sessions:       led.Sessions,
+		Audit:          led.Audit,
+		EnergySpentJ:   ch.Spent(),
+		RequestsIssued: led.Issued,
+		RequestsServed: led.Served,
+		FirstDeathAt:   led.FirstDeath,
+		Planned:        planned,
+		Samples:        led.Samples,
+		Caught:         led.Caught,
+		CaughtAt:       led.CaughtAt,
+		CaughtBy:       led.CaughtBy,
+		Exposures:      led.Exposures,
+		FalseAlarms:    led.FalseAlarms,
+		WitnessSamples: led.WitnessSamples,
+		ExtraTargets:   led.ExtraTargets,
+		MeanWaitSec:    led.MeanWaitSec(),
 	}
-	if err := rn.travelTo(node); err != nil {
-		return nil // budget exhausted: the attack fizzles out
+	if planned != nil {
+		o.SkippedTargets = len(planned.SkippedTargets)
 	}
-	for !rn.caught && !rn.canceled() && node.Alive() && !rn.qu.Has(site.Node) {
-		f, err := rn.nw.ForecastAt(site.Node, rn.now, rn.cfg.RequestFrac)
-		if err != nil {
-			return err
-		}
-		if math.IsInf(f.DeathAt, 1) || rn.now >= f.DeathAt {
-			return nil
-		}
-		rn.advanceTo(math.Min(f.DeathAt, rn.now+rn.cfg.PollSec))
-	}
-	if rn.caught || !node.Alive() {
-		return nil
-	}
-	// Session length: as long as a genuine recharge (the claim must look
-	// right) but never outliving the victim's projected death.
-	dur := site.Dur
-	if drain := rn.nw.DrainWatts(site.Node); drain > 0 {
-		if life := node.Battery.Level() / drain; life < dur {
-			dur = life
+	nw := w.Network()
+	for _, k := range keys {
+		n, err := nw.Node(k.ID)
+		if err == nil && !n.Alive() {
+			o.KeyDead++
 		}
 	}
-	_, err = rn.spoofSession(node, dur)
-	return err
-}
-
-// fillOne serves the nearest pending non-target request that can be fully
-// served in time to reach returnPos by the deadline. It reports whether a
-// session happened.
-func (rn *runner) fillOne(deadline float64, returnPos geom.Point) bool {
-	best := charging.Request{}
-	found := false
-	bestD := math.Inf(1)
-	for _, req := range rn.qu.Pending() {
-		node, err := rn.nw.Node(req.Node)
-		if err != nil || !node.Alive() || rn.blocked[req.Node] {
-			continue
-		}
-		rate, err := rn.ch.DeliveredPower(node.Pos)
-		if err != nil || rate <= 0 {
-			continue
-		}
-		dock := rn.ch.ServicePoint(node.Pos)
-		serveDur := (node.Battery.Capacity() - node.Battery.Level()) / rate
-		finish := rn.now + rn.ch.TravelTime(dock) + serveDur
-		back := finish + node.Pos.Dist(returnPos)/rn.ch.Params().SpeedMps
-		if back > deadline {
-			continue
-		}
-		if d := rn.ch.Pos().Dist2(req.Pos); d < bestD {
-			best, bestD, found = req, d, true
+	for _, s := range led.Sessions {
+		if s.Kind == charging.SessionFocus {
+			o.CoverUtilityJ += s.Utility()
 		}
 	}
-	if !found {
-		return false
-	}
-	node, err := rn.nw.Node(best.Node)
-	if err != nil || !node.Alive() {
-		rn.qu.Remove(best.Node)
-		return false
-	}
-	if err := rn.travelTo(node); err != nil {
-		return false
-	}
-	if !node.Alive() {
-		rn.qu.Remove(best.Node)
-		return false
-	}
-	rate, err := rn.ch.DeliveredPower(node.Pos)
-	if err != nil {
-		return false
-	}
-	need := node.Battery.Capacity() - node.Battery.Level()
-	_, err = rn.focusSession(node, need/rate)
-	return err == nil
-}
-
-// serveLoop is on-demand service until deadline, skipping nodes in the
-// skip set; with stopOnCaught it aborts once a live audit flags the
-// charger (the attacker's cover phase). A spoofOnRequest attacker ignores
-// the skip set and answers target requests with spoof sessions.
-func (rn *runner) serveLoop(deadline float64, skip map[wrsn.NodeID]bool, stopOnCaught bool) {
-	if rn.spoofOnRequest {
-		skip = nil
-	}
-	for rn.now < deadline && !rn.canceled() {
-		if stopOnCaught && rn.caught {
-			return
-		}
-		req, ok := rn.pickSkipping(skip)
-		if !ok {
-			rn.advanceTo(math.Min(deadline, rn.now+rn.cfg.PollSec))
-			continue
-		}
-		node, err := rn.nw.Node(req.Node)
-		if err != nil || !node.Alive() {
-			rn.qu.Remove(req.Node)
-			continue
-		}
-		if err := rn.travelTo(node); err != nil {
-			return
-		}
-		if !node.Alive() {
-			rn.qu.Remove(req.Node)
-			continue
-		}
-		rate, err := rn.ch.DeliveredPower(node.Pos)
-		if err != nil {
-			return
-		}
-		need := node.Battery.Capacity() - node.Battery.Level()
-		if rn.spoofOnRequest && rn.targetSet[req.Node] {
-			if _, err := rn.spoofSession(node, need/rate); err != nil {
-				return
-			}
-			continue
-		}
-		if _, err := rn.focusSession(node, need/rate); err != nil {
-			return
+	for _, n := range nw.Nodes() {
+		switch {
+		case !n.Alive():
+			o.DeadTotal++
+		case !nw.Connected(n.ID):
+			o.Disconnected++
 		}
 	}
-}
-
-// runStaticPlan executes the plan literally: travel to each stop, wait for
-// its scheduled begin when early, and serve or spoof on arrival — no live
-// window tracking, no waiting for solicitation. This is how a
-// window-unaware attacker behaves, and it is what forecast drift and the
-// provenance/zero-gain detectors punish.
-func (rn *runner) runStaticPlan(in *attack.Instance, res attack.Result) error {
-	for _, stop := range res.Plan.Schedule {
-		if rn.caught || rn.canceled() {
-			return nil
-		}
-		site := in.Sites[stop.Site]
-		node, err := rn.nw.Node(site.Node)
-		if err != nil {
-			return err
-		}
-		if !node.Alive() {
-			continue
-		}
-		if err := rn.travelTo(node); err != nil {
-			return nil // budget exhausted
-		}
-		if rn.now < stop.Begin {
-			rn.advanceTo(stop.Begin)
-		}
-		if rn.caught || !node.Alive() {
-			continue
-		}
-		dur := site.Dur
-		if drain := rn.nw.DrainWatts(site.Node); drain > 0 && site.Mandatory {
-			if life := node.Battery.Level() / drain; life < dur {
-				dur = life
-			}
-		}
-		if site.Mandatory {
-			if _, err := rn.spoofSession(node, dur); err != nil {
-				return nil
-			}
-		} else {
-			if _, err := rn.focusSession(node, dur); err != nil {
-				return nil
-			}
-		}
+	o.Verdicts = detect.JudgeProbed(led.Audit, cfg.Detectors, cfg.Probe, w.Now())
+	o.Detected = led.Caught || detect.AnyFlagged(o.Verdicts)
+	if cfg.Probe.Enabled() {
+		cfg.Probe.Set("campaign.key_dead", float64(o.KeyDead))
+		cfg.Probe.Set("campaign.dead_total", float64(o.DeadTotal))
+		cfg.Probe.Set("campaign.energy_spent_j", o.EnergySpentJ)
+		cfg.Probe.Set("campaign.mean_wait_sec", o.MeanWaitSec)
 	}
-	return nil
-}
-
-// pickSkipping runs the scheduler over a queue view without skipped nodes.
-func (rn *runner) pickSkipping(skip map[wrsn.NodeID]bool) (charging.Request, bool) {
-	var view charging.Queue
-	for _, req := range rn.qu.Pending() {
-		if skip[req.Node] {
-			continue
-		}
-		// Requests in the live queue are already validated.
-		if err := view.Add(req); err != nil {
-			continue
-		}
-	}
-	return rn.cfg.Scheduler.Next(&view, rn.ch.Pos(), rn.now)
+	return o
 }

@@ -2,19 +2,25 @@ package campaign
 
 // Multi-charger fleet service — the capacity extension the WRSN charging
 // literature motivates: beyond what one mobile charger can sustain, the
-// operator deploys K chargers sharing the request queue. The fleet run is
-// driven by the discrete-event engine, since multiple chargers' travels
-// and sessions genuinely overlap in time (unlike the single-charger runs,
-// whose world only moves while their one actor acts).
+// operator deploys K chargers sharing the request queue. The fleet runs
+// on the same world layer as the single-charger campaigns: the world owns
+// the event engine, a self-ticking world event advances batteries,
+// deaths, and requests, and each charger's dispatch/arrive/session-end
+// handlers interleave on the engine. Handlers sync the world with
+// CatchUp, the re-entrant-safe advance.
 
 import (
 	"context"
 	"fmt"
 	"math"
 
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/campaign/session"
+	"github.com/reprolab/wrsn-csa/internal/campaign/world"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/detect"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/rng"
 	"github.com/reprolab/wrsn-csa/internal/sim"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
@@ -53,8 +59,29 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		return nil, fmt.Errorf("campaign: fleet needs at least one charger")
 	}
 	cfg.applyDefaults()
-	rn := newRunner(ctx, nw, chargers[0], cfg)
-	eng := sim.New()
+	led := ledger.New()
+	w := world.New(ctx, nw, led, world.Params{
+		PollSec:          cfg.PollSec,
+		RequestFrac:      cfg.RequestFrac,
+		SampleEverySec:   cfg.SampleEverySec,
+		AuditEverySec:    cfg.AuditEverySec,
+		MinAuditSessions: cfg.MinAuditSessions,
+		PendingGraceSec:  cfg.PendingGraceSec,
+		Detectors:        cfg.Detectors,
+	}, cfg.Probe)
+	r := rng.New(cfg.Seed).Split("campaign")
+	sp := session.Params{
+		Band:           cfg.Band,
+		BenignFailRate: cfg.BenignFailRate,
+		SingleEmitter:  cfg.SingleEmitter,
+		CooldownSec:    cfg.CooldownSec,
+		Defense:        cfg.Defense,
+	}
+	actors := make(map[*mc.Charger]*session.Actor, len(chargers))
+	for _, ch := range chargers {
+		actors[ch] = session.NewActor(w, ch, led, r, sp, cfg.Probe)
+	}
+	eng := w.Engine()
 	eng.Instrument(cfg.Probe)
 
 	out := &FleetOutcome{Chargers: len(chargers), FirstDeathAt: math.Inf(1)}
@@ -66,7 +93,7 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 	// pick returns the scheduler's choice among unreserved requests.
 	pick := func(ch *mc.Charger) (charging.Request, bool) {
 		var view charging.Queue
-		for _, req := range rn.qu.Pending() {
+		for _, req := range w.Queue().Pending() {
 			if reserved[req.Node] {
 				continue
 			}
@@ -74,27 +101,27 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 				continue
 			}
 		}
-		return rn.cfg.Scheduler.Next(&view, ch.Pos(), rn.now)
+		return cfg.Scheduler.Next(&view, ch.Pos(), w.Now())
 	}
 
 	// serve executes one assignment for a charger inside the engine; the
-	// runner's advanceTo is replaced by engine time, so battery dynamics
-	// are driven by a world ticker below.
+	// single-charger AdvanceTo is replaced by engine time, so battery
+	// dynamics are driven by the world ticker below.
 	var dispatch func(ch *mc.Charger) sim.Handler
 	dispatch = func(ch *mc.Charger) sim.Handler {
 		return func(e *sim.Engine) {
-			if rn.canceled() {
+			if w.Canceled() {
 				return
 			}
-			rn.syncTo(e.Now())
+			w.CatchUp(e.Now())
 			req, ok := pick(ch)
 			if !ok {
-				_ = e.After(rn.cfg.PollSec, "idle-poll", dispatch(ch))
+				_ = e.After(cfg.PollSec, "idle-poll", dispatch(ch))
 				return
 			}
-			node, err := rn.nw.Node(req.Node)
+			node, err := nw.Node(req.Node)
 			if err != nil || !node.Alive() {
-				rn.qu.Remove(req.Node)
+				w.Queue().Remove(req.Node)
 				_ = e.After(1, "retry", dispatch(ch))
 				return
 			}
@@ -107,10 +134,10 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 				return
 			}
 			arriveEvt := func(e *sim.Engine) {
-				rn.syncTo(e.Now())
+				w.CatchUp(e.Now())
 				if !node.Alive() {
 					delete(reserved, req.Node)
-					rn.qu.Remove(req.Node)
+					w.Queue().Remove(req.Node)
 					_ = e.After(1, "next", dispatch(ch))
 					return
 				}
@@ -126,11 +153,11 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 					return
 				}
 				busy += travelT + dur
-				solicited := rn.qu.Has(node.ID)
+				solicited := w.Queue().Has(node.ID)
 				meterBefore := node.Battery.MeterRead()
 				start := e.Now()
 				endEvt := func(e *sim.Engine) {
-					rn.syncTo(e.Now())
+					w.CatchUp(e.Now())
 					delete(reserved, req.Node)
 					if !node.Alive() {
 						// Died mid-session (was nearly empty on arrival);
@@ -145,7 +172,7 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 						RequestedJ: req.NeedJ, DeliveredJ: delivered,
 						MeterGainJ: node.Battery.MeterRead() - meterBefore,
 					}
-					rn.completeSession(node.ID, s, true, solicited)
+					actors[ch].Complete(node.ID, s, true, solicited)
 					_ = e.After(1, "next", dispatch(ch))
 				}
 				_ = e.After(dur, "session-end", endEvt)
@@ -157,12 +184,12 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 	// World ticker: advances batteries, deaths, requests between events.
 	var tick sim.Handler
 	tick = func(e *sim.Engine) {
-		if rn.canceled() {
+		if w.Canceled() {
 			return
 		}
-		rn.syncTo(e.Now())
+		w.CatchUp(e.Now())
 		if e.Now() < cfg.HorizonSec {
-			dt := math.Min(rn.cfg.PollSec, cfg.HorizonSec-e.Now())
+			dt := math.Min(cfg.PollSec, cfg.HorizonSec-e.Now())
 			_ = e.After(dt, "world-tick", tick)
 		}
 	}
@@ -181,18 +208,18 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rn.syncTo(cfg.HorizonSec)
+	w.CatchUp(cfg.HorizonSec)
 
-	for _, req := range rn.qu.Pending() {
-		rn.audit.Unserved = append(rn.audit.Unserved, detect.RequestObs{
+	for _, req := range w.Queue().Pending() {
+		led.Audit.Unserved = append(led.Audit.Unserved, detect.RequestObs{
 			Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
 		})
 	}
-	out.Audit = rn.audit
-	out.RequestsIssued = rn.issued
-	out.RequestsServed = rn.served
-	out.FirstDeathAt = rn.firstDeath
-	for _, s := range rn.sessions {
+	out.Audit = led.Audit
+	out.RequestsIssued = led.Issued
+	out.RequestsServed = led.Served
+	out.FirstDeathAt = led.FirstDeath
+	for _, s := range led.Sessions {
 		out.CoverUtilityJ += s.Utility()
 	}
 	for _, ch := range chargers {
@@ -210,12 +237,4 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		cfg.Probe.Set("fleet.energy_spent_j", out.EnergySpentJ)
 	}
 	return out, nil
-}
-
-// syncTo advances the runner's world (batteries, deaths, requests,
-// samples) to engine time t without moving any charger.
-func (rn *runner) syncTo(t float64) {
-	if t > rn.now {
-		rn.advanceTo(t)
-	}
 }

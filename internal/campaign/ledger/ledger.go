@@ -1,0 +1,92 @@
+// Package ledger is the bookkeeping layer of a campaign: it accumulates
+// everything a run produces — sessions, sink-side audit evidence, lifetime
+// samples, countermeasure exposures, queueing-delay statistics, the
+// caught-charger record — and nothing else. The world, session, and policy
+// layers write into one shared L; the campaign composition root reads it
+// back out to assemble the public Outcome. The ledger never advances time,
+// touches the network, or draws randomness, which is what keeps the
+// accumulation order (and therefore byte-identical Outcomes) entirely in
+// the hands of the layers above.
+package ledger
+
+import (
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+)
+
+// Sample is one point of the lifetime time series.
+type Sample struct {
+	T         float64
+	Alive     int
+	Connected int
+	KeyAlive  int
+}
+
+// L accumulates the ground truth and observations of one campaign run.
+// Fields are exported for the composition root; mutation during a run goes
+// through the world/session layers so ordering stays deterministic.
+type L struct {
+	// Sessions is the full session record (simulation ground truth).
+	Sessions []charging.Session
+	// Audit is what the sink observed: sessions, unserved requests, deaths.
+	Audit detect.Audit
+	// Issued / Served tally the demand the chargers saw.
+	Issued int
+	Served int
+	// Samples is the lifetime time series (empty unless sampling is on).
+	Samples []Sample
+	// Exposures lists countermeasure catches; FalseAlarms counts
+	// countermeasure alerts raised on genuine sessions.
+	Exposures   []defense.Exposure
+	FalseAlarms int
+	// WitnessSamples counts neighbor-witness measurements taken.
+	WitnessSamples int
+	// ExtraTargets counts emergent key nodes a Progressive attacker
+	// engaged beyond the plan-time set.
+	ExtraTargets int
+	// WaitSum/WaitN aggregate queueing delay over served requests.
+	WaitSum float64
+	WaitN   int
+	// FirstDeath is the earliest node death, +Inf when none died.
+	FirstDeath float64
+	// Caught records a live impoundment: when and by which detector.
+	Caught   bool
+	CaughtAt float64
+	CaughtBy string
+}
+
+// New returns an empty ledger.
+func New() *L { return &L{FirstDeath: math.Inf(1)} }
+
+// Catch records the charger's impoundment; only the first catch counts.
+func (l *L) Catch(at float64, by string) {
+	if l.Caught {
+		return
+	}
+	l.Caught, l.CaughtAt, l.CaughtBy = true, at, by
+}
+
+// NoteDeath folds a death time into the first-death statistic.
+func (l *L) NoteDeath(at float64) {
+	if at < l.FirstDeath {
+		l.FirstDeath = at
+	}
+}
+
+// NoteWait folds one request→session queueing delay into the mean.
+func (l *L) NoteWait(sec float64) {
+	l.WaitSum += sec
+	l.WaitN++
+}
+
+// MeanWaitSec returns the average queueing delay over served requests,
+// 0 when nothing was served.
+func (l *L) MeanWaitSec() float64 {
+	if l.WaitN == 0 {
+		return 0
+	}
+	return l.WaitSum / float64(l.WaitN)
+}

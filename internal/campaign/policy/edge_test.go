@@ -1,0 +1,205 @@
+package policy
+
+// Edge-case tests against the extracted policy implementations: the live
+// audit impounding the charger mid-campaign, progressive recruiting of
+// emergent separators, and a target whose spoof window is irrecoverably
+// missed. They wire the world/session/ledger layers directly, the same
+// way the campaign composition root does.
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/campaign/session"
+	"github.com/reprolab/wrsn-csa/internal/campaign/world"
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// testEnv wires the four layers for a policy test, mirroring the
+// campaign composition root with its defaults. wpMut adjusts the world
+// parameters and envMut the Env before anything runs.
+func testEnv(t *testing.T, seed uint64, n int, chp mc.Params, wpMut func(*world.Params), envMut func(*Env)) *Env {
+	t.Helper()
+	nw, _, err := trace.DefaultScenario(seed, n).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := mc.New(nw.Sink(), chp)
+	led := ledger.New()
+	wp := world.Params{
+		PollSec:          900,
+		RequestFrac:      wrsn.DefaultRequestFraction,
+		AuditEverySec:    24 * 3600,
+		MinAuditSessions: 10,
+		PendingGraceSec:  48 * 3600,
+		Detectors:        detect.Suite(),
+	}
+	if wpMut != nil {
+		wpMut(&wp)
+	}
+	w := world.New(context.Background(), nw, led, wp, nil)
+	r := rng.New(seed).Split("campaign")
+	a := session.NewActor(w, ch, led, r, session.Params{
+		Band:           wpt.DefaultSpoofBand(),
+		BenignFailRate: 0.005,
+		CooldownSec:    attack.DefaultCooldownSec,
+	}, nil)
+	env := &Env{
+		W: w, A: a, L: led,
+		Horizon:         attack.DefaultHorizonSec,
+		PollSec:         wp.PollSec,
+		RequestFrac:     wp.RequestFrac,
+		CooldownSec:     attack.DefaultCooldownSec,
+		PendingGraceSec: wp.PendingGraceSec,
+		AuditEverySec:   wp.AuditEverySec,
+		Scheduler:       charging.NJNP{},
+		Rand:            r,
+		Probe:           obs.Or(nil),
+		Targets:         make(map[wrsn.NodeID]bool),
+		Blocked:         make(map[wrsn.NodeID]bool),
+	}
+	if envMut != nil {
+		envMut(env)
+	}
+	return env
+}
+
+// flagAfter is a deterministic test detector: it flags as soon as the
+// audit holds at least n sessions.
+type flagAfter struct{ n int }
+
+func (flagAfter) Name() string                   { return "flag-after" }
+func (d flagAfter) Score(a detect.Audit) float64 { return float64(len(a.Sessions)) }
+func (d flagAfter) Threshold() float64           { return float64(d.n) }
+
+// TestAttackerCaughtMidCampaign impounds the charger with a hair-trigger
+// detector and checks the hand-over: auditing stops, the honest
+// replacement takes over, and no spoof session starts after the catch.
+func TestAttackerCaughtMidCampaign(t *testing.T) {
+	env := testEnv(t, 42, 120, mc.DefaultParams(),
+		func(wp *world.Params) {
+			wp.AuditEverySec = 6 * 3600
+			wp.MinAuditSessions = 1
+			wp.Detectors = []detect.Detector{flagAfter{n: 3}}
+		},
+		func(e *Env) { e.AuditEverySec = 6 * 3600 })
+	p := NewAttacker(SolverCSA)
+	if err := Drive(env, p); err != nil {
+		t.Fatal(err)
+	}
+	if !env.L.Caught {
+		t.Fatal("hair-trigger detector never caught the attacker")
+	}
+	if env.L.CaughtBy != "flag-after" {
+		t.Errorf("CaughtBy = %q, want flag-after", env.L.CaughtBy)
+	}
+	if env.L.CaughtAt >= env.Horizon {
+		t.Errorf("CaughtAt = %v, want before the horizon %v", env.L.CaughtAt, env.Horizon)
+	}
+	if env.W.Auditing() {
+		t.Error("auditing still armed after the impoundment")
+	}
+	if !p.honest {
+		t.Error("attacker never flipped to the honest replacement")
+	}
+	after := 0
+	for _, s := range env.L.Sessions {
+		if s.Start < env.L.CaughtAt {
+			continue
+		}
+		after++
+		if s.Kind == charging.SessionSpoof {
+			t.Errorf("spoof session at t=%v after the catch at t=%v", s.Start, env.L.CaughtAt)
+		}
+	}
+	if after == 0 {
+		t.Error("honest replacement served nothing after the catch")
+	}
+}
+
+// TestProgressiveRecruitsEmergentTargets runs the window-aware attacker
+// in Progressive mode and checks that separators emerging mid-campaign
+// join the target list (and are counted in the ledger).
+func TestProgressiveRecruitsEmergentTargets(t *testing.T) {
+	env := testEnv(t, 42, 150, mc.DefaultParams(), nil,
+		func(e *Env) { e.Progressive = true })
+	p := NewAttacker(SolverCSA)
+	if err := Drive(env, p); err != nil {
+		t.Fatal(err)
+	}
+	if env.L.ExtraTargets == 0 {
+		t.Fatal("progressive attacker recruited no emergent targets")
+	}
+	planTargets := 0
+	for _, stop := range p.res.Plan.Schedule {
+		if p.in.Sites[stop.Site].Mandatory {
+			planTargets++
+		}
+	}
+	if len(p.engaged) != planTargets+env.L.ExtraTargets {
+		t.Errorf("engaged %d targets, want plan-time %d + recruited %d",
+			len(p.engaged), planTargets, env.L.ExtraTargets)
+	}
+}
+
+// TestMissedWindowDropsTarget checks the irrecoverably-late branch: when
+// travel can no longer beat the victim's projected death, the target is
+// abandoned and unblocked so ordinary service gets it back.
+func TestMissedWindowDropsTarget(t *testing.T) {
+	// A crawling charger makes every travel time astronomically larger
+	// than any depletion forecast.
+	chp := mc.DefaultParams()
+	chp.SpeedMps = 1e-6
+	env := testEnv(t, 42, 120, chp, nil, nil)
+
+	// Pick a node with a finite projected death — a loaded relay.
+	var site attack.Site
+	found := false
+	for _, n := range env.W.Network().Nodes() {
+		f, err := env.W.Network().ForecastAt(n.ID, 0, env.RequestFrac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !math.IsInf(f.DeathAt, 1) {
+			site = attack.Site{Node: n.ID, Pos: n.Pos, Dur: 4 * 3600, Mandatory: true, Kind: attack.VisitSpoof}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("scenario has no node with a finite depletion forecast")
+	}
+
+	p := NewAttacker(SolverCSA)
+	p.pending = []attack.Site{site}
+	p.engaged = map[wrsn.NodeID]bool{site.Node: true}
+	env.Targets[site.Node] = true
+	env.Blocked[site.Node] = true
+
+	act, err := p.targetsAction(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := act.(Noop); !ok {
+		t.Errorf("action = %T, want Noop", act)
+	}
+	if len(p.pending) != 0 {
+		t.Errorf("pending = %d targets, want the missed window dropped", len(p.pending))
+	}
+	if env.Blocked[site.Node] {
+		t.Error("dropped target still blocked from genuine service")
+	}
+	if p.phase != phCoverGuard {
+		t.Errorf("phase = %d, want phCoverGuard", p.phase)
+	}
+}

@@ -1,0 +1,366 @@
+// Package policy is the decision layer of a campaign: a Policy decides,
+// one action at a time, what the charger does next — wait, serve a
+// request, opportunistically fill, appease or spoof a target, execute a
+// static plan stop, or finish — while the world, session, and ledger
+// layers carry the mechanics. Three policies ship: the legitimate
+// on-demand server (the no-attack baseline), the window-aware TIDE
+// attacker (live window tracking, cover service, appeasement), and the
+// window-unaware attacker (literal schedule execution, spoof-on-request).
+//
+// Extension contract: a Policy is a deterministic state machine.
+// Bootstrap plans once at time zero; NextAction inspects the world and
+// returns the next Action, receiving the previous action's result so
+// budget exhaustion (Stopped) can drive phase changes; OnRequest filters
+// which pending requests the serve path may pick; OnArrival chooses the
+// session kind once the charger is docked. Policies must draw randomness
+// only from Env.Rand (and only in a fixed order) to keep runs replayable.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/campaign/session"
+	"github.com/reprolab/wrsn-csa/internal/campaign/world"
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Solver names accepted by the attack policies.
+const (
+	SolverCSA           = "CSA"
+	SolverCSAPolished   = "CSA+polish"
+	SolverRandom        = "Random"
+	SolverGreedyNearest = "GreedyNearest"
+	SolverDirect        = "Direct"
+)
+
+// ErrUnknownSolver reports an unrecognized solver name.
+var ErrUnknownSolver = errors.New("campaign: unknown solver")
+
+// Solve dispatches to the named attack planner.
+func Solve(in *attack.Instance, solver string, r *rng.Stream) (attack.Result, error) {
+	switch solver {
+	case SolverCSA:
+		return attack.SolveCSA(in)
+	case SolverCSAPolished:
+		return attack.SolveCSAPolished(in)
+	case SolverRandom:
+		return attack.SolveRandom(in, r)
+	case SolverGreedyNearest:
+		return attack.SolveGreedyNearest(in)
+	case SolverDirect:
+		return attack.SolveDirect(in)
+	default:
+		return attack.Result{}, fmt.Errorf("%w: %q", ErrUnknownSolver, solver)
+	}
+}
+
+// WindowAware reports whether the solver's policy re-derives target
+// windows live during execution (CSA and Direct's skeleton do; the
+// baselines execute their schedule as planned).
+func WindowAware(solver string) bool {
+	return solver == SolverCSA || solver == SolverCSAPolished || solver == SolverDirect
+}
+
+// Env is the execution environment a policy acts in: the three lower
+// layers plus the run's configuration and shared target bookkeeping.
+type Env struct {
+	W *world.W
+	A *session.Actor
+	L *ledger.L
+
+	Horizon         float64
+	PollSec         float64
+	RequestFrac     float64
+	CooldownSec     float64
+	PendingGraceSec float64
+	NoFill          bool
+	Progressive     bool
+	MaxCovers       int
+	InstanceBudgetJ float64
+	AuditEverySec   float64
+	Scheduler       charging.Scheduler
+	Rand            *rng.Stream
+	Probe           obs.Probe
+
+	// Targets holds the attack's spoof targets (empty for legit runs);
+	// the opportunistic fill never genuinely serves them. Blocked holds
+	// targets the attacker must not genuinely serve yet; a target leaves
+	// the set once spoofed (a post-drift re-request gets a genuine charge
+	// — the kill is lost, stealth is not) or once its window is
+	// irrecoverably missed.
+	Targets map[wrsn.NodeID]bool
+	Blocked map[wrsn.NodeID]bool
+}
+
+// PickLive runs the scheduler over the live queue (legit service mutates
+// nothing, so the view is the queue itself).
+func (e *Env) PickLive() (charging.Request, bool) {
+	return e.Scheduler.Next(e.W.Queue(), e.A.Ch.Pos(), e.W.Now())
+}
+
+// PickFiltered runs the scheduler over a queue view without requests the
+// policy's OnRequest hook rejects.
+func (e *Env) PickFiltered(keep func(charging.Request) bool) (charging.Request, bool) {
+	var view charging.Queue
+	for _, req := range e.W.Queue().Pending() {
+		if keep != nil && !keep(req) {
+			continue
+		}
+		// Requests in the live queue are already validated.
+		if err := view.Add(req); err != nil {
+			continue
+		}
+	}
+	return e.Scheduler.Next(&view, e.A.Ch.Pos(), e.W.Now())
+}
+
+// Result is what an executed Action reports back into NextAction.
+type Result int
+
+const (
+	// OK: the action ran (possibly as a no-op); pick the next one.
+	OK Result = iota
+	// Stopped: the action could not proceed (budget exhaustion, a failed
+	// session) and the current service phase is over. Policies translate
+	// Stopped into a phase change or Done.
+	Stopped
+)
+
+// Policy decides a campaign's actions. See the package comment for the
+// extension contract.
+type Policy interface {
+	// Name identifies the policy in the Outcome ("legit" or the solver).
+	Name() string
+	// Bootstrap plans at time zero, before the first request scan.
+	Bootstrap(e *Env) error
+	// NextAction returns the next action, or Done to finish. prev is the
+	// result of the previously executed action (OK initially).
+	NextAction(e *Env, prev Result) (Action, error)
+	// OnRequest reports whether the serve path may pick this request.
+	OnRequest(e *Env, req charging.Request) bool
+	// OnArrival chooses the session kind once the charger is docked at
+	// the node; the serve executor honors it.
+	OnArrival(e *Env, node *wrsn.Node) charging.SessionKind
+	// Planned returns the TIDE plan executed, nil for legit service.
+	Planned() *attack.Result
+}
+
+// An Action is one unit of charger behavior; Exec runs it against the Env.
+type Action interface {
+	Exec(e *Env, pol Policy) (Result, error)
+}
+
+// Done finishes the policy; Drive stops issuing actions.
+type Done struct{}
+
+// Exec never runs — Drive intercepts Done.
+func (Done) Exec(*Env, Policy) (Result, error) { return OK, nil }
+
+// Noop yields back to the driver without acting, re-entering NextAction
+// (used by phase transitions that must re-check cancellation first).
+type Noop struct{}
+
+// Exec does nothing.
+func (Noop) Exec(*Env, Policy) (Result, error) { return OK, nil }
+
+// Wait advances the world clock to Until.
+type Wait struct{ Until float64 }
+
+// Exec advances the world.
+func (a Wait) Exec(e *Env, _ Policy) (Result, error) {
+	e.W.AdvanceTo(a.Until)
+	return OK, nil
+}
+
+// Serve travels to the request's node and runs a full session there, of
+// the kind the policy's OnArrival picks. Strict marks the legit baseline,
+// where a vanished node or a power-model error is a run-aborting fault
+// rather than a reason to move on.
+type Serve struct {
+	Req    charging.Request
+	Strict bool
+}
+
+// Exec performs the serve skeleton shared by every on-demand loop.
+func (a Serve) Exec(e *Env, pol Policy) (Result, error) {
+	node, err := e.W.Network().Node(a.Req.Node)
+	if err != nil {
+		if a.Strict {
+			return Stopped, err
+		}
+		e.W.Queue().Remove(a.Req.Node)
+		return OK, nil
+	}
+	if !node.Alive() {
+		e.W.Queue().Remove(a.Req.Node)
+		return OK, nil
+	}
+	if err := e.A.TravelTo(node); err != nil {
+		// Budget exhausted: the phase is over.
+		return Stopped, nil
+	}
+	if !node.Alive() { // died while we were driving over
+		e.W.Queue().Remove(a.Req.Node)
+		return OK, nil
+	}
+	rate, err := e.A.Ch.DeliveredPower(node.Pos)
+	if err != nil {
+		if a.Strict {
+			return Stopped, err
+		}
+		return Stopped, nil
+	}
+	need := node.Battery.Capacity() - node.Battery.Level()
+	if pol.OnArrival(e, node) == charging.SessionSpoof {
+		if _, err := e.A.Spoof(node, need/rate); err != nil {
+			return Stopped, nil
+		}
+		return OK, nil
+	}
+	if _, err := e.A.Focus(node, need/rate); err != nil {
+		return Stopped, nil
+	}
+	return OK, nil
+}
+
+// Fill serves the nearest pending non-blocked request that can be fully
+// served in time to reach ReturnPos by Deadline; when no such request
+// exists (or filling is disabled), the world advances one poll step
+// bounded by FallbackCap instead.
+type Fill struct {
+	Deadline    float64
+	ReturnPos   geom.Point
+	FallbackCap float64
+}
+
+// Exec attempts one opportunistic fill, else waits a poll step.
+func (a Fill) Exec(e *Env, _ Policy) (Result, error) {
+	if e.NoFill || !fillOne(e, a.Deadline, a.ReturnPos) {
+		// The fallback bound uses the post-attempt clock: a failed fill
+		// may still have spent travel time.
+		e.W.AdvanceTo(math.Min(a.FallbackCap, e.W.Now()+e.PollSec))
+	}
+	return OK, nil
+}
+
+// fillOne serves the nearest pending non-target request that can be fully
+// served in time to reach returnPos by the deadline. It reports whether a
+// session happened.
+func fillOne(e *Env, deadline float64, returnPos geom.Point) bool {
+	best := charging.Request{}
+	found := false
+	bestD := math.Inf(1)
+	for _, req := range e.W.Queue().Pending() {
+		node, err := e.W.Network().Node(req.Node)
+		if err != nil || !node.Alive() || e.Blocked[req.Node] {
+			continue
+		}
+		rate, err := e.A.Ch.DeliveredPower(node.Pos)
+		if err != nil || rate <= 0 {
+			continue
+		}
+		dock := e.A.Ch.ServicePoint(node.Pos)
+		serveDur := (node.Battery.Capacity() - node.Battery.Level()) / rate
+		finish := e.W.Now() + e.A.Ch.TravelTime(dock) + serveDur
+		back := finish + node.Pos.Dist(returnPos)/e.A.Ch.Params().SpeedMps
+		if back > deadline {
+			continue
+		}
+		if d := e.A.Ch.Pos().Dist2(req.Pos); d < bestD {
+			best, bestD, found = req, d, true
+		}
+	}
+	if !found {
+		return false
+	}
+	node, err := e.W.Network().Node(best.Node)
+	if err != nil || !node.Alive() {
+		e.W.Queue().Remove(best.Node)
+		return false
+	}
+	if err := e.A.TravelTo(node); err != nil {
+		return false
+	}
+	if !node.Alive() {
+		e.W.Queue().Remove(best.Node)
+		return false
+	}
+	rate, err := e.A.Ch.DeliveredPower(node.Pos)
+	if err != nil {
+		return false
+	}
+	need := node.Battery.Capacity() - node.Battery.Level()
+	_, err = e.A.Focus(node, need/rate)
+	return err == nil
+}
+
+// Drive executes a policy to completion: bootstrap, the initial request
+// scan and sample, then the action loop until Done, an error, or
+// cancellation, then the trailing advance to the horizon. The caller
+// checks ctx.Err() afterwards and assembles the Outcome from the ledger.
+func Drive(e *Env, pol Policy) error {
+	if err := pol.Bootstrap(e); err != nil {
+		return err
+	}
+	e.W.ScanRequests()
+	e.W.Sample()
+	prev := OK
+	for !e.W.Canceled() {
+		act, err := pol.NextAction(e, prev)
+		if err != nil {
+			return err
+		}
+		if _, done := act.(Done); done {
+			break
+		}
+		prev, err = act.Exec(e, pol)
+		if err != nil {
+			return err
+		}
+	}
+	e.W.AdvanceTo(e.Horizon)
+	return nil
+}
+
+// BootstrapAttack is the shared planning step of both attack policies:
+// build the TIDE instance against the time-zero topology, solve it with
+// the named planner, mark every mandatory site as a blocked target, and
+// arm the sink's live audit.
+func BootstrapAttack(e *Env, solver string) (*attack.Instance, attack.Result, error) {
+	in, err := attack.BuildInstance(e.W.Network(), e.A.Ch, attack.BuilderConfig{
+		Now:         0,
+		RequestFrac: e.RequestFrac,
+		CooldownSec: e.CooldownSec,
+		HorizonSec:  e.Horizon,
+		MaxCovers:   e.MaxCovers,
+		BudgetJ:     e.InstanceBudgetJ,
+	})
+	if err != nil {
+		return nil, attack.Result{}, err
+	}
+	res, err := Solve(in, solver, e.Rand.Split("solver"))
+	if err != nil {
+		return nil, attack.Result{}, err
+	}
+	for _, s := range in.Sites {
+		if s.Mandatory {
+			e.Targets[s.Node] = true
+		}
+	}
+	for id := range e.Targets {
+		e.Blocked[id] = true
+	}
+	e.W.StartAuditing(e.AuditEverySec)
+	return in, res, nil
+}
+
+// caught is the ledger shorthand the attack policies branch on.
+func caught(e *Env) bool { return e.L.Caught }

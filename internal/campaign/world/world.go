@@ -1,0 +1,323 @@
+// Package world is the environment layer of a campaign: it owns the
+// virtual clock, battery drain, death recording, routing recomputation,
+// charging-request scanning, lifetime sampling, and the sink's live
+// detector audits. Time advancement is hosted on the discrete-event
+// engine in internal/sim: AdvanceTo schedules a self-rescheduling chain
+// of "world.step" events (each landing on the next poll boundary or
+// battery-depletion instant, whichever is sooner) and pumps the engine,
+// so single-charger campaigns and the multi-charger fleet share one
+// event-driven clock. Handlers that already run inside the engine use
+// CatchUp, the re-entrant-safe synchronous form of the same stepping.
+//
+// The world writes what it observes into the shared ledger; it never
+// decides anything — policies do that one layer up.
+package world
+
+import (
+	"context"
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/sim"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Params fixes the world's cadences and audit rules for one run.
+type Params struct {
+	// PollSec bounds the step granularity of the clock.
+	PollSec float64
+	// RequestFrac is the battery fraction that triggers charging requests.
+	RequestFrac float64
+	// SampleEverySec is the lifetime-sampling cadence; non-positive off.
+	SampleEverySec float64
+	// AuditEverySec is the live-audit cadence; negative disables live
+	// audits entirely (judgment happens only at the horizon).
+	AuditEverySec float64
+	// MinAuditSessions delays live audits until enough evidence exists.
+	MinAuditSessions int
+	// PendingGraceSec is how long a pending request may age before a live
+	// audit counts it as ignored.
+	PendingGraceSec float64
+	// Detectors is the audit suite consulted by live audits.
+	Detectors []detect.Detector
+}
+
+// W is the mutable world of one campaign run.
+type W struct {
+	ctx   context.Context
+	eng   *sim.Engine
+	nw    *wrsn.Network
+	led   *ledger.L
+	p     Params
+	probe obs.Probe
+
+	now        float64
+	qu         charging.Queue
+	cool       map[wrsn.NodeID]float64
+	keySet     map[wrsn.NodeID]bool
+	nextSample float64
+	nextAudit  float64
+	auditing   bool
+}
+
+// New builds a world over the network, writing into led. The world owns a
+// fresh event engine; callers needing engine telemetry instrument it via
+// Engine().
+func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe obs.Probe) *W {
+	return &W{
+		ctx:    ctx,
+		eng:    sim.New(),
+		nw:     nw,
+		led:    led,
+		p:      p,
+		probe:  obs.Or(probe),
+		cool:   make(map[wrsn.NodeID]float64),
+		keySet: make(map[wrsn.NodeID]bool),
+	}
+}
+
+// Now returns the world clock in seconds.
+func (w *W) Now() float64 { return w.now }
+
+// Engine exposes the event engine (the fleet schedules its charger
+// handlers on it; tests and telemetry instrument it).
+func (w *W) Engine() *sim.Engine { return w.eng }
+
+// Network returns the live network.
+func (w *W) Network() *wrsn.Network { return w.nw }
+
+// Queue returns the live request queue.
+func (w *W) Queue() *charging.Queue { return &w.qu }
+
+// Canceled reports whether the run's context has been canceled; the
+// stepping loops treat it as an immediate stop signal.
+func (w *W) Canceled() bool { return w.ctx.Err() != nil }
+
+// MarkKey registers a plan-time key node for lifetime sampling.
+func (w *W) MarkKey(id wrsn.NodeID) { w.keySet[id] = true }
+
+// SetCooldown suppresses re-requests from id until the given time.
+func (w *W) SetCooldown(id wrsn.NodeID, until float64) { w.cool[id] = until }
+
+// StartAuditing arms the sink's periodic live audit with its first
+// boundary at firstAt.
+func (w *W) StartAuditing(firstAt float64) {
+	w.auditing = true
+	w.nextAudit = firstAt
+}
+
+// StopAuditing disarms live audits (the impounded charger's honest
+// replacement is beyond suspicion).
+func (w *W) StopAuditing() { w.auditing = false }
+
+// Auditing reports whether live audits are armed.
+func (w *W) Auditing() bool { return w.auditing }
+
+// step moves the clock one boundary toward target: the next poll tick or
+// the next battery depletion, whichever is sooner. Batteries drain, deaths
+// are recorded, routing recomputes on topology change, and new requests,
+// samples, and audits are taken at the boundary.
+func (w *W) step(target float64) {
+	step := math.Min(target, w.now+w.p.PollSec)
+	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < step {
+		step = dt
+	}
+	died := w.nw.AdvanceEnergy(step - w.now)
+	w.now = step
+	if len(died) > 0 {
+		for _, id := range died {
+			w.RecordDeath(id)
+		}
+		w.nw.Recompute()
+	}
+	w.ScanRequests()
+	w.Sample()
+	w.audit()
+	// Energy-aware routing responds to battery levels, not just deaths;
+	// refresh it at step granularity so load actually shifts off draining
+	// relays.
+	if w.nw.Policy() == wrsn.PolicyEnergyAware {
+		w.nw.Recompute()
+	}
+}
+
+// AdvanceTo moves the world clock to t through the event engine: each
+// step boundary is an engine event, and the engine is pumped until t. A
+// canceled context stops the advance at the current boundary. AdvanceTo
+// must not be called from inside an engine handler — use CatchUp there.
+func (w *W) AdvanceTo(t float64) {
+	if t <= w.now {
+		return
+	}
+	w.scheduleStep(t)
+	_ = w.eng.RunUntil(t, 0)
+}
+
+// scheduleStep queues the next step boundary toward target, and
+// re-schedules itself from inside the handler until the target is reached
+// or the context is canceled.
+func (w *W) scheduleStep(target float64) {
+	if w.now >= target || w.Canceled() {
+		return
+	}
+	next := math.Min(target, w.now+w.p.PollSec)
+	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < next {
+		next = dt
+	}
+	err := w.eng.At(next, "world.step", func(e *sim.Engine) {
+		w.step(e.Now())
+		w.scheduleStep(target)
+	})
+	if err != nil {
+		// The engine clock can sit past w.now only after a canceled run's
+		// drained RunUntil; stepping is over either way.
+		return
+	}
+}
+
+// CatchUp advances the world clock to t synchronously, without scheduling
+// engine events. It is the form safe to call from inside engine handlers,
+// where the engine is already mid-pump (the fleet's dispatch/arrival
+// handlers sync the world this way).
+func (w *W) CatchUp(t float64) {
+	for w.now < t && !w.Canceled() {
+		w.step(t)
+	}
+}
+
+// RecordDeath logs a node death into the audit trail: its reachability as
+// it died, the first-death statistic, and the cancellation of any pending
+// request it had.
+func (w *W) RecordDeath(id wrsn.NodeID) {
+	reachable := w.nw.Connected(id)
+	w.led.Audit.Deaths = append(w.led.Audit.Deaths, detect.DeathObs{
+		Node: id, Time: w.now,
+		// Routing still reflects the pre-death topology here (Recompute
+		// runs after the batch), so this is the node's state as it died.
+		Reachable: reachable,
+	})
+	if w.probe.Enabled() {
+		detail := "partitioned"
+		if reachable {
+			detail = "reachable"
+		}
+		w.probe.Add("campaign.deaths", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "node.death", Node: int(id), Detail: detail})
+	}
+	w.led.NoteDeath(w.now)
+	if req, ok := w.qu.Get(id); ok {
+		w.led.Audit.Unserved = append(w.led.Audit.Unserved, detect.RequestObs{
+			Node: id, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
+		})
+		w.qu.Remove(id)
+	}
+}
+
+// ScanRequests issues charging requests for alive, connected,
+// below-threshold nodes that are outside their cooldown and have nothing
+// pending.
+func (w *W) ScanRequests() {
+	for _, n := range w.nw.Nodes() {
+		if !n.Alive() || !w.nw.Connected(n.ID) || w.qu.Has(n.ID) {
+			continue
+		}
+		if w.now < w.cool[n.ID] {
+			continue
+		}
+		cap := n.Battery.Capacity()
+		if n.Battery.Level() > w.p.RequestFrac*cap {
+			continue
+		}
+		drain := w.nw.DrainWatts(n.ID)
+		deadline := math.Inf(1)
+		if drain > 0 {
+			deadline = w.now + n.Battery.Level()/drain
+		}
+		need := cap - n.Battery.Level()
+		err := w.qu.Add(charging.Request{
+			Node:     n.ID,
+			Pos:      n.Pos,
+			IssuedAt: w.now,
+			Deadline: deadline,
+			NeedJ:    need,
+		})
+		if err == nil {
+			w.led.Issued++
+			if w.probe.Enabled() {
+				w.probe.Add("campaign.requests.issued", 1)
+				w.probe.Event(obs.Event{T: w.now, Kind: "request", Node: int(n.ID), Value: need})
+			}
+		}
+	}
+}
+
+// Sample records lifetime samples at the configured cadence.
+func (w *W) Sample() {
+	if w.p.SampleEverySec <= 0 {
+		return
+	}
+	for w.nextSample <= w.now {
+		s := ledger.Sample{T: w.nextSample}
+		for _, n := range w.nw.Nodes() {
+			if !n.Alive() {
+				continue
+			}
+			s.Alive++
+			if w.nw.Connected(n.ID) {
+				s.Connected++
+			}
+			if w.keySet[n.ID] {
+				s.KeyAlive++
+			}
+		}
+		w.led.Samples = append(w.led.Samples, s)
+		w.nextSample += w.p.SampleEverySec
+	}
+}
+
+// AuditView returns the evidence a live audit sees: everything recorded
+// so far, plus pending requests old enough (past the grace age) to count
+// as ignored — the sink knows what it dispatched and what has been
+// waiting suspiciously long.
+func (w *W) AuditView() detect.Audit {
+	view := w.led.Audit
+	stale := make([]detect.RequestObs, 0, 4)
+	for _, req := range w.qu.Pending() {
+		if w.now-req.IssuedAt >= w.p.PendingGraceSec {
+			stale = append(stale, detect.RequestObs{
+				Node: req.Node, IssuedAt: req.IssuedAt, NeedJ: req.NeedJ,
+			})
+		}
+	}
+	if len(stale) > 0 {
+		view.Unserved = append(append([]detect.RequestObs(nil), w.led.Audit.Unserved...), stale...)
+	}
+	return view
+}
+
+// audit runs the sink's cumulative detector audit at its cadence. Once
+// any detector fires, the ledger records the catch — the policy layer
+// observes it and hands the network back to honest service.
+func (w *W) audit() {
+	if !w.auditing || w.led.Caught || w.p.AuditEverySec < 0 {
+		return
+	}
+	for w.nextAudit <= w.now {
+		w.nextAudit += w.p.AuditEverySec
+		view := w.AuditView()
+		if len(view.Sessions)+len(view.Unserved) < w.p.MinAuditSessions {
+			continue
+		}
+		w.probe.Add("campaign.audits", 1)
+		for _, v := range detect.JudgeProbed(view, w.p.Detectors, w.probe, w.now) {
+			if v.Flagged {
+				w.led.Catch(w.now, v.Detector)
+				w.probe.Event(obs.Event{T: w.now, Kind: "charger.impounded", Node: -1, Value: v.Score, Detail: v.Detector})
+				return
+			}
+		}
+	}
+}

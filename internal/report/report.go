@@ -31,7 +31,7 @@ func (t *Table) AddRow(cells ...string) {
 
 // AddRowf appends a row of formatted values: strings pass through, float64
 // render with %.4g, ints with %d, everything else with %v.
-func (t *Table) AddRowf(cells ...interface{}) {
+func (t *Table) AddRowf(cells ...any) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {

@@ -66,7 +66,7 @@ func (e *Engine) At(t float64, name string, fn Handler) error {
 		return fmt.Errorf("sim: NaN timestamp for event %q", name)
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{t: t, seq: e.seq, name: name, fn: fn})
+	e.queue.push(&event{t: t, seq: e.seq, name: name, fn: fn})
 	return nil
 }
 
@@ -92,7 +92,7 @@ func (e *Engine) Step() bool {
 	if e.queue.Len() == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	ev := e.queue.pop()
 	e.now = ev.t
 	e.processed++
 	if p := e.probe; p != nil {
@@ -147,6 +147,9 @@ type event struct {
 	fn   Handler
 }
 
+// eventHeap orders events by timestamp, then scheduling sequence. It
+// satisfies heap.Interface (whose Push/Pop trade in `any`); engine code
+// uses the typed push/pop helpers below instead of the raw interface.
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -156,9 +159,13 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push is heap.Interface plumbing; use push.
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+// Pop is heap.Interface plumbing; use pop.
+func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
@@ -166,3 +173,9 @@ func (h *eventHeap) Pop() interface{} {
 	*h = old[:n-1]
 	return ev
 }
+
+// push inserts an event maintaining heap order — the typed front door.
+func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+
+// pop removes and returns the earliest event — the typed front door.
+func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }
