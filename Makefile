@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-all verify results clean
+.PHONY: all build vet staticcheck test race bench bench-all verify verify-faults results clean
 
 all: verify
 
@@ -40,6 +40,13 @@ bench-all:
 # verify is the tier-1 gate: build, vet (+staticcheck when present),
 # plain tests, race tests.
 verify: build vet staticcheck test race
+
+# verify-faults focuses the fault-injection contracts: the golden
+# byte-identity and fault-flavor digests, and the faults + hardened
+# engine packages under the race detector.
+verify-faults:
+	$(GO) test ./internal/campaign -run 'Golden|Fault|EmptyPlan' -count=1
+	$(GO) test -race ./internal/faults/... ./internal/experiments/engine/... ./internal/campaign/world/...
 
 results:
 	$(GO) run ./cmd/experiments -out results/

@@ -10,7 +10,7 @@
 // Usage:
 //
 //	csa-attack [-seed 42] [-n 200] [-days 14] [-solver CSA] [-plan-only]
-//	           [-metrics telemetry.csv] [-events events.json]
+//	           [-faults 1.0] [-metrics telemetry.csv] [-events events.json]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
@@ -111,6 +112,7 @@ func run(ctx context.Context, args []string) error {
 	planOnly := fs.Bool("plan-only", false, "print the TIDE plan and exit without executing")
 	showMap := fs.Bool("map", false, "render the field, targets and planned route as ASCII art")
 	timeline := fs.Bool("timeline", false, "print the campaign's chronological event narrative")
+	faultLoad := fs.Float64("faults", 0, "fault-injection intensity: scales the default deterministic fault plan (0 = reliable network)")
 	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
 	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
 	if err := fs.Parse(args); err != nil {
@@ -158,11 +160,21 @@ func run(ctx context.Context, args []string) error {
 		return exportTelemetry(rec, *metricsPath, *eventsPath)
 	}
 
-	o, err := campaign.RunAttack(ctx, nw, ch, campaign.Config{
+	ccfg := campaign.Config{
 		Seed: *seed, HorizonSec: *days * 86400, Solver: *solver, Probe: probe,
-	})
+	}
+	if *faultLoad > 0 {
+		spec := faults.DefaultSpec(*seed, *days*86400).Scale(*faultLoad)
+		ccfg.Faults = faults.New(spec, nw.Len())
+	}
+	o, err := campaign.RunAttack(ctx, nw, ch, ccfg)
 	if err != nil {
 		return err
+	}
+	if rep := o.FaultReport(); rep != nil {
+		fmt.Printf("faults: %d injected, %d survived, %d fatal (node failures %d, lost requests %d, charger breakdowns %d, sink outages %d)\n",
+			rep.Injected(), rep.Survived(), rep.Fatal(),
+			rep.NodeFailures, rep.RequestsLost, rep.ChargerBreakdowns, rep.SinkOutages)
 	}
 
 	spoofedAt := make(map[wrsn.NodeID]float64)

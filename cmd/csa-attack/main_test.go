@@ -20,6 +20,12 @@ func TestFullCampaignWithMapAndTimeline(t *testing.T) {
 	}
 }
 
+func TestCampaignWithFaults(t *testing.T) {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "3", "-faults", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestBaselineSolver(t *testing.T) {
 	if err := run(context.Background(), []string{"-n", "60", "-days", "3", "-solver", "Direct"}); err != nil {
 		t.Fatal(err)

@@ -19,6 +19,7 @@
 //
 //	experiments [-quick] [-seeds N] [-workers N] [-only rfig4] [-out results/]
 //	            [-metrics telemetry.csv] [-events events.json]
+//	            [-job-timeout 5m] [-job-retries 2]
 package main
 
 import (
@@ -61,6 +62,8 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 	timing := fs.Bool("timing", true, "print per-experiment timing to stderr")
 	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
 	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-campaign-job wall-clock bound (0 = none)")
+	jobRetries := fs.Int("job-retries", 0, "retries per failed campaign job (re-seeded identically)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +79,8 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		experiments.WithWorkers(*workers),
 		experiments.WithBaseSeed(*baseSeed),
 		experiments.WithProbe(probe),
+		experiments.WithJobTimeout(*jobTimeout),
+		experiments.WithJobRetries(*jobRetries),
 	)
 
 	var selected []experiments.Experiment
@@ -96,11 +101,23 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		}
 	}
 
+	// A failed experiment (panicking job, per-job timeout, campaign error)
+	// must not cost the other experiments their output: log it, keep
+	// going, and exit non-zero at the end. Parent cancellation still
+	// aborts the whole run.
+	var failed []string
 	for _, e := range selected {
 		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
 		out, err := experiments.Run(ctx, e, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			if ctx.Err() != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintf(errw, "experiment %s failed: %v\n", e.ID, err)
+			fmt.Fprintln(stdout, "(failed — see stderr)")
+			fmt.Fprintln(stdout)
+			failed = append(failed, e.ID)
+			continue
 		}
 		if err := out.Table.Render(stdout); err != nil {
 			return err
@@ -130,6 +147,9 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 				return fmt.Errorf("export events: %w", err)
 			}
 		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
 }

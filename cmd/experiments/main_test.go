@@ -90,6 +90,35 @@ func TestTelemetryExport(t *testing.T) {
 	}
 }
 
+// TestFailedExperimentKeepsGoing: a per-job timeout that kills every
+// campaign job of one experiment must fail that experiment alone — the
+// other selected experiments still render, the failure lands on stderr
+// with job context, and run returns a non-nil error (the CLI exit code).
+func TestFailedExperimentKeepsGoing(t *testing.T) {
+	var out, errw bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-quick", "-seeds", "1", "-only", "rfig1,rfig4",
+			"-job-timeout", "1ns", "-timing=false"},
+		&out, &errw)
+	if err == nil {
+		t.Fatal("run returned nil despite a failed experiment")
+	}
+	if !bytes.Contains(out.Bytes(), []byte("=== rfig1")) ||
+		!bytes.Contains(out.Bytes(), []byte("rfig1.txt")) && !bytes.Contains(out.Bytes(), []byte("R-Fig 1")) {
+		t.Errorf("rfig1 output lost:\n%s", out.String())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("(failed — see stderr)")) {
+		t.Errorf("stdout does not mark the failed experiment:\n%s", out.String())
+	}
+	if !bytes.Contains(errw.Bytes(), []byte("rfig4")) ||
+		!bytes.Contains(errw.Bytes(), []byte("timed out")) {
+		t.Errorf("stderr lacks the failure detail:\n%s", errw.String())
+	}
+	if !bytes.Contains([]byte(err.Error()), []byte("rfig4")) {
+		t.Errorf("aggregate error does not name the failed experiment: %v", err)
+	}
+}
+
 func TestCanceledContext(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

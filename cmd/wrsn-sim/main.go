@@ -10,7 +10,7 @@
 //
 //	wrsn-sim [-seed 42] [-n 200] [-pattern uniform|clustered|grid|corridor]
 //	         [-days 14] [-scheduler NJNP|FCFS|EDF] [-attack] [-solver CSA]
-//	         [-metrics telemetry.csv] [-events events.json]
+//	         [-faults 1.0] [-metrics telemetry.csv] [-events events.json]
 package main
 
 import (
@@ -24,6 +24,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/trace"
@@ -69,6 +70,7 @@ func run(ctx context.Context, args []string) error {
 	solver := fs.String("solver", campaign.SolverCSA, "attack planner: CSA, Random, GreedyNearest, Direct")
 	chargers := fs.Int("chargers", 1, "fleet size for legitimate service (>1 uses the event-driven fleet)")
 	verify := fs.Float64("verify", 0, "harvest-verification probability (countermeasure extension)")
+	faultLoad := fs.Float64("faults", 0, "fault-injection intensity: scales the default deterministic fault plan (0 = reliable network)")
 	scenarioIn := fs.String("scenario", "", "load the scenario from this JSON file (overrides -seed/-n/-pattern)")
 	scenarioOut := fs.String("emit-scenario", "", "write the effective scenario as JSON to this file")
 	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
@@ -136,6 +138,10 @@ func run(ctx context.Context, args []string) error {
 		Defense:    defense.Config{VerifyProb: *verify},
 		Probe:      probe,
 	}
+	if *faultLoad > 0 {
+		spec := faults.DefaultSpec(*seed, *days*86400).Scale(*faultLoad)
+		cfg.Faults = faults.New(spec, nw.Len())
+	}
 
 	keys := nw.KeyNodes()
 	fmt.Printf("scenario: %d nodes (%s), %d key nodes, sink %v, horizon %.1f days\n",
@@ -156,6 +162,7 @@ func run(ctx context.Context, args []string) error {
 			len(fo.Audit.Sessions), fo.RequestsServed, fo.RequestsIssued,
 			fo.CoverUtilityJ/1000, fo.EnergySpentJ/1e6, 100*fo.BusyFrac)
 		fmt.Printf("dead: %d/%d\n", fo.DeadTotal, nw.Len())
+		printFaults(fo.FaultReport())
 		return exportTelemetry(rec, *metricsPath, *eventsPath)
 	}
 
@@ -188,5 +195,16 @@ func run(ctx context.Context, args []string) error {
 	if *doAttack {
 		fmt.Printf("key-node exhaustion: %.0f%%, detected: %v\n", 100*o.KeyExhaustRatio(), o.Detected)
 	}
+	printFaults(o.FaultReport())
 	return exportTelemetry(rec, *metricsPath, *eventsPath)
+}
+
+// printFaults summarizes the run's fault ledger; nil (no plan) is silent.
+func printFaults(rep *faults.Report) {
+	if rep == nil {
+		return
+	}
+	fmt.Printf("faults: %d injected, %d survived, %d fatal (node failures %d, lost requests %d, charger breakdowns %d, sink outages %d)\n",
+		rep.Injected(), rep.Survived(), rep.Fatal(),
+		rep.NodeFailures, rep.RequestsLost, rep.ChargerBreakdowns, rep.SinkOutages)
 }

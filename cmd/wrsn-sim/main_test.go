@@ -20,6 +20,19 @@ func TestRunAttack(t *testing.T) {
 	}
 }
 
+func TestRunAttackWithFaults(t *testing.T) {
+	if err := run(context.Background(), []string{"-n", "60", "-days", "3", "-attack", "-faults", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFleetWithFaults(t *testing.T) {
+	args := []string{"-n", "60", "-days", "2", "-chargers", "2", "-faults", "2"}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunFleet(t *testing.T) {
 	metrics := filepath.Join(t.TempDir(), "fleet.csv")
 	args := []string{"-n", "60", "-days", "2", "-chargers", "2", "-metrics", metrics}

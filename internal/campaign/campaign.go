@@ -27,6 +27,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -122,6 +123,12 @@ type Config struct {
 	// with a recording probe produces a byte-identical Outcome to one
 	// without.
 	Probe obs.Probe
+	// Faults is the fault plan to inject (node hardware failures,
+	// request loss, charger breakdowns, sink outages); nil or empty
+	// leaves the run byte-identical to a fault-free one. Plans carry a
+	// consumed loss stream and are single-use: build a fresh plan (same
+	// faults.Spec) per run.
+	Faults *faults.Plan
 }
 
 // Sample is one point of the lifetime time series.
@@ -227,7 +234,18 @@ type Outcome struct {
 	// WitnessSamples counts neighbor-witness measurements taken, the
 	// coverage statistic of the witnessing countermeasure.
 	WitnessSamples int
+
+	// faults is the run's fault ledger, nil on fault-free runs. It is
+	// unexported (read it via FaultReport) so the canonical-JSON digest
+	// of a fault-free Outcome — which walks exported fields only — stays
+	// byte-identical to builds that predate fault injection.
+	faults *faults.Report
 }
+
+// FaultReport returns the run's fault ledger — injected vs. survived vs.
+// fatal counts, downtime accounting, sink outage windows — or nil when
+// the run had no fault plan.
+func (o *Outcome) FaultReport() *faults.Report { return o.faults }
 
 // KeyExhaustRatio returns KeyDead / len(KeyNodes), the paper's headline
 // metric; 0 when the network had no key nodes.
@@ -250,6 +268,7 @@ func layers(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (
 		MinAuditSessions: cfg.MinAuditSessions,
 		PendingGraceSec:  cfg.PendingGraceSec,
 		Detectors:        cfg.Detectors,
+		Faults:           cfg.Faults,
 	}, cfg.Probe)
 	// The campaign stream must be split before any draw so solver and
 	// session randomness stay on the pre-refactor sequence.
@@ -331,6 +350,9 @@ func RunAttack(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config
 
 // finish assembles the outcome after the horizon.
 func finish(led *ledger.L, w *world.W, ch *mc.Charger, cfg Config, solver string, keys []wrsn.KeyNode, planned *attack.Result) *Outcome {
+	if !cfg.Faults.Empty() {
+		w.CloseFaultWindows()
+	}
 	// Requests still pending at the horizon were never served.
 	for _, req := range w.Queue().Pending() {
 		led.Audit.Unserved = append(led.Audit.Unserved, detect.RequestObs{
@@ -361,9 +383,12 @@ func finish(led *ledger.L, w *world.W, ch *mc.Charger, cfg Config, solver string
 		o.SkippedTargets = len(planned.SkippedTargets)
 	}
 	nw := w.Network()
+	// Death means battery exhaustion; a node hardware-failed at the
+	// horizon is out of service but not dead (identical predicates on
+	// fault-free runs, where nothing is ever hardware-failed).
 	for _, k := range keys {
 		n, err := nw.Node(k.ID)
-		if err == nil && !n.Alive() {
+		if err == nil && n.Battery.Depleted() {
 			o.KeyDead++
 		}
 	}
@@ -374,14 +399,21 @@ func finish(led *ledger.L, w *world.W, ch *mc.Charger, cfg Config, solver string
 	}
 	for _, n := range nw.Nodes() {
 		switch {
-		case !n.Alive():
+		case n.Battery.Depleted():
 			o.DeadTotal++
+		case !n.Alive():
+			// Hardware-failed: out of service, counted in the fault
+			// report rather than as dead or disconnected.
 		case !nw.Connected(n.ID):
 			o.Disconnected++
 		}
 	}
 	o.Verdicts = detect.JudgeProbed(led.Audit, cfg.Detectors, cfg.Probe, w.Now())
 	o.Detected = led.Caught || detect.AnyFlagged(o.Verdicts)
+	if !cfg.Faults.Empty() {
+		rep := led.Faults
+		o.faults = &rep
+	}
 	if cfg.Probe.Enabled() {
 		cfg.Probe.Set("campaign.key_dead", float64(o.KeyDead))
 		cfg.Probe.Set("campaign.dead_total", float64(o.DeadTotal))

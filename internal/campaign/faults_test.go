@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/faults"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+)
+
+// defaultFaultSpec is the reference load the campaign fault tests share.
+func defaultFaultSpec(seed uint64) faults.Spec {
+	return faults.DefaultSpec(seed, attack.DefaultHorizonSec)
+}
+
+// TestEmptyPlanMatchesNil is the byte-identity guarantee: an explicitly
+// empty fault plan (and a plan compiled from the zero-load spec) must
+// produce the exact same digest as no plan at all — the golden digest.
+func TestEmptyPlanMatchesNil(t *testing.T) {
+	want := loadGolden(t)["csa/seed42"]
+	if want == "" {
+		t.Fatal("golden digest for csa/seed42 missing")
+	}
+	plans := map[string]*faults.Plan{
+		"zero-value": {},
+		"zero-spec":  faults.New(defaultFaultSpec(42).Scale(0), 120),
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			if !plan.Empty() {
+				t.Fatalf("plan %q is not empty", name)
+			}
+			nw, ch := buildScenario(t, 42, 120)
+			o, err := RunAttack(context.Background(), nw, ch, Config{Seed: 42, Faults: plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestOf(t, o); got != want {
+				t.Errorf("empty-plan digest %s != fault-free golden %s", got, want)
+			}
+			if o.FaultReport() != nil {
+				t.Error("FaultReport() non-nil for an empty plan")
+			}
+		})
+	}
+}
+
+// TestFaultedCampaignDeterminism: two runs from fresh plans compiled
+// from the same spec must produce deeply equal Outcomes, and the fault
+// ledger must be populated and arithmetically consistent.
+func TestFaultedCampaignDeterminism(t *testing.T) {
+	run := func() *Outcome {
+		nw, ch := buildScenario(t, 42, 120)
+		o, err := RunAttack(context.Background(), nw, ch, Config{
+			Seed: 42, Faults: faults.New(defaultFaultSpec(42), nw.Len()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	a, b := run(), run()
+	if digestOf(t, a) != digestOf(t, b) {
+		t.Error("faulted outcome digests differ between identical runs")
+	}
+	ra, rb := a.FaultReport(), b.FaultReport()
+	if ra == nil || rb == nil {
+		t.Fatal("FaultReport() nil on a faulted run")
+	}
+	if !reflect.DeepEqual(*ra, *rb) {
+		t.Errorf("fault reports differ:\n%+v\n%+v", *ra, *rb)
+	}
+	if ra.Injected() == 0 {
+		t.Error("default fault load injected nothing")
+	}
+	if ra.Injected() != ra.Survived()+ra.Fatal() && ra.Fatal() > 0 {
+		t.Errorf("report arithmetic: injected %d != survived %d + fatal %d",
+			ra.Injected(), ra.Survived(), ra.Fatal())
+	}
+}
+
+// TestFaultedProbeInvariance: attaching a recording probe to a faulted
+// run must not move its digest — fault telemetry is observational.
+func TestFaultedProbeInvariance(t *testing.T) {
+	run := func(probe obs.Probe) *Outcome {
+		nw, _ := buildScenario(t, 42, 120)
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		if probe != nil {
+			ch.Instrument(probe)
+		}
+		o, err := RunAttack(context.Background(), nw, ch, Config{
+			Seed: 42, Probe: probe, Faults: faults.New(defaultFaultSpec(42), nw.Len()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	rec := obs.NewRecorder()
+	if d1, d2 := digestOf(t, run(nil)), digestOf(t, run(rec)); d1 != d2 {
+		t.Errorf("probed faulted digest %s != unprobed %s", d2, d1)
+	}
+	if len(rec.Snapshot().Counters) == 0 {
+		t.Error("recorder stayed empty; probe was not attached")
+	}
+}
+
+// TestCampaignCancelMidFaultWindow cancels the run from a telemetry
+// event fired by the first charger breakdown: the campaign must abort
+// with context.Canceled instead of completing or deadlocking.
+func TestCampaignCancelMidFaultWindow(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	nw, ch := buildScenario(t, 42, 120)
+	spec := defaultFaultSpec(42)
+	spec.ChargerBreakdowns = 6 // make an early window likely
+	probe := &cancelOnEvent{Probe: obs.Nop(), kind: "fault.charger.down", cancel: cancel}
+	_, err := RunAttack(ctx, nw, ch, Config{
+		Seed: 42, Probe: probe, Faults: faults.New(spec, nw.Len()),
+	})
+	if !probe.fired {
+		t.Skip("no breakdown window before the campaign ended; nothing to cancel on")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFleetFaultedRun: the multi-charger path threads the same plan —
+// the run completes, parks dispatches through breakdown windows, and
+// reports the fault ledger deterministically.
+func TestFleetFaultedRun(t *testing.T) {
+	run := func() *FleetOutcome {
+		nw, _ := buildScenario(t, 42, 120)
+		chargers := []*mc.Charger{
+			mc.New(nw.Sink(), mc.DefaultParams()),
+			mc.New(nw.Sink(), mc.DefaultParams()),
+		}
+		o, err := RunLegitFleet(context.Background(), nw, chargers, Config{
+			Seed: 42, Faults: faults.New(defaultFaultSpec(42), nw.Len()),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	a, b := run(), run()
+	if digestOf(t, a) != digestOf(t, b) {
+		t.Error("faulted fleet digests differ between identical runs")
+	}
+	rep := a.FaultReport()
+	if rep == nil {
+		t.Fatal("FaultReport() nil on a faulted fleet run")
+	}
+	if rep.Injected() == 0 {
+		t.Error("default fault load injected nothing into the fleet run")
+	}
+}
+
+// cancelOnEvent cancels a context the first time a telemetry event of
+// the given kind is observed.
+type cancelOnEvent struct {
+	obs.Probe
+	kind   string
+	cancel context.CancelFunc
+	fired  bool
+}
+
+func (c *cancelOnEvent) Enabled() bool { return true }
+
+func (c *cancelOnEvent) Event(e obs.Event) {
+	if e.Kind == c.kind && !c.fired {
+		c.fired = true
+		c.cancel()
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign/world"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/rng"
 	"github.com/reprolab/wrsn-csa/internal/sim"
@@ -43,7 +44,15 @@ type FleetOutcome struct {
 	// BusyFrac is the mean fraction of the horizon each charger spent
 	// traveling or radiating — the capacity-utilization statistic.
 	BusyFrac float64
+
+	// faults is the run's fault ledger, nil on fault-free runs;
+	// unexported to keep fault-free digests byte-identical (see Outcome).
+	faults *faults.Report
 }
+
+// FaultReport returns the fleet run's fault ledger, or nil when the run
+// had no fault plan.
+func (o *FleetOutcome) FaultReport() *faults.Report { return o.faults }
 
 // RunLegitFleet simulates K honest chargers sharing the on-demand queue
 // under the configured scheduler. Each charger, when free, takes the
@@ -68,6 +77,7 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		MinAuditSessions: cfg.MinAuditSessions,
 		PendingGraceSec:  cfg.PendingGraceSec,
 		Detectors:        cfg.Detectors,
+		Faults:           cfg.Faults,
 	}, cfg.Probe)
 	r := rng.New(cfg.Seed).Split("campaign")
 	sp := session.Params{
@@ -114,6 +124,18 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 				return
 			}
 			w.CatchUp(e.Now())
+			// A breakdown window grounds the whole depot: dispatch stands
+			// down until the scheduled repair (in-flight sessions already
+			// started are not suspended on the fleet path — only new
+			// dispatches are gated).
+			if until := w.ChargerDownUntil(); until > e.Now() {
+				at := math.Min(until, cfg.HorizonSec)
+				if at <= e.Now() {
+					return // never repaired within the horizon: parked
+				}
+				_ = e.At(at, "breakdown-standby", dispatch(ch))
+				return
+			}
 			req, ok := pick(ch)
 			if !ok {
 				_ = e.After(cfg.PollSec, "idle-poll", dispatch(ch))
@@ -209,6 +231,11 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		return nil, err
 	}
 	w.CatchUp(cfg.HorizonSec)
+	if !cfg.Faults.Empty() {
+		w.CloseFaultWindows()
+		rep := led.Faults
+		out.faults = &rep
+	}
 
 	for _, req := range w.Queue().Pending() {
 		led.Audit.Unserved = append(led.Audit.Unserved, detect.RequestObs{
@@ -226,7 +253,9 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		out.EnergySpentJ += ch.Spent()
 	}
 	for _, n := range nw.Nodes() {
-		if !n.Alive() {
+		// Dead means battery-exhausted; a hardware-failed node counts in
+		// the fault report instead (identical on fault-free runs).
+		if n.Battery.Depleted() {
 			out.DeadTotal++
 		}
 	}

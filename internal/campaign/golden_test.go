@@ -30,8 +30,10 @@ import (
 	"sort"
 	"testing"
 
+	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/trace"
@@ -158,6 +160,29 @@ func legitCase(seed uint64, n int, mutate func(*Config)) func(t *testing.T, prob
 	}
 }
 
+// faultCase is attackCase with a fault plan compiled from spec. The plan
+// is built inside the run (plans are single-use) so regen and probed
+// re-runs each get a fresh one.
+func faultCase(seed uint64, n int, spec faults.Spec) func(t *testing.T, probe obs.Probe) any {
+	return func(t *testing.T, probe obs.Probe) any {
+		t.Helper()
+		nw, _, err := trace.DefaultScenario(seed, n).Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		if probe != nil {
+			ch.Instrument(probe)
+		}
+		cfg := Config{Seed: seed, Probe: probe, Faults: faults.New(spec, nw.Len())}
+		o, err := RunAttack(context.Background(), nw, ch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+}
+
 func fleetCase(seed uint64, n, k int) func(t *testing.T, probe obs.Probe) any {
 	return func(t *testing.T, probe obs.Probe) any {
 		t.Helper()
@@ -205,6 +230,15 @@ func goldenCases() []goldenCase {
 		goldenCase{"legit-edf/seed42", legitCase(42, 120, func(c *Config) { c.Scheduler = charging.EDF{} })},
 		goldenCase{"fleet2/seed42", fleetCase(42, 150, 2)},
 		goldenCase{"fleet3/seed11", fleetCase(11, 150, 3)},
+		// Fault-injection flavors, one per fault family, pinned at the
+		// default horizon. Each isolates its family so a digest drift
+		// points at the responsible mechanism.
+		goldenCase{"faults-node/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, NodeFailures: 5})},
+		goldenCase{"faults-loss/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, RequestLossProb: 0.3})},
+		goldenCase{"faults-breakdown/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, ChargerBreakdowns: 3})},
 	)
 	return cases
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 )
 
 // Sample is one point of the lifetime time series.
@@ -50,6 +51,9 @@ type L struct {
 	// WaitSum/WaitN aggregate queueing delay over served requests.
 	WaitSum float64
 	WaitN   int
+	// Faults is the fault ledger: what the plan injected, what the run
+	// absorbed, what stuck. All-zero on fault-free runs.
+	Faults faults.Report
 	// FirstDeath is the earliest node death, +Inf when none died.
 	FirstDeath float64
 	// Caught records a live impoundment: when and by which detector.

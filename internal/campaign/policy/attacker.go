@@ -141,6 +141,9 @@ func (p *Attacker) NextAction(e *Env, prev Result) (Action, error) {
 			p.phase = phWrap
 			return Noop{}, nil
 		}
+		if act, ok := e.breakdownWait(); ok {
+			return act, nil
+		}
 		req, ok := e.PickFiltered(func(r charging.Request) bool { return p.OnRequest(e, r) })
 		if !ok {
 			return Wait{Until: math.Min(e.Horizon, e.W.Now()+e.PollSec)}, nil
@@ -162,6 +165,9 @@ func (p *Attacker) NextAction(e *Env, prev Result) (Action, error) {
 		if prev == Stopped || e.W.Now() >= e.Horizon {
 			return Done{}, nil
 		}
+		if act, ok := e.breakdownWait(); ok {
+			return act, nil
+		}
 		req, ok := e.PickFiltered(nil)
 		if !ok {
 			return Wait{Until: math.Min(e.Horizon, e.W.Now()+e.PollSec)}, nil
@@ -181,6 +187,11 @@ func (p *Attacker) targetsAction(e *Env) (Action, error) {
 	if !(len(p.pending) > 0 || e.Progressive) || caught(e) {
 		p.phase = phCoverGuard
 		return Noop{}, nil
+	}
+	// A broken-down charger can neither spoof nor cover: park until
+	// repair and re-derive every window against the post-repair world.
+	if act, ok := e.breakdownWait(); ok {
+		return act, nil
 	}
 	if e.Progressive {
 		added := p.recruitEmergentTargets(e)
@@ -285,6 +296,11 @@ func (p *Attacker) staticAction(e *Env, prev Result) (Action, error) {
 	if prev == Stopped || p.idx >= len(p.res.Plan.Schedule) || caught(e) {
 		p.phase = phCoverGuard
 		return Noop{}, nil
+	}
+	// Even the window-unaware attacker cannot execute a stop on a
+	// broken-down charger; it resumes the literal schedule after repair.
+	if act, ok := e.breakdownWait(); ok {
+		return act, nil
 	}
 	stop := p.res.Plan.Schedule[p.idx]
 	p.idx++

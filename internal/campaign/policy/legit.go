@@ -36,10 +36,13 @@ func (*Legit) OnArrival(*Env, *wrsn.Node) charging.SessionKind {
 
 // NextAction serves the scheduler's pick off the live queue, waits a poll
 // step when the queue is empty, and finishes at the horizon or on budget
-// exhaustion.
+// exhaustion. A broken-down charger parks until its scheduled repair.
 func (*Legit) NextAction(e *Env, prev Result) (Action, error) {
 	if prev == Stopped || e.W.Now() >= e.Horizon {
 		return Done{}, nil
+	}
+	if act, ok := e.breakdownWait(); ok {
+		return act, nil
 	}
 	req, ok := e.PickLive()
 	if !ok {

@@ -100,6 +100,19 @@ type Env struct {
 	Blocked map[wrsn.NodeID]bool
 }
 
+// breakdownWait parks the charger through an open breakdown window: the
+// policy waits for the scheduled repair (bounded by the horizon) before
+// planning anything else. ok is false when the charger is operational or
+// the horizon has been reached — the phase machine's own terminal logic
+// must then run, or a never-repaired window would spin the action loop.
+func (e *Env) breakdownWait() (Action, bool) {
+	until := e.W.ChargerDownUntil()
+	if until <= e.W.Now() || e.W.Now() >= e.Horizon {
+		return nil, false
+	}
+	return Wait{Until: math.Min(until, e.Horizon)}, true
+}
+
 // PickLive runs the scheduler over the live queue (legit service mutates
 // nothing, so the view is the queue itself).
 func (e *Env) PickLive() (charging.Request, bool) {

@@ -10,6 +10,8 @@
 package session
 
 import (
+	"math"
+
 	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
 	"github.com/reprolab/wrsn-csa/internal/campaign/world"
 	"github.com/reprolab/wrsn-csa/internal/charging"
@@ -93,9 +95,10 @@ func (a *Actor) Focus(node *wrsn.Node, dur float64) (charging.Session, error) {
 	}
 	// The victim drains with everyone else during the session; the charge
 	// lands continuously but is applied at session end (the clamp above
-	// guarantees survival).
-	a.W.AdvanceTo(start + dur)
-	delivered := node.Battery.Charge(rate * dur)
+	// guarantees survival). Charger breakdowns suspend delivery: only the
+	// actively-radiating seconds charge the battery.
+	active := a.advance(dur)
+	delivered := node.Battery.Charge(rate * active)
 	s := charging.Session{
 		Node:       node.ID,
 		Kind:       charging.SessionFocus,
@@ -148,8 +151,8 @@ func (a *Actor) Spoof(node *wrsn.Node, dur float64) (charging.Session, error) {
 	solicited := a.W.Queue().Has(node.ID)
 	requested, meterBefore := a.PendingNeed(node), node.Battery.MeterRead()
 	start := a.W.Now()
-	a.W.AdvanceTo(start + dur)
-	delivered := node.Battery.Charge(a.rect.DCOutput(rf) * dur)
+	active := a.advance(dur)
+	delivered := node.Battery.Charge(a.rect.DCOutput(rf) * active)
 	s := charging.Session{
 		Node:       node.ID,
 		Kind:       charging.SessionSpoof,
@@ -170,6 +173,39 @@ func (a *Actor) Spoof(node *wrsn.Node, dur float64) (charging.Session, error) {
 	}
 	a.applyDefenses(node, s, claimed, a.rect.DCOutput(rf), true, arr.RFPowerAt)
 	return s, nil
+}
+
+// advance moves the world clock until the session has accumulated dur
+// seconds of *active* (charger-operational) time, suspending across any
+// charger breakdown windows that open mid-session and resuming after
+// repair. It returns the active seconds achieved — exactly dur on the
+// normal path (so fault-free delivered energy is bit-identical to the
+// pre-fault code), less when the run is canceled or the breakdown never
+// repairs within the bounded retries.
+func (a *Actor) advance(dur float64) float64 {
+	start := a.W.Now()
+	base := a.W.ChargerDownSecTotal()
+	target := start + dur
+	active := 0.0
+	// Bounded resume attempts: each iteration either completes the
+	// session or extends past one breakdown window; plans with more
+	// than 8 windows inside one session are beyond the model.
+	for i := 0; i < 8; i++ {
+		a.W.AdvanceTo(target)
+		down := a.W.ChargerDownSecTotal() - base
+		active = a.W.Now() - start - down
+		if short := dur - active; short <= 1e-6 {
+			return dur
+		} else if a.W.Canceled() {
+			break
+		} else {
+			target = a.W.Now() + short
+			if until := a.W.ChargerDownUntil(); until > a.W.Now() {
+				target = until + short
+			}
+		}
+	}
+	return math.Max(0, math.Min(active, dur))
 }
 
 // PendingNeed returns the node's pending requested energy, or its current

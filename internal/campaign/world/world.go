@@ -20,9 +20,19 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/sim"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Request retransmission backoff: a node whose charging request was lost
+// retries at the next step boundary after retxBaseSec·2^attempt seconds,
+// capped at retxCapSec — the deadline-driven charging literature's
+// standard answer to unreliable request delivery.
+const (
+	retxBaseSec = 900.0
+	retxCapSec  = 4 * 3600.0
 )
 
 // Params fixes the world's cadences and audit rules for one run.
@@ -43,6 +53,9 @@ type Params struct {
 	PendingGraceSec float64
 	// Detectors is the audit suite consulted by live audits.
 	Detectors []detect.Detector
+	// Faults is the fault plan to compile onto the engine; nil or empty
+	// leaves the run byte-identical to a fault-free one.
+	Faults *faults.Plan
 }
 
 // W is the mutable world of one campaign run.
@@ -61,13 +74,27 @@ type W struct {
 	nextSample float64
 	nextAudit  float64
 	auditing   bool
+
+	// Fault state. plan is nil on fault-free runs; every field below then
+	// stays zero and costs nothing on the hot path.
+	plan        *faults.Plan
+	chDown      bool
+	chDownSince float64
+	chDownUntil float64
+	chDownTotal float64
+	sinkDown    bool
+	sinkSince   float64
+	retxAttempt map[wrsn.NodeID]int
+	retxNext    map[wrsn.NodeID]float64
 }
 
 // New builds a world over the network, writing into led. The world owns a
 // fresh event engine; callers needing engine telemetry instrument it via
-// Engine().
+// Engine(). A non-empty fault plan in p compiles onto the engine here, so
+// fault events carry lower sequence numbers than any world step scheduled
+// later — at equal timestamps the fault applies first.
 func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe obs.Probe) *W {
-	return &W{
+	w := &W{
 		ctx:    ctx,
 		eng:    sim.New(),
 		nw:     nw,
@@ -77,6 +104,23 @@ func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe o
 		cool:   make(map[wrsn.NodeID]float64),
 		keySet: make(map[wrsn.NodeID]bool),
 	}
+	if !p.Faults.Empty() {
+		w.plan = p.Faults
+		w.retxAttempt = make(map[wrsn.NodeID]int)
+		w.retxNext = make(map[wrsn.NodeID]float64)
+		// ErrPast is impossible here: the engine clock is zero and plan
+		// events are non-negative.
+		_ = faults.Compile(w.plan, w.eng, faults.Hooks{
+			Sync:        w.CatchUp,
+			NodeDown:    w.failNode,
+			NodeUp:      w.repairNode,
+			ChargerDown: w.chargerDown,
+			ChargerUp:   w.chargerUp,
+			SinkDown:    w.sinkOutage,
+			SinkUp:      w.sinkRestore,
+		})
+	}
+	return w
 }
 
 // Now returns the world clock in seconds.
@@ -168,7 +212,14 @@ func (w *W) scheduleStep(target float64) {
 		next = dt
 	}
 	err := w.eng.At(next, "world.step", func(e *sim.Engine) {
-		w.step(e.Now())
+		// CatchUp, not a bare step: a same-pump fault handler may already
+		// have advanced the world past this event's boundary (its Sync
+		// hook calls CatchUp), and after any such re-entrancy the world
+		// clock must land exactly on engine-now before rescheduling, or
+		// the next At would be in the past and kill the chain. With no
+		// faults w.now is exactly one step behind e.Now() and CatchUp
+		// performs the identical single step.
+		w.CatchUp(e.Now())
 		w.scheduleStep(target)
 	})
 	if err != nil {
@@ -218,8 +269,13 @@ func (w *W) RecordDeath(id wrsn.NodeID) {
 
 // ScanRequests issues charging requests for alive, connected,
 // below-threshold nodes that are outside their cooldown and have nothing
-// pending.
+// pending. Under a fault plan, a sink outage defers issuance entirely
+// (requests cannot reach the sink), each transmission may be lost, and a
+// node whose request was lost retries with capped exponential backoff.
 func (w *W) ScanRequests() {
+	if w.sinkDown {
+		return
+	}
 	for _, n := range w.nw.Nodes() {
 		if !n.Alive() || !w.nw.Connected(n.ID) || w.qu.Has(n.ID) {
 			continue
@@ -227,8 +283,15 @@ func (w *W) ScanRequests() {
 		if w.now < w.cool[n.ID] {
 			continue
 		}
+		if w.retxNext != nil && w.now < w.retxNext[n.ID] {
+			continue
+		}
 		cap := n.Battery.Capacity()
 		if n.Battery.Level() > w.p.RequestFrac*cap {
+			continue
+		}
+		if w.plan.LoseRequest() {
+			w.noteRequestLost(n.ID)
 			continue
 		}
 		drain := w.nw.DrainWatts(n.ID)
@@ -246,11 +309,37 @@ func (w *W) ScanRequests() {
 		})
 		if err == nil {
 			w.led.Issued++
+			if w.retxAttempt != nil && w.retxAttempt[n.ID] > 0 {
+				// The request finally got through after one or more losses.
+				w.led.Faults.RequestsRecovered++
+				delete(w.retxAttempt, n.ID)
+				delete(w.retxNext, n.ID)
+			}
 			if w.probe.Enabled() {
 				w.probe.Add("campaign.requests.issued", 1)
 				w.probe.Event(obs.Event{T: w.now, Kind: "request", Node: int(n.ID), Value: need})
 			}
 		}
+	}
+}
+
+// noteRequestLost records one lost request transmission and arms the
+// node's retransmission backoff: retxBaseSec doubled per consecutive
+// loss, capped at retxCapSec. The retry happens at the first step
+// boundary past the backoff — request timing stays on the world's
+// deterministic step grid.
+func (w *W) noteRequestLost(id wrsn.NodeID) {
+	attempt := w.retxAttempt[id]
+	backoff := retxBaseSec * math.Pow(2, float64(attempt))
+	if backoff > retxCapSec {
+		backoff = retxCapSec
+	}
+	w.retxAttempt[id] = attempt + 1
+	w.retxNext[id] = w.now + backoff
+	w.led.Faults.RequestsLost++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.requests_lost", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.request.lost", Node: int(id), Value: backoff})
 	}
 }
 
@@ -307,6 +396,11 @@ func (w *W) audit() {
 	}
 	for w.nextAudit <= w.now {
 		w.nextAudit += w.p.AuditEverySec
+		if w.sinkDown {
+			// The sink is out: it cannot judge, but its audit clock keeps
+			// ticking so the cadence realigns on restore.
+			continue
+		}
 		view := w.AuditView()
 		if len(view.Sessions)+len(view.Unserved) < w.p.MinAuditSessions {
 			continue
@@ -319,5 +413,149 @@ func (w *W) audit() {
 				return
 			}
 		}
+	}
+}
+
+// ---- fault handlers (invoked by compiled plan events) ----
+
+// failNode applies a node hardware fault: the node powers off — out of
+// routing, not draining, its pending request withdrawn (the sink treats
+// the dropout as maintenance, not an ignored request). A draw landing on
+// an already-dead or already-failed node is a no-op.
+func (w *W) failNode(id int) {
+	n, err := w.nw.Node(wrsn.NodeID(id))
+	if err != nil || !n.Alive() {
+		return
+	}
+	n.Fail()
+	w.qu.Remove(n.ID)
+	if w.retxAttempt != nil {
+		delete(w.retxAttempt, n.ID)
+		delete(w.retxNext, n.ID)
+	}
+	w.nw.Recompute()
+	w.led.Faults.NodeFailures++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.node_failures", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.node.down", Node: id})
+	}
+}
+
+// repairNode returns a hardware-failed node to service with whatever
+// charge its battery kept.
+func (w *W) repairNode(id int) {
+	n, err := w.nw.Node(wrsn.NodeID(id))
+	if err != nil || !n.Failed() {
+		return
+	}
+	n.Repair()
+	w.nw.Recompute()
+	w.led.Faults.NodeRecoveries++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.node_recoveries", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.node.up", Node: id})
+	}
+}
+
+// chargerDown opens a charger breakdown window until the given time.
+func (w *W) chargerDown(until float64) {
+	if w.chDown {
+		return
+	}
+	w.chDown = true
+	w.chDownSince = w.now
+	w.chDownUntil = until
+	w.led.Faults.ChargerBreakdowns++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.charger_breakdowns", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.charger.down", Node: -1, Value: until - w.now})
+	}
+}
+
+// chargerUp closes the breakdown window and accounts its downtime.
+func (w *W) chargerUp() {
+	if !w.chDown {
+		return
+	}
+	w.chDown = false
+	w.chDownTotal += w.now - w.chDownSince
+	w.chDownUntil = 0
+	w.led.Faults.ChargerRepairs++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.charger_repairs", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.charger.up", Node: -1})
+	}
+}
+
+// sinkOutage opens a sink outage window: no requests reach the sink and
+// audits pass judgment-free until restore.
+func (w *W) sinkOutage(until float64) {
+	if w.sinkDown {
+		return
+	}
+	w.sinkDown = true
+	w.sinkSince = w.now
+	w.led.Faults.SinkOutages++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.sink_outages", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.sink.down", Node: -1, Value: until - w.now})
+	}
+}
+
+// sinkRestore closes the outage window, recording the interval.
+func (w *W) sinkRestore() {
+	if !w.sinkDown {
+		return
+	}
+	w.sinkDown = false
+	w.led.Faults.SinkDownSec += w.now - w.sinkSince
+	w.led.Faults.SinkWindows = append(w.led.Faults.SinkWindows, faults.Window{From: w.sinkSince, To: w.now})
+	w.led.Faults.SinkRestores++
+	if w.probe.Enabled() {
+		w.probe.Add("campaign.faults.sink_restores", 1)
+		w.probe.Event(obs.Event{T: w.now, Kind: "fault.sink.up", Node: -1})
+	}
+}
+
+// ---- fault queries (read by the session and policy layers) ----
+
+// ChargerDownUntil returns the scheduled repair time of an open charger
+// breakdown window, or 0 when the charger is operational. Sessions
+// suspend and policies park until then.
+func (w *W) ChargerDownUntil() float64 {
+	if !w.chDown {
+		return 0
+	}
+	return w.chDownUntil
+}
+
+// ChargerDownSecTotal returns cumulative charger downtime including any
+// window still open at the current clock; sessions difference it across
+// an advance to measure suspended time.
+func (w *W) ChargerDownSecTotal() float64 {
+	if w.chDown {
+		return w.chDownTotal + (w.now - w.chDownSince)
+	}
+	return w.chDownTotal
+}
+
+// SinkDown reports whether a sink outage window is open.
+func (w *W) SinkDown() bool { return w.sinkDown }
+
+// CloseFaultWindows accounts fault windows still open when the run ends:
+// their downtime is added to the ledger (a sink window is recorded) but
+// no repair or restore is counted — an unrepaired fault stays fatal in
+// the report. Call once at campaign finish.
+func (w *W) CloseFaultWindows() {
+	if w.chDown {
+		w.chDown = false
+		w.chDownTotal += w.now - w.chDownSince
+		w.chDownUntil = 0
+	}
+	w.led.Faults.ChargerDownSec = w.chDownTotal
+	if w.sinkDown {
+		w.sinkDown = false
+		w.led.Faults.SinkDownSec += w.now - w.sinkSince
+		w.led.Faults.SinkWindows = append(w.led.Faults.SinkWindows, faults.Window{From: w.sinkSince, To: w.now})
 	}
 }

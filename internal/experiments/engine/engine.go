@@ -11,11 +11,21 @@
 // is returned — again matching what a sequential run would have seen
 // first. Cancellation (parent context or first failure) stops workers
 // from claiming new jobs; in-flight jobs run to completion.
+//
+// Hardening: a panicking job never kills the process — the worker
+// recovers it into a *PanicError carrying the job index and stack.
+// MapTimedOpts adds per-attempt timeouts, bounded retry-with-backoff,
+// and a keep-going mode that runs every job and aggregates failures
+// (errors.Join of JobError/PanicError in index order) alongside the
+// partial results.
 package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,11 +33,72 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/obs"
 )
 
+// Retry backoff bounds: the first retry waits Options.Backoff
+// (DefaultBackoff when unset), doubling per attempt up to MaxBackoff.
+const (
+	DefaultBackoff = 100 * time.Millisecond
+	MaxBackoff     = 5 * time.Second
+)
+
 // Result carries one job's value and its wall-clock cost, so callers can
 // report per-point timing without re-instrumenting every driver.
 type Result[T any] struct {
 	Value   T
 	Elapsed time.Duration
+}
+
+// PanicError is a job panic converted to an error: the worker recovers,
+// the process survives, and the sweep's merge order is untouched. It
+// carries the job index and the goroutine stack at the panic site.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+// Error formats the panic with its stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("job %d panicked: %v\n%s", e.Job, e.Value, e.Stack)
+}
+
+// JobError tags a job failure with its index, so aggregated keep-going
+// errors stay attributable. Unwrap exposes the underlying error to
+// errors.Is/As.
+type JobError struct {
+	Job int
+	Err error
+}
+
+// Error formats the failure with its job index.
+func (e *JobError) Error() string { return fmt.Sprintf("job %d: %v", e.Job, e.Err) }
+
+// Unwrap exposes the wrapped error.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Options harden a pool run. The zero value reproduces the classic
+// MapTimed behavior exactly (fail-fast, no timeout, no retries) — except
+// that a panicking job surfaces as a *PanicError instead of killing the
+// process.
+type Options struct {
+	// Timeout bounds each attempt of each job; 0 means none. A job that
+	// overruns fails with a context.DeadlineExceeded-wrapping error (the
+	// overrunning attempt is abandoned; its goroutine exits whenever the
+	// job function honors its context).
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed job gets. Job
+	// functions derive all randomness from the job index, so a retry
+	// re-runs bit-identically — retries only help against environmental
+	// failures (timeouts, resource exhaustion), not deterministic bugs.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt up to
+	// MaxBackoff; non-positive gets DefaultBackoff.
+	Backoff time.Duration
+	// KeepGoing runs every job even after failures: the pool is not
+	// canceled, partial results are returned alongside an aggregate
+	// error (one JobError or PanicError per failed job, joined in index
+	// order). Without it the first failure cancels the pool and only the
+	// lowest-indexed error returns — the classic fail-fast contract.
+	KeepGoing bool
 }
 
 // Workers normalizes a worker-count request: non-positive means "size to
@@ -66,6 +137,15 @@ func MapTimed[T any](ctx context.Context, workers, n int, fn func(ctx context.Co
 // "engine.pool_utilization". Telemetry never affects job scheduling or
 // result order; a nil probe disables it.
 func MapTimedProbed[T any](ctx context.Context, workers, n int, probe obs.Probe, fn func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
+	return MapTimedOpts(ctx, workers, n, probe, Options{}, fn)
+}
+
+// MapTimedOpts is MapTimedProbed hardened by Options: per-job panic
+// recovery (always), and optionally per-attempt timeouts, bounded
+// retry-with-backoff, and keep-going error aggregation. See Options for
+// the exact semantics of each knob; the zero value matches
+// MapTimedProbed.
+func MapTimedOpts[T any](ctx context.Context, workers, n int, probe obs.Probe, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]Result[T], error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -88,18 +168,18 @@ func MapTimedProbed[T any](ctx context.Context, workers, n int, probe obs.Probe,
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				start := time.Now()
-				v, err := fn(ctx, i)
-				elapsed := time.Since(start)
-				results[i] = Result[T]{Value: v, Elapsed: elapsed}
+				res, err := runJob(ctx, i, opts, fn)
+				results[i] = res
 				if probe.Enabled() {
 					probe.Add("engine.jobs", 1)
-					probe.Observe("engine.job_sec", elapsed.Seconds())
+					probe.Observe("engine.job_sec", res.Elapsed.Seconds())
 				}
 				if err != nil {
 					errs[i] = err
-					cancel()
-					return
+					if !opts.KeepGoing {
+						cancel()
+						return
+					}
 				}
 			}
 		}()
@@ -115,9 +195,30 @@ func MapTimedProbed[T any](ctx context.Context, workers, n int, probe obs.Probe,
 			probe.Set("engine.pool_utilization", total.Seconds()/(wall.Seconds()*float64(workers)))
 		}
 	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	if opts.KeepGoing {
+		var joined []error
+		for i, err := range errs {
+			if err == nil {
+				continue
+			}
+			var pe *PanicError
+			if errors.As(err, &pe) {
+				// Already carries its job index and stack.
+				joined = append(joined, err)
+			} else {
+				joined = append(joined, &JobError{Job: i, Err: err})
+			}
+		}
+		if len(joined) > 0 {
+			// Partial results alongside the aggregate: failed jobs' slots
+			// hold zero values, everything else is complete.
+			return results, errors.Join(joined...)
+		}
+	} else {
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	// No job failed, so the only way ctx can be done here is a parent
@@ -127,6 +228,92 @@ func MapTimedProbed[T any](ctx context.Context, workers, n int, probe obs.Probe,
 		return nil, err
 	}
 	return results, nil
+}
+
+// runJob executes one job with the configured retry budget: each failed
+// attempt (error, panic, or timeout) is retried after an exponentially
+// growing backoff until the budget or the pool context runs out.
+func runJob[T any](ctx context.Context, i int, opts Options, fn func(ctx context.Context, i int) (T, error)) (Result[T], error) {
+	backoff := opts.Backoff
+	if backoff <= 0 {
+		backoff = DefaultBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		res, err := runAttempt(ctx, i, opts.Timeout, fn)
+		if err == nil || attempt >= opts.Retries || ctx.Err() != nil {
+			return res, err
+		}
+		if !sleepBackoff(ctx, backoff) {
+			return res, err
+		}
+		if backoff *= 2; backoff > MaxBackoff {
+			backoff = MaxBackoff
+		}
+	}
+}
+
+// runAttempt executes one attempt of one job, converting a panic into a
+// *PanicError. With a timeout the job function runs on its own goroutine
+// under a deadline context; an attempt that overruns is abandoned (its
+// goroutine exits when fn next honors its context) and reported as a
+// timeout.
+func runAttempt[T any](ctx context.Context, i int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (res Result[T], err error) {
+	start := time.Now()
+	if timeout <= 0 {
+		defer func() {
+			res.Elapsed = time.Since(start)
+			if r := recover(); r != nil {
+				err = &PanicError{Job: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		res.Value, err = fn(ctx, i)
+		return res, err
+	}
+
+	actx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	type outcome struct {
+		v   T
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: &PanicError{Job: i, Value: r, Stack: debug.Stack()}}
+			}
+		}()
+		v, ferr := fn(actx, i)
+		ch <- outcome{v: v, err: ferr}
+	}()
+	select {
+	case out := <-ch:
+		res = Result[T]{Value: out.v, Elapsed: time.Since(start)}
+		err = out.err
+		if err != nil && actx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			err = fmt.Errorf("job %d timed out after %v: %w", i, timeout, err)
+		}
+		return res, err
+	case <-actx.Done():
+		res = Result[T]{Elapsed: time.Since(start)}
+		if cerr := ctx.Err(); cerr != nil {
+			// Pool or parent cancellation, not a per-job timeout.
+			return res, cerr
+		}
+		return res, fmt.Errorf("job %d timed out after %v: %w", i, timeout, context.DeadlineExceeded)
+	}
+}
+
+// sleepBackoff waits d, or returns false early when ctx is done.
+func sleepBackoff(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Map is MapTimed without the timing data.

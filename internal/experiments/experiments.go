@@ -47,6 +47,14 @@ type Config struct {
 	// observability only: rendered tables, notes and CSV series stay
 	// byte-identical with or without a recording probe.
 	Probe obs.Probe
+	// JobTimeout bounds each campaign job of a sweep; zero means none. A
+	// job that overruns fails with a timeout error carrying its index;
+	// the rest of the sweep still completes (jobs run keep-going).
+	JobTimeout time.Duration
+	// JobRetries grants each failed job this many additional attempts
+	// (exponential backoff between attempts). Jobs derive all randomness
+	// from their index, so retries re-seed identically.
+	JobRetries int
 }
 
 // Option mutates a Config under construction; see NewConfig.
@@ -81,6 +89,13 @@ func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
 
 // WithProbe attaches a telemetry probe to the run (nil: disabled).
 func WithProbe(p obs.Probe) Option { return func(c *Config) { c.Probe = p } }
+
+// WithJobTimeout bounds each sweep job's wall clock (zero: unbounded).
+func WithJobTimeout(d time.Duration) Option { return func(c *Config) { c.JobTimeout = d } }
+
+// WithJobRetries grants failed jobs bounded retries with backoff;
+// retried jobs re-seed identically from their job index.
+func WithJobRetries(n int) Option { return func(c *Config) { c.JobRetries = n } }
 
 func (c Config) seeds() int {
 	if c.Seeds > 0 {
@@ -190,6 +205,7 @@ func All() []Experiment {
 		{ID: "rtab5", Title: "Extension: routing-policy mitigation", Run: RunRoutingMitigation},
 		{ID: "rfig13", Title: "Extension: structural robustness under removal", Run: RunRobustness},
 		{ID: "rtab6", Title: "Extension: on-demand scheduler comparison", Run: RunSchedulers},
+		{ID: "rfig14", Title: "Extension: attack resilience under injected faults", Run: RunFaultTolerance},
 	}
 }
 
@@ -220,10 +236,22 @@ func ByID(id string) (Experiment, error) {
 }
 
 // mapTimed fans n jobs out over the configured worker pool with
-// deterministic result order, wiring the run's probe into the pool; see
-// engine.MapTimedProbed.
+// deterministic result order, wiring the run's probe and hardening knobs
+// into the pool. Jobs run keep-going: a panic, timeout, or error in one
+// job is reported (with its index and, for panics, the stack) without
+// losing the other jobs' work; see engine.MapTimedOpts.
 func mapTimed[T any](ctx context.Context, cfg Config, n int, fn func(ctx context.Context, i int) (T, error)) ([]engine.Result[T], error) {
-	return engine.MapTimedProbed(ctx, cfg.workers(), n, cfg.probe(), fn)
+	results, err := engine.MapTimedOpts(ctx, cfg.workers(), n, cfg.probe(), engine.Options{
+		Timeout:   cfg.JobTimeout,
+		Retries:   cfg.JobRetries,
+		KeepGoing: true,
+	}, fn)
+	if err != nil {
+		// Drivers merge results positionally and cannot use a sweep with
+		// holes; the aggregate error still names every failed job.
+		return nil, err
+	}
+	return results, nil
 }
 
 // sumElapsed totals the wall clock of a contiguous job range [lo, hi) —

@@ -11,8 +11,8 @@ var quickCfg = Config{Quick: true, Seeds: 1}
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("experiment count = %d, want 19", len(all))
+	if len(all) != 20 {
+		t.Fatalf("experiment count = %d, want 20", len(all))
 	}
 	seen := make(map[string]bool, len(all))
 	for _, e := range all {

@@ -1,0 +1,392 @@
+// Package faults is the deterministic fault-injection subsystem: a
+// seed-driven Spec expands into a Plan — node hardware
+// failure/recovery pairs, charging-request message loss, charger
+// breakdown/repair windows, and sink outage windows — whose events are
+// compiled onto a campaign's discrete-event engine. The plan draws from
+// its own rng stream (split off the fault seed, never the campaign
+// stream), so injecting faults perturbs the simulated world without
+// perturbing any draw the fault-free run would have made: an empty plan
+// is byte-identical to no plan at all.
+//
+// Determinism contract: New(spec, nodes) is a pure function of its
+// arguments — the same spec always yields the same event list. A Plan
+// carries run-local state (the message-loss stream), so it is
+// single-use: build a fresh Plan from the same Spec to reproduce a run
+// exactly.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/sim"
+)
+
+// Kind classifies one fault event.
+type Kind int
+
+// Fault event kinds. Down kinds carry the matching recovery time in
+// Event.Until; Up kinds restore the faulted component.
+const (
+	// NodeDown powers a sensor node off (hardware fault): it stops
+	// sensing, relaying, and draining until NodeUp repairs it.
+	NodeDown Kind = iota + 1
+	NodeUp
+	// ChargerDown opens a charger breakdown window: sessions suspend and
+	// policies park until ChargerUp.
+	ChargerDown
+	ChargerUp
+	// SinkDown opens a sink outage window: charging requests cannot
+	// reach the sink and audits pause until SinkUp.
+	SinkDown
+	SinkUp
+)
+
+// String implements fmt.Stringer with stable dot-scoped names (they
+// become engine event names and telemetry event kinds).
+func (k Kind) String() string {
+	switch k {
+	case NodeDown:
+		return "node.down"
+	case NodeUp:
+		return "node.up"
+	case ChargerDown:
+		return "charger.down"
+	case ChargerUp:
+		return "charger.up"
+	case SinkDown:
+		return "sink.down"
+	case SinkUp:
+		return "sink.up"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// T is when the fault fires, in simulated seconds.
+	T float64
+	// Kind classifies the fault.
+	Kind Kind
+	// Node is the subject node id for NodeDown/NodeUp; -1 otherwise.
+	Node int
+	// Until is the scheduled recovery time for Down kinds (the matching
+	// Up event, which is omitted from the plan when it falls beyond the
+	// horizon); 0 for Up kinds.
+	Until float64
+}
+
+// Spec parameterizes plan generation. Counts are totals over the
+// horizon; durations are means of exponential draws.
+type Spec struct {
+	// Seed drives the fault streams (independent of the campaign seed).
+	Seed uint64
+	// HorizonSec bounds event generation; non-positive yields a plan
+	// with no scheduled events (request loss still applies).
+	HorizonSec float64
+	// NodeFailures is the number of node hardware failures to inject at
+	// uniform times on uniformly drawn nodes.
+	NodeFailures int
+	// NodeRepairMeanSec is the mean hardware-repair delay; non-positive
+	// gets 12 h.
+	NodeRepairMeanSec float64
+	// RequestLossProb is the probability an issued charging request is
+	// lost in transit (the node retransmits with capped exponential
+	// backoff); clamped to [0, 0.95].
+	RequestLossProb float64
+	// ChargerBreakdowns is the number of charger breakdown windows.
+	ChargerBreakdowns int
+	// ChargerRepairMeanSec is the mean breakdown duration; non-positive
+	// gets 6 h.
+	ChargerRepairMeanSec float64
+	// SinkOutages is the number of sink outage windows.
+	SinkOutages int
+	// SinkOutageMeanSec is the mean outage duration; non-positive gets
+	// 2 h.
+	SinkOutageMeanSec float64
+}
+
+// DefaultSpec returns the reference fault load at intensity 1: a few
+// node failures, 5% request loss, a couple of charger breakdowns, and
+// one sink outage over the horizon (non-positive horizonSec gets the
+// campaign default of 14 days).
+func DefaultSpec(seed uint64, horizonSec float64) Spec {
+	if horizonSec <= 0 {
+		horizonSec = 14 * 24 * 3600
+	}
+	return Spec{
+		Seed:                 seed,
+		HorizonSec:           horizonSec,
+		NodeFailures:         4,
+		NodeRepairMeanSec:    12 * 3600,
+		RequestLossProb:      0.05,
+		ChargerBreakdowns:    2,
+		ChargerRepairMeanSec: 6 * 3600,
+		SinkOutages:          1,
+		SinkOutageMeanSec:    2 * 3600,
+	}
+}
+
+// Scale multiplies the spec's fault load by intensity: event counts
+// round to the nearest integer and the loss probability clamps at its
+// ceiling. Intensity 0 (or negative) yields the empty spec — the
+// reliable network.
+func (s Spec) Scale(intensity float64) Spec {
+	if intensity <= 0 {
+		return Spec{Seed: s.Seed, HorizonSec: s.HorizonSec}
+	}
+	s.NodeFailures = int(math.Round(float64(s.NodeFailures) * intensity))
+	s.ChargerBreakdowns = int(math.Round(float64(s.ChargerBreakdowns) * intensity))
+	s.SinkOutages = int(math.Round(float64(s.SinkOutages) * intensity))
+	s.RequestLossProb = clampLoss(s.RequestLossProb * intensity)
+	return s
+}
+
+func clampLoss(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 0.95 {
+		return 0.95
+	}
+	return p
+}
+
+// Plan is a compiled fault schedule plus the message-loss channel. The
+// zero value (and nil) is the empty plan: no events, no loss.
+type Plan struct {
+	// Events is the time-sorted fault schedule.
+	Events []Event
+	// RequestLossProb is the per-transmission request loss probability.
+	RequestLossProb float64
+
+	// loss is the plan's private loss stream; draws happen only when
+	// RequestLossProb > 0, so an empty plan consumes nothing.
+	loss *rng.Stream
+}
+
+// New expands a spec into a plan for a network of the given node count.
+// Each fault family draws from its own child stream, so changing one
+// family's count never shifts another family's times. Node failure
+// windows never overlap on the same node, and charger/sink windows are
+// merged when the draws overlap, so the runtime state machine is a
+// simple open/closed toggle.
+func New(spec Spec, nodes int) *Plan {
+	root := rng.New(spec.Seed).Split("faults")
+	nodeR := root.Split("node")
+	chR := root.Split("charger")
+	sinkR := root.Split("sink")
+	p := &Plan{
+		RequestLossProb: clampLoss(spec.RequestLossProb),
+		loss:            root.Split("loss"),
+	}
+	h := spec.HorizonSec
+	if h <= 0 {
+		return p
+	}
+
+	// Node hardware failures: uniform failure times, exponential repair
+	// delays. A failure drawn inside an earlier window on the same node
+	// is skipped (its draws are still consumed, keeping the sequence a
+	// pure function of the spec).
+	repairMean := spec.NodeRepairMeanSec
+	if repairMean <= 0 {
+		repairMean = 12 * 3600
+	}
+	busy := make(map[int]float64)
+	for i := 0; i < spec.NodeFailures && nodes > 0; i++ {
+		t := nodeR.Uniform(0, h)
+		id := nodeR.Intn(nodes)
+		d := nodeR.Exp(1 / repairMean)
+		if t < busy[id] {
+			continue
+		}
+		end := t + d
+		busy[id] = end
+		p.Events = append(p.Events, Event{T: t, Kind: NodeDown, Node: id, Until: end})
+		if end < h {
+			p.Events = append(p.Events, Event{T: end, Kind: NodeUp, Node: id})
+		}
+	}
+
+	chMean := spec.ChargerRepairMeanSec
+	if chMean <= 0 {
+		chMean = 6 * 3600
+	}
+	p.Events = append(p.Events, windows(chR, spec.ChargerBreakdowns, chMean, h, ChargerDown, ChargerUp)...)
+	sinkMean := spec.SinkOutageMeanSec
+	if sinkMean <= 0 {
+		sinkMean = 2 * 3600
+	}
+	p.Events = append(p.Events, windows(sinkR, spec.SinkOutages, sinkMean, h, SinkDown, SinkUp)...)
+
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].T < p.Events[j].T })
+	return p
+}
+
+// windows draws k (start, duration) windows, merges overlaps, and emits
+// the Down/Up event pairs (the Up is omitted when it falls beyond the
+// horizon — the window stays open to the end of the run).
+func windows(r *rng.Stream, k int, meanSec, horizon float64, down, up Kind) []Event {
+	type win struct{ from, to float64 }
+	ws := make([]win, 0, k)
+	for i := 0; i < k; i++ {
+		t := r.Uniform(0, horizon)
+		d := r.Exp(1 / meanSec)
+		ws = append(ws, win{from: t, to: t + d})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].from < ws[j].from })
+	merged := ws[:0]
+	for _, w := range ws {
+		if n := len(merged); n > 0 && w.from <= merged[n-1].to {
+			if w.to > merged[n-1].to {
+				merged[n-1].to = w.to
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	evs := make([]Event, 0, 2*len(merged))
+	for _, w := range merged {
+		evs = append(evs, Event{T: w.from, Kind: down, Node: -1, Until: w.to})
+		if w.to < horizon {
+			evs = append(evs, Event{T: w.to, Kind: up, Node: -1})
+		}
+	}
+	return evs
+}
+
+// Empty reports whether the plan injects nothing: no scheduled events
+// and no request loss. A nil plan is empty.
+func (p *Plan) Empty() bool {
+	return p == nil || (len(p.Events) == 0 && p.RequestLossProb <= 0)
+}
+
+// LoseRequest draws whether one request transmission is lost. It is
+// nil-safe and consumes no randomness when the loss probability is zero,
+// so the fault-free request path makes exactly the draws it always did.
+func (p *Plan) LoseRequest() bool {
+	if p == nil || p.RequestLossProb <= 0 || p.loss == nil {
+		return false
+	}
+	return p.loss.Bool(p.RequestLossProb)
+}
+
+// Hooks receives compiled fault events. Sync, when set, runs before
+// every hook with the event's timestamp — the world uses it to catch
+// its clock up to the fault instant before applying it. Nil hooks are
+// skipped.
+type Hooks struct {
+	Sync        func(now float64)
+	NodeDown    func(id int)
+	NodeUp      func(id int)
+	ChargerDown func(until float64)
+	ChargerUp   func()
+	SinkDown    func(until float64)
+	SinkUp      func()
+}
+
+// Compile schedules every event of the plan onto the engine. Events
+// interleave with the world's own stepping in timestamp order (ties
+// break by scheduling sequence, so faults compiled at construction run
+// before same-instant world steps). A nil or empty plan compiles to
+// nothing.
+func Compile(p *Plan, eng *sim.Engine, h Hooks) error {
+	if p == nil {
+		return nil
+	}
+	for _, ev := range p.Events {
+		ev := ev
+		err := eng.At(ev.T, "fault."+ev.Kind.String(), func(e *sim.Engine) {
+			if h.Sync != nil {
+				h.Sync(e.Now())
+			}
+			switch ev.Kind {
+			case NodeDown:
+				if h.NodeDown != nil {
+					h.NodeDown(ev.Node)
+				}
+			case NodeUp:
+				if h.NodeUp != nil {
+					h.NodeUp(ev.Node)
+				}
+			case ChargerDown:
+				if h.ChargerDown != nil {
+					h.ChargerDown(ev.Until)
+				}
+			case ChargerUp:
+				if h.ChargerUp != nil {
+					h.ChargerUp()
+				}
+			case SinkDown:
+				if h.SinkDown != nil {
+					h.SinkDown(ev.Until)
+				}
+			case SinkUp:
+				if h.SinkUp != nil {
+					h.SinkUp()
+				}
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Window is one closed downtime interval of the sink.
+type Window struct {
+	From float64
+	To   float64
+}
+
+// Report is the fault ledger of one run: what was injected, what the
+// system absorbed, and what stuck. The campaign's ledger accumulates it
+// and the Outcome exposes it through FaultReport.
+type Report struct {
+	// NodeFailures counts hardware failures applied (a draw landing on
+	// an already-dead node is a no-op and does not count);
+	// NodeRecoveries counts repairs that returned a node to service.
+	NodeFailures   int
+	NodeRecoveries int
+	// RequestsLost counts lost request transmissions; RequestsRecovered
+	// counts requests that got through on a retransmission after at
+	// least one loss.
+	RequestsLost      int
+	RequestsRecovered int
+	// ChargerBreakdowns / ChargerRepairs count breakdown windows opened
+	// and closed; ChargerDownSec is the cumulative downtime.
+	ChargerBreakdowns int
+	ChargerRepairs    int
+	ChargerDownSec    float64
+	// SinkOutages / SinkRestores count outage windows opened and
+	// closed; SinkDownSec is the cumulative unreachable time and
+	// SinkWindows marks the intervals themselves.
+	SinkOutages int
+	SinkRestores int
+	SinkDownSec  float64
+	SinkWindows  []Window
+}
+
+// Injected counts every fault applied to the run.
+func (r Report) Injected() int {
+	return r.NodeFailures + r.RequestsLost + r.ChargerBreakdowns + r.SinkOutages
+}
+
+// Survived counts faults the system absorbed: repaired nodes, requests
+// that got through on retransmission, repaired chargers, restored sinks.
+func (r Report) Survived() int {
+	return r.NodeRecoveries + r.RequestsRecovered + r.ChargerRepairs + r.SinkRestores
+}
+
+// Fatal counts faults never recovered from by the end of the run.
+func (r Report) Fatal() int {
+	if f := r.Injected() - r.Survived(); f > 0 {
+		return f
+	}
+	return 0
+}

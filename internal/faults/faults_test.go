@@ -1,0 +1,217 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/sim"
+)
+
+func TestNewIsDeterministic(t *testing.T) {
+	spec := DefaultSpec(42, 14*24*3600)
+	a := New(spec, 100)
+	b := New(spec, 100)
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("same spec produced different plans:\n%v\nvs\n%v", a.Events, b.Events)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("default spec produced no events")
+	}
+	// The loss streams must agree draw-for-draw too.
+	for i := 0; i < 1000; i++ {
+		if a.LoseRequest() != b.LoseRequest() {
+			t.Fatalf("loss streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestPlanEventsSortedAndBounded(t *testing.T) {
+	const horizon = 7 * 24 * 3600
+	p := New(DefaultSpec(7, horizon), 50)
+	for i, ev := range p.Events {
+		if ev.T < 0 || ev.T >= horizon {
+			// Up events land exactly at Until < horizon; Down events are
+			// uniform in [0, horizon).
+			t.Errorf("event %d at %v outside [0,%v)", i, ev.T, horizon)
+		}
+		if i > 0 && p.Events[i-1].T > ev.T {
+			t.Errorf("events out of order at %d: %v > %v", i, p.Events[i-1].T, ev.T)
+		}
+	}
+}
+
+func TestDownUpPairing(t *testing.T) {
+	p := New(DefaultSpec(123, 30*24*3600), 80)
+	// Every NodeUp must follow a NodeDown for the same node at the down's
+	// Until; node windows on the same node must not overlap.
+	lastEnd := map[int]float64{}
+	pendingUp := map[int]float64{}
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case NodeDown:
+			if ev.T < lastEnd[ev.Node] {
+				t.Errorf("node %d fails at %v inside earlier window ending %v", ev.Node, ev.T, lastEnd[ev.Node])
+			}
+			lastEnd[ev.Node] = ev.Until
+			pendingUp[ev.Node] = ev.Until
+		case NodeUp:
+			want, ok := pendingUp[ev.Node]
+			if !ok {
+				t.Errorf("NodeUp for %d without a pending NodeDown", ev.Node)
+			} else if ev.T != want {
+				t.Errorf("NodeUp for %d at %v, want %v", ev.Node, ev.T, want)
+			}
+			delete(pendingUp, ev.Node)
+		}
+	}
+}
+
+func TestWindowsMergeOverlaps(t *testing.T) {
+	// Charger/sink windows must toggle strictly down, up, down, up…
+	p := New(Spec{Seed: 5, HorizonSec: 14 * 24 * 3600, ChargerBreakdowns: 20, ChargerRepairMeanSec: 24 * 3600}, 10)
+	downOpen := false
+	for _, ev := range p.Events {
+		switch ev.Kind {
+		case ChargerDown:
+			if downOpen {
+				t.Fatalf("nested ChargerDown at %v", ev.T)
+			}
+			downOpen = true
+		case ChargerUp:
+			if !downOpen {
+				t.Fatalf("ChargerUp without open window at %v", ev.T)
+			}
+			downOpen = false
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	base := DefaultSpec(1, 1e6)
+	zero := base.Scale(0)
+	if zero.NodeFailures != 0 || zero.ChargerBreakdowns != 0 || zero.SinkOutages != 0 || zero.RequestLossProb != 0 {
+		t.Fatalf("Scale(0) not empty: %+v", zero)
+	}
+	if zero.Seed != base.Seed || zero.HorizonSec != base.HorizonSec {
+		t.Fatalf("Scale(0) lost seed/horizon: %+v", zero)
+	}
+	if !New(zero, 100).Empty() {
+		t.Fatal("plan from Scale(0) spec not Empty")
+	}
+	x2 := base.Scale(2)
+	if x2.NodeFailures != 2*base.NodeFailures {
+		t.Errorf("Scale(2) NodeFailures = %d, want %d", x2.NodeFailures, 2*base.NodeFailures)
+	}
+	if x2.RequestLossProb != 2*base.RequestLossProb {
+		t.Errorf("Scale(2) RequestLossProb = %v, want %v", x2.RequestLossProb, 2*base.RequestLossProb)
+	}
+	if got := base.Scale(100).RequestLossProb; got != 0.95 {
+		t.Errorf("loss probability not clamped: %v", got)
+	}
+}
+
+func TestNilAndEmptyPlanNoOps(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not Empty")
+	}
+	if nilPlan.LoseRequest() {
+		t.Error("nil plan lost a request")
+	}
+	empty := New(Spec{Seed: 9}, 100)
+	if !empty.Empty() {
+		t.Errorf("zero-load spec plan not Empty: %+v", empty.Events)
+	}
+	for i := 0; i < 100; i++ {
+		if empty.LoseRequest() {
+			t.Fatal("empty plan lost a request")
+		}
+	}
+	eng := sim.New()
+	if err := Compile(nilPlan, eng, Hooks{}); err != nil {
+		t.Fatalf("Compile(nil): %v", err)
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("nil plan scheduled %d events", eng.Pending())
+	}
+}
+
+func TestCompileFiresHooksInOrder(t *testing.T) {
+	p := &Plan{Events: []Event{
+		{T: 10, Kind: ChargerDown, Node: -1, Until: 20},
+		{T: 15, Kind: NodeDown, Node: 3, Until: 40},
+		{T: 20, Kind: ChargerUp, Node: -1},
+		{T: 25, Kind: SinkDown, Node: -1, Until: 30},
+		{T: 30, Kind: SinkUp, Node: -1},
+		{T: 40, Kind: NodeUp, Node: 3},
+	}}
+	eng := sim.New()
+	var trace []string
+	var syncTimes []float64
+	h := Hooks{
+		Sync:        func(now float64) { syncTimes = append(syncTimes, now) },
+		NodeDown:    func(id int) { trace = append(trace, "node.down") },
+		NodeUp:      func(id int) { trace = append(trace, "node.up") },
+		ChargerDown: func(until float64) { trace = append(trace, "charger.down") },
+		ChargerUp:   func() { trace = append(trace, "charger.up") },
+		SinkDown:    func(until float64) { trace = append(trace, "sink.down") },
+		SinkUp:      func() { trace = append(trace, "sink.up") },
+	}
+	if err := Compile(p, eng, h); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if err := eng.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"node.down", "node.up", "charger.down", "charger.up", "sink.down", "sink.up"}
+	sort.Strings(want)
+	got := append([]string(nil), trace...)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("hook kinds = %v", trace)
+	}
+	wantOrder := []string{"charger.down", "node.down", "charger.up", "sink.down", "sink.up", "node.up"}
+	if !reflect.DeepEqual(trace, wantOrder) {
+		t.Fatalf("hook order = %v, want %v", trace, wantOrder)
+	}
+	if !reflect.DeepEqual(syncTimes, []float64{10, 15, 20, 25, 30, 40}) {
+		t.Fatalf("sync times = %v", syncTimes)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	p := New(Spec{Seed: 77, HorizonSec: 1e6, RequestLossProb: 0.3}, 10)
+	lost := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if p.LoseRequest() {
+			lost++
+		}
+	}
+	if rate := float64(lost) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("empirical loss rate %v, want ≈0.3", rate)
+	}
+}
+
+func TestReportArithmetic(t *testing.T) {
+	r := Report{
+		NodeFailures: 4, NodeRecoveries: 3,
+		RequestsLost: 10, RequestsRecovered: 8,
+		ChargerBreakdowns: 2, ChargerRepairs: 1,
+		SinkOutages: 1, SinkRestores: 1,
+	}
+	if got := r.Injected(); got != 17 {
+		t.Errorf("Injected = %d, want 17", got)
+	}
+	if got := r.Survived(); got != 13 {
+		t.Errorf("Survived = %d, want 13", got)
+	}
+	if got := r.Fatal(); got != 4 {
+		t.Errorf("Fatal = %d, want 4", got)
+	}
+	if got := (Report{}).Fatal(); got != 0 {
+		t.Errorf("zero report Fatal = %d", got)
+	}
+}

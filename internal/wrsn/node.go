@@ -26,6 +26,11 @@ type Node struct {
 	// GenBps is the node's locally generated (sensed) data rate in bits
 	// per second.
 	GenBps float64
+
+	// failed marks a hardware fault: the node is powered off — out of the
+	// routing tree and not draining — until repaired. Orthogonal to
+	// battery depletion.
+	failed bool
 }
 
 // NodeSpec describes a node to be constructed by NewNetwork.
@@ -73,5 +78,19 @@ func newNode(id NodeID, spec NodeSpec) (*Node, error) {
 	return &Node{ID: id, Pos: spec.Pos, Battery: bat, GenBps: gen}, nil
 }
 
-// Alive reports whether the node still has energy.
-func (n *Node) Alive() bool { return !n.Battery.Depleted() }
+// Alive reports whether the node is in service: not hardware-failed and
+// not battery-depleted. Routing, drain, and forecasting all key off
+// Alive, so a failed node drops out of the network exactly like a dead
+// one — but its battery is preserved and it returns on Repair.
+func (n *Node) Alive() bool { return !n.failed && !n.Battery.Depleted() }
+
+// Fail powers the node off with a hardware fault. Idempotent.
+func (n *Node) Fail() { n.failed = true }
+
+// Repair clears a hardware fault; the node rejoins with whatever charge
+// its battery held when it failed. Idempotent.
+func (n *Node) Repair() { n.failed = false }
+
+// Failed reports whether the node is hardware-failed (independent of
+// battery state).
+func (n *Node) Failed() bool { return n.failed }

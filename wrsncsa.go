@@ -24,6 +24,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -308,6 +309,37 @@ type Exposure = defense.Exposure
 
 // FleetOutcome is a multi-charger run result.
 type FleetOutcome = campaign.FleetOutcome
+
+// Fault-injection re-exports (see the internal faults package): a
+// deterministic, seed-driven fault plan — node hardware failures,
+// charging-request loss, charger breakdowns, sink outages — set on
+// CampaignConfig.Faults. Plans are single-use: build a fresh one per
+// campaign run.
+type (
+	// FaultSpec parameterizes fault-plan generation.
+	FaultSpec = faults.Spec
+	// FaultPlan is a compiled, seed-deterministic fault schedule.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault transition.
+	FaultEvent = faults.Event
+	// FaultReport is a campaign's fault ledger: injected vs. survived
+	// vs. fatal. Read it from Outcome.FaultReport().
+	FaultReport = faults.Report
+)
+
+// DefaultFaultSpec returns the evaluation-default fault load for the
+// horizon (non-positive horizonSec gets the default 14-day horizon).
+// Scale it for harsher or gentler worlds:
+//
+//	spec := wrsncsa.DefaultFaultSpec(42, 0).Scale(2)
+//	cfg.Faults = wrsncsa.NewFaultPlan(spec, nw.Len())
+func DefaultFaultSpec(seed uint64, horizonSec float64) FaultSpec {
+	return faults.DefaultSpec(seed, horizonSec)
+}
+
+// NewFaultPlan compiles a spec into a deterministic fault plan for a
+// network of n nodes. The same spec and n always yield the same plan.
+func NewFaultPlan(spec FaultSpec, n int) *FaultPlan { return faults.New(spec, n) }
 
 // LegitFleet runs K honest chargers over the shared request queue. See
 // campaign.RunLegitFleet. It is LegitFleetContext with a background
