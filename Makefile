@@ -1,17 +1,32 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race bench bench-all verify verify-faults results clean
+# Benchmarks that gate in CI: the parallel engine's sweep throughput and
+# the end-to-end campaign hot path.
+GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun
+BENCH_PKGS = . ./internal/campaign
+BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults results clean
 
 all: verify
 
 build:
 	$(GO) build ./...
 
-vet:
+vet: fmt-check
 	$(GO) vet ./...
 
-# staticcheck runs only when the binary is installed — CI images without
-# it skip the target instead of failing (nothing is downloaded here).
+# fmt-check fails if any tracked Go file is not gofmt-clean, printing the
+# offending paths.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+# staticcheck runs only when the binary is installed — local images
+# without it skip the target instead of failing (nothing is downloaded
+# here). CI installs a pinned version so the soft-skip never fires there.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
@@ -27,18 +42,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench focuses on the two performance contracts: the parallel engine's
-# scaling (BenchmarkExperimentSweep) and the telemetry subsystem's
-# near-zero disabled cost (BenchmarkProbeOverhead).
+# bench focuses on the performance contracts: the parallel engine's
+# scaling (BenchmarkExperimentSweep), the end-to-end campaign hot path
+# (BenchmarkCampaignRun), and the telemetry subsystem's near-zero
+# disabled cost (BenchmarkProbeOverhead).
 bench:
-	$(GO) test -bench='BenchmarkExperimentSweep|BenchmarkProbeOverhead' -benchmem
+	$(GO) test -run '^$$' -bench='$(GATED_BENCH)|BenchmarkProbeOverhead' -benchmem $(BENCH_PKGS)
 
 # bench-all regenerates every reconstructed figure/table as a benchmark.
 bench-all:
 	$(GO) test -bench=. -benchmem
 
-# verify is the tier-1 gate: build, vet (+staticcheck when present),
-# plain tests, race tests.
+# bench-json measures the gated benchmarks and writes BENCH_<sha>.json.
+bench-json:
+	$(GO) test -run '^$$' -bench='$(GATED_BENCH)' -benchmem -json $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(BENCH_SHA).json
+
+# bench-gate fails if a gated benchmark regressed >15% (ns/op or
+# allocs/op) against the committed baseline. CI runs this on every PR.
+bench-gate: bench-json
+	$(GO) run ./cmd/benchjson -compare BENCH_baseline.json -against BENCH_$(BENCH_SHA).json \
+		-max-regress 0.15 -match '$(GATED_BENCH)'
+
+# bench-baseline refreshes the committed baseline from the current tree.
+# Run on a quiet machine and commit the result alongside the change that
+# justifies it.
+bench-baseline:
+	$(GO) test -run '^$$' -bench='$(GATED_BENCH)' -benchmem -json $(BENCH_PKGS) \
+		| $(GO) run ./cmd/benchjson -out BENCH_baseline.json
+
+# verify is the tier-1 gate: build, vet (+gofmt, +staticcheck when
+# present), plain tests, race tests.
 verify: build vet staticcheck test race
 
 # verify-faults focuses the fault-injection contracts: the golden
@@ -49,7 +83,11 @@ verify-faults:
 	$(GO) test -race ./internal/faults/... ./internal/experiments/engine/... ./internal/campaign/world/...
 
 results:
+	mkdir -p results
 	$(GO) run ./cmd/experiments -out results/
 
+# clean removes generated results and scratch benchmark manifests, but
+# keeps the committed BENCH_baseline.json.
 clean:
 	rm -rf results/
+	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete

@@ -1,0 +1,252 @@
+// Command benchjson turns `go test -bench -json` output into a compact
+// benchmark manifest (BENCH_<sha>.json) and gates regressions against a
+// committed baseline. It has two modes:
+//
+//	go test -run '^$' -bench=. -benchmem -json ./... | benchjson -out BENCH_abc123.json
+//	benchjson -compare BENCH_baseline.json -against BENCH_abc123.json -max-regress 0.15 -match 'Sweep|CampaignRun'
+//
+// The first parses the test2json event stream on stdin, extracts every
+// benchmark result line, and writes a sorted manifest. The second compares
+// two manifests: any benchmark present in both whose ns/op (or allocs/op,
+// which is machine-independent) grew by more than the allowed fraction
+// fails the gate with a non-zero exit. CI runs the gate on every PR so a
+// hot-path regression is caught before merge, not after.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	HasMem     bool    `json:"has_mem"`
+}
+
+// Manifest is the file format of BENCH_*.json.
+type Manifest struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// Benchmarks is sorted by name.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// testEvent is the subset of the test2json event schema benchjson reads.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "", "write the parsed manifest to this path (collect mode)")
+		compare    = flag.String("compare", "", "baseline manifest to gate against (compare mode)")
+		against    = flag.String("against", "", "candidate manifest measured on this revision (compare mode)")
+		maxRegress = flag.Float64("max-regress", 0.15, "allowed fractional growth in ns/op or allocs/op before the gate fails")
+		match      = flag.String("match", "", "regexp restricting which benchmarks the gate checks (empty: all shared)")
+	)
+	flag.Parse()
+
+	switch {
+	case *compare != "":
+		if *against == "" {
+			fatalf("-compare requires -against")
+		}
+		if err := runCompare(*compare, *against, *maxRegress, *match); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		if err := runCollect(os.Stdin, os.Stdout, *out); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// benchLine matches a benchmark result line as emitted by the testing
+// package, e.g.
+//
+//	BenchmarkCampaignRun/legit-8   30  9718416 ns/op  368568 B/op  7471 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// parseBench extracts a Result from one output line, or ok=false.
+func parseBench(line string) (Result, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Result{}, false
+	}
+	iters, err1 := strconv.ParseInt(m[2], 10, 64)
+	ns, err2 := strconv.ParseFloat(m[3], 64)
+	if err1 != nil || err2 != nil {
+		return Result{}, false
+	}
+	r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+	rest := m[4]
+	if bm := regexp.MustCompile(`([0-9.]+) B/op`).FindStringSubmatch(rest); bm != nil {
+		r.BytesPerOp, _ = strconv.ParseFloat(bm[1], 64)
+		r.HasMem = true
+	}
+	if am := regexp.MustCompile(`([0-9.]+) allocs/op`).FindStringSubmatch(rest); am != nil {
+		r.AllocsOp, _ = strconv.ParseFloat(am[1], 64)
+		r.HasMem = true
+	}
+	return r, true
+}
+
+// runCollect reads a test2json stream (or plain `go test -bench` text) and
+// writes the manifest to outPath (and a summary to w).
+//
+// test2json flushes benchmark output as it appears, and the testing
+// package prints the benchmark name before the run and the stats after —
+// one result line can therefore span several "output" events. The raw
+// text stream is reassembled first and benchmark lines parsed from it.
+func runCollect(in io.Reader, w io.Writer, outPath string) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	var raw strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		// test2json wraps output lines in JSON events; bare text from a
+		// non-json `go test` run passes through directly.
+		if strings.HasPrefix(line, "{") {
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil {
+				if ev.Action == "output" {
+					raw.WriteString(ev.Output)
+				}
+				continue
+			}
+		}
+		raw.WriteString(line)
+		raw.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading input: %w", err)
+	}
+	var results []Result
+	for _, line := range strings.Split(raw.String(), "\n") {
+		if r, ok := parseBench(line); ok {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results found in input (did you pass -bench and -json?)")
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	man := Manifest{
+		Note:       "generated by `make bench-json`; refresh the committed baseline with `make bench-baseline`",
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if outPath != "" {
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchjson: wrote %d benchmarks to %s\n", len(results), outPath)
+		return nil
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// loadManifest reads a manifest file into a name-keyed map.
+func loadManifest(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(man.Benchmarks))
+	for _, r := range man.Benchmarks {
+		out[r.Name] = r
+	}
+	return out, nil
+}
+
+// runCompare gates the candidate manifest against the baseline.
+func runCompare(basePath, candPath string, maxRegress float64, match string) error {
+	base, err := loadManifest(basePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadManifest(candPath)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if match != "" {
+		re, err = regexp.Compile(match)
+		if err != nil {
+			return fmt.Errorf("bad -match: %w", err)
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var failures []string
+	checked := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from candidate", name))
+			continue
+		}
+		checked++
+		limit := 1 + maxRegress
+		ratio := c.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > limit {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f -> %.0f (%.2fx > %.2fx allowed)", name, b.NsPerOp, c.NsPerOp, ratio, limit))
+		}
+		fmt.Printf("%-60s ns/op %12.0f -> %12.0f  (%.2fx)  %s\n", name, b.NsPerOp, c.NsPerOp, ratio, verdict)
+		// Allocation counts are machine-independent, so they gate with the
+		// same threshold even on noisy shared runners.
+		if b.HasMem && c.HasMem && b.AllocsOp > 0 {
+			aratio := c.AllocsOp / b.AllocsOp
+			if aratio > limit {
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (%.2fx > %.2fx allowed)", name, b.AllocsOp, c.AllocsOp, aratio, limit))
+			}
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("gate matched no benchmarks (baseline %s, match %q)", basePath, match)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchjson: gate passed (%d benchmarks within %.0f%% of baseline)\n", checked, maxRegress*100)
+	return nil
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	cases := []struct {
+		line string
+		want Result
+		ok   bool
+	}{
+		{
+			line: "BenchmarkCampaignRun/legit-8   \t      30\t   9718416 ns/op\t  368568 B/op\t    7471 allocs/op",
+			want: Result{Name: "BenchmarkCampaignRun/legit", Iterations: 30, NsPerOp: 9718416, BytesPerOp: 368568, AllocsOp: 7471, HasMem: true},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkExperimentSweep/workers=4-8 \t       2\t 269612508 ns/op",
+			want: Result{Name: "BenchmarkExperimentSweep/workers=4", Iterations: 2, NsPerOp: 269612508},
+			ok:   true,
+		},
+		{
+			// No GOMAXPROCS suffix (GOMAXPROCS=1 runs omit it).
+			line: "BenchmarkSolveCSA \t     100\t  12345.5 ns/op",
+			want: Result{Name: "BenchmarkSolveCSA", Iterations: 100, NsPerOp: 12345.5},
+			ok:   true,
+		},
+		{line: "ok  \tgithub.com/reprolab/wrsn-csa\t1.8s", ok: false},
+		{line: "PASS", ok: false},
+		{line: "goos: linux", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseBench(c.line)
+		if ok != c.ok {
+			t.Fatalf("parseBench(%q) ok=%v want %v", c.line, ok, c.ok)
+		}
+		if ok && got != c.want {
+			t.Fatalf("parseBench(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestCollectFromTest2JSON(t *testing.T) {
+	in := strings.Join([]string{
+		`{"Action":"output","Output":"goos: linux\n"}`,
+		// The testing package prints the name before the run and the stats
+		// after it, so one result line spans two output events.
+		`{"Action":"output","Output":"BenchmarkB/sub-8   \t"}`,
+		`{"Action":"output","Output":"     10\t 200 ns/op\t 16 B/op\t 2 allocs/op\n"}`,
+		`{"Action":"output","Output":"BenchmarkA-8   \t     10\t 100 ns/op\n"}`,
+		`{"Action":"run","Output":""}`,
+		`not json at all`,
+		"BenchmarkPlain-4 \t 5\t 300 ns/op",
+	}, "\n")
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	if err := runCollect(strings.NewReader(in), &buf, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(data, &man); err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3: %+v", len(man.Benchmarks), man.Benchmarks)
+	}
+	// Sorted by name.
+	if man.Benchmarks[0].Name != "BenchmarkA" || man.Benchmarks[1].Name != "BenchmarkB/sub" || man.Benchmarks[2].Name != "BenchmarkPlain" {
+		t.Fatalf("unexpected order: %+v", man.Benchmarks)
+	}
+	if man.Benchmarks[1].AllocsOp != 2 || !man.Benchmarks[1].HasMem {
+		t.Fatalf("memory stats not parsed: %+v", man.Benchmarks[1])
+	}
+}
+
+func writeManifest(t *testing.T, dir, name string, results ...Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Manifest{Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeManifest(t, dir, "base.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsOp: 100, HasMem: true},
+		Result{Name: "BenchmarkY", NsPerOp: 1000},
+		Result{Name: "BenchmarkIgnored", NsPerOp: 1},
+	)
+
+	// Within threshold: passes (BenchmarkIgnored excluded by -match).
+	cand := writeManifest(t, dir, "ok.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1100, AllocsOp: 100, HasMem: true},
+		Result{Name: "BenchmarkY", NsPerOp: 900},
+	)
+	if err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkY"); err != nil {
+		t.Fatalf("gate should pass within threshold: %v", err)
+	}
+
+	// ns/op regression beyond threshold: fails.
+	cand = writeManifest(t, dir, "slow.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1300, AllocsOp: 100, HasMem: true},
+		Result{Name: "BenchmarkY", NsPerOp: 1000},
+	)
+	if err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkY"); err == nil {
+		t.Fatal("gate should fail on 1.3x ns/op")
+	}
+
+	// allocs/op regression fails even when ns/op is fine.
+	cand = writeManifest(t, dir, "allocy.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsOp: 200, HasMem: true},
+		Result{Name: "BenchmarkY", NsPerOp: 1000},
+	)
+	if err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkY"); err == nil {
+		t.Fatal("gate should fail on 2x allocs/op")
+	}
+
+	// Benchmark missing from the candidate fails (a silently dropped
+	// benchmark must not pass the gate).
+	cand = writeManifest(t, dir, "missing.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000, AllocsOp: 100, HasMem: true},
+	)
+	if err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkY"); err == nil {
+		t.Fatal("gate should fail when a gated benchmark disappears")
+	}
+
+	// A match that hits nothing is an error, not a vacuous pass.
+	if err := runCompare(base, cand, 0.15, "BenchmarkNope"); err == nil {
+		t.Fatal("gate should fail when the match selects no benchmarks")
+	}
+}

@@ -17,6 +17,7 @@ func SolveRandom(in *Instance, r *rng.Stream) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	in.EnsureDistIndex()
 	res := Result{Solver: "Random"}
 	targets := in.Mandatories()
 	r.Shuffle(len(targets), func(i, j int) { targets[i], targets[j] = targets[j], targets[i] })
@@ -70,6 +71,7 @@ func SolveGreedyNearest(in *Instance) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	in.EnsureDistIndex()
 	res := Result{Solver: "GreedyNearest"}
 	var route []int
 	used := make(map[int]bool, len(in.Sites))
@@ -122,6 +124,7 @@ func SolveDirect(in *Instance) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	in.EnsureDistIndex()
 	res := Result{Solver: "Direct"}
 	skeleton, skipped := buildSkeleton(in)
 	res.SkippedTargets = skipped

@@ -39,6 +39,7 @@ func SolveCSA(in *Instance) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	in.EnsureDistIndex()
 	res := Result{Solver: "CSA"}
 
 	skeleton, skipped := buildSkeleton(in)

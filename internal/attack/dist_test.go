@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+func randomInstance(rng *rand.Rand, n int) *Instance {
+	in := &Instance{
+		Depot:     geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		SpeedMps:  2,
+		MoveJPerM: 1.5,
+		RadiateW:  5,
+		BudgetJ:   1e6,
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * 500
+		in.Sites = append(in.Sites, Site{
+			Pos:       geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+			Window:    Window{R: r, D: r + 200 + rng.Float64()*400},
+			Dur:       10 + rng.Float64()*30,
+			UtilJ:     rng.Float64() * 100,
+			Mandatory: i%3 == 0,
+			Kind:      VisitCover,
+		})
+	}
+	return in
+}
+
+// TestDistIndexBitIdentical checks every indexed distance, including the
+// depot row/column, equals the direct Point.Dist computation exactly.
+func TestDistIndexBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	in := randomInstance(rng, 25)
+	in.EnsureDistIndex()
+	for i := -1; i < len(in.Sites); i++ {
+		for j := -1; j < len(in.Sites); j++ {
+			got := in.dist(i, j)
+			want := in.pointOf(i).Dist(in.pointOf(j))
+			if got != want {
+				t.Fatalf("dist(%d,%d) = %v, want %v (must be bit-identical)", i, j, got, want)
+			}
+		}
+	}
+}
+
+// TestEvaluateWithAndWithoutIndex proves the nil-fallback path and the
+// indexed path produce byte-identical plans for the same route.
+func TestEvaluateWithAndWithoutIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		plain := randomInstance(rng, 12)
+		indexed := &Instance{}
+		*indexed = *plain
+		indexed.Sites = append([]Site(nil), plain.Sites...)
+		indexed.EnsureDistIndex()
+		if plain.dists != nil {
+			t.Fatal("plain instance unexpectedly has a distance index")
+		}
+		ord := rng.Perm(len(plain.Sites))[:6]
+		p1, err1 := plain.Evaluate(ord, false)
+		p2, err2 := indexed.Evaluate(ord, false)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("trial %d: error mismatch: %v vs %v", trial, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if p1.TravelM != p2.TravelM || p1.EnergyJ != p2.EnergyJ || p1.UtilityJ != p2.UtilityJ {
+			t.Fatalf("trial %d: plans diverge: %+v vs %+v", trial, p1, p2)
+		}
+		for i := range p1.Schedule {
+			if p1.Schedule[i] != p2.Schedule[i] {
+				t.Fatalf("trial %d: stop %d diverges: %+v vs %+v", trial, i, p1.Schedule[i], p2.Schedule[i])
+			}
+		}
+	}
+}
+
+// TestEnsureDistIndexIdempotent verifies rebuilds are skipped while the
+// site count is unchanged.
+func TestEnsureDistIndexIdempotent(t *testing.T) {
+	in := randomInstance(rand.New(rand.NewSource(5)), 8)
+	in.EnsureDistIndex()
+	first := &in.dists[0]
+	in.EnsureDistIndex()
+	if &in.dists[0] != first {
+		t.Fatal("EnsureDistIndex rebuilt an up-to-date index")
+	}
+}

@@ -2,7 +2,6 @@ package attack
 
 import (
 	"fmt"
-	"math"
 	"math/bits"
 )
 
@@ -23,6 +22,7 @@ func SolveExact(in *Instance) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
 	}
+	in.EnsureDistIndex()
 	n := len(in.Sites)
 	if n > MaxExactSites {
 		return Result{}, fmt.Errorf("attack: exact solver limited to %d sites, got %d", MaxExactSites, n)
@@ -94,7 +94,7 @@ func SolveExact(in *Instance) (Result, error) {
 	// Seed: depot → each site.
 	for j, s := range in.Sites {
 		d := in.Depot.Dist(s.Pos)
-		begin := math.Max(in.Start+d/in.SpeedMps, s.Window.R)
+		begin := max(in.Start+d/in.SpeedMps, s.Window.R)
 		end := begin + s.Dur
 		if end > s.Window.D {
 			continue
@@ -120,7 +120,7 @@ func SolveExact(in *Instance) (Result, error) {
 					}
 					sj := in.Sites[j]
 					d := in.Sites[last].Pos.Dist(sj.Pos)
-					begin := math.Max(st.time+d/in.SpeedMps, sj.Window.R)
+					begin := max(st.time+d/in.SpeedMps, sj.Window.R)
 					end := begin + sj.Dur
 					if end > sj.Window.D {
 						continue
@@ -190,7 +190,7 @@ func SolveExact(in *Instance) (Result, error) {
 		found := false
 		for _, cand := range frontier[pSet][pLast] {
 			d := in.Sites[pLast].Pos.Dist(in.Sites[last].Pos)
-			begin := math.Max(cand.time+d/in.SpeedMps, in.Sites[last].Window.R)
+			begin := max(cand.time+d/in.SpeedMps, in.Sites[last].Window.R)
 			if begin+in.Sites[last].Dur == st.time && cand.travel+d == st.travel {
 				set, last, st = pSet, pLast, cand
 				found = true

@@ -11,6 +11,7 @@ package attack
 // re-packs covers with whatever budget the shorter route freed. It
 // returns the improved route (the input slice is not modified).
 func PolishPlan(in *Instance, route []int) []int {
+	in.EnsureDistIndex()
 	best := append([]int(nil), route...)
 	rs := newRouteState(in)
 	cur, err := in.Evaluate(best, false)

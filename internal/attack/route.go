@@ -2,8 +2,6 @@ package attack
 
 import (
 	"math"
-
-	"github.com/reprolab/wrsn-csa/internal/geom"
 )
 
 // routeState is the incremental feasibility oracle for insertion-heavy
@@ -42,20 +40,20 @@ func (rs *routeState) Recompute(route []int) bool {
 	rs.slack = resize(rs.slack, n)
 	rs.travelM, rs.radiateJ = 0, 0
 
-	pos := rs.in.Depot
+	prev := -1 // depot
 	t := rs.in.Start
 	for i, idx := range route {
 		s := rs.in.Sites[idx]
-		d := pos.Dist(s.Pos)
+		d := rs.in.dist(prev, idx)
 		rs.travelM += d
 		rs.radiateJ += s.Dur * rs.sitePower(idx)
 		rs.arrive[i] = t + d/rs.in.SpeedMps
-		rs.begin[i] = math.Max(rs.arrive[i], s.Window.R)
+		rs.begin[i] = max(rs.arrive[i], s.Window.R)
 		rs.end[i] = rs.begin[i] + s.Dur
 		if rs.end[i] > s.Window.D {
 			return false
 		}
-		pos = s.Pos
+		prev = idx
 		t = rs.end[i]
 	}
 	// Backward slack propagation: delay δ at stop i's arrival shifts its
@@ -68,7 +66,7 @@ func (rs *routeState) Recompute(route []int) bool {
 		if i+1 < n {
 			down = rs.slack[i+1] + (rs.begin[i+1] - rs.arrive[i+1])
 		}
-		rs.slack[i] = math.Min(own, down)
+		rs.slack[i] = min(own, down)
 	}
 	return true
 }
@@ -90,26 +88,24 @@ func (rs *routeState) EnergyJ() float64 {
 // if so returns the marginal energy cost. It runs in O(1).
 func (rs *routeState) CheckInsert(pos, idx int) (float64, bool) {
 	s := rs.in.Sites[idx]
-	var from geom.Point
+	from := -1 // depot
 	prevEnd := rs.in.Start
 	if pos > 0 {
-		from = rs.in.Sites[rs.route[pos-1]].Pos
+		from = rs.route[pos-1]
 		prevEnd = rs.end[pos-1]
-	} else {
-		from = rs.in.Depot
 	}
-	dIn := from.Dist(s.Pos)
+	dIn := rs.in.dist(from, idx)
 	arrive := prevEnd + dIn/rs.in.SpeedMps
-	begin := math.Max(arrive, s.Window.R)
+	begin := max(arrive, s.Window.R)
 	end := begin + s.Dur
 	if end > s.Window.D {
 		return 0, false
 	}
 	var addTravel float64
 	if pos < len(rs.route) {
-		next := rs.in.Sites[rs.route[pos]]
-		dOut := s.Pos.Dist(next.Pos)
-		oldLeg := from.Dist(next.Pos)
+		next := rs.route[pos]
+		dOut := rs.in.dist(idx, next)
+		oldLeg := rs.in.dist(from, next)
 		addTravel = dIn + dOut - oldLeg
 		// Delay imposed on the old stop at position pos, measured at its
 		// arrival; its own waiting buffer absorbs delay before the begin

@@ -19,7 +19,6 @@ package attack
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/geom"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
@@ -106,6 +105,58 @@ type Instance struct {
 	// Sites lists all candidate stops: spoof targets (mandatory) and cover
 	// requests (optional).
 	Sites []Site
+
+	// dists is a lazily built flattened (1+len(Sites))² distance matrix;
+	// row and column 0 are the depot, row i+1 is site i. Solvers build it
+	// once on entry; while nil every distance query falls back to direct
+	// computation, so an Instance works unmodified without it. The matrix
+	// holds exactly the values Point.Dist would return, so indexed and
+	// direct evaluation are bit-identical.
+	dists []float64
+	dn    int
+}
+
+// EnsureDistIndex precomputes the site-to-site distance matrix used by
+// the solvers. Insertion-heavy planning probes the same legs thousands
+// of times; the matrix turns each probe's Hypot into an array read.
+// Calling it is optional and idempotent; positions never change after
+// construction.
+func (in *Instance) EnsureDistIndex() {
+	n := len(in.Sites) + 1
+	if in.dists != nil && in.dn == n {
+		return
+	}
+	pts := make([]geom.Point, n)
+	pts[0] = in.Depot
+	for i, s := range in.Sites {
+		pts[i+1] = s.Pos
+	}
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := pts[i].Dist(pts[j])
+			d[i*n+j] = v
+			d[j*n+i] = v
+		}
+	}
+	in.dists, in.dn = d, n
+}
+
+// dist returns the distance between endpoints i and j, where -1 denotes
+// the depot and 0..len(Sites)-1 a site index.
+func (in *Instance) dist(i, j int) float64 {
+	if in.dists != nil {
+		return in.dists[(i+1)*in.dn+(j+1)]
+	}
+	return in.pointOf(i).Dist(in.pointOf(j))
+}
+
+// pointOf maps a dist endpoint to its position (-1 is the depot).
+func (in *Instance) pointOf(i int) geom.Point {
+	if i < 0 {
+		return in.Depot
+	}
+	return in.Sites[i].Pos
 }
 
 // Validate reports whether the instance is well formed.
@@ -192,8 +243,8 @@ var (
 func (in *Instance) Evaluate(ord []int, checkMandatory bool) (Plan, error) {
 	p := Plan{Order: append([]int(nil), ord...)}
 	p.Schedule = make([]Stop, 0, len(ord))
-	seen := make(map[int]bool, len(ord))
-	pos := in.Depot
+	seen := make([]bool, len(in.Sites))
+	prev := -1 // depot
 	t := in.Start
 	var radiateJ float64
 	for _, idx := range ord {
@@ -205,9 +256,9 @@ func (in *Instance) Evaluate(ord []int, checkMandatory bool) (Plan, error) {
 		}
 		seen[idx] = true
 		s := in.Sites[idx]
-		d := pos.Dist(s.Pos)
+		d := in.dist(prev, idx)
 		arrive := t + d/in.SpeedMps
-		begin := math.Max(arrive, s.Window.R)
+		begin := max(arrive, s.Window.R)
 		end := begin + s.Dur
 		if end > s.Window.D {
 			return p, fmt.Errorf("%w: site %d (node %d) service [%v,%v] outside [%v,%v]",
@@ -227,7 +278,7 @@ func (in *Instance) Evaluate(ord []int, checkMandatory bool) (Plan, error) {
 		} else {
 			p.UtilityJ += s.UtilJ
 		}
-		pos = s.Pos
+		prev = idx
 		t = end
 	}
 	p.EnergyJ = p.TravelM*in.MoveJPerM + radiateJ

@@ -52,6 +52,11 @@ type Actor struct {
 	P     Params
 	rect  wpt.Rectifier
 	probe obs.Probe
+
+	// Witness-scan scratch, reused across sessions.
+	witnessBuf []*wrsn.Node
+	witnessPts []geom.Point
+	witnessRF  []float64
 }
 
 // NewActor wires an actor over the world, ledger, and charger.
@@ -110,12 +115,21 @@ func (a *Actor) Focus(node *wrsn.Node, dur float64) (charging.Session, error) {
 		RFAtNodeW:  4 * a.Ch.Array().Model.Power(a.Ch.Params().ServiceDist),
 	}
 	a.Complete(node.ID, s, true, solicited)
-	a.applyDefenses(node, s, nominalRate, rate, false, func(at geom.Point) float64 {
-		rf, err := a.Ch.RadiatedPowerAt(node.Pos, at)
+	a.applyDefenses(node, s, nominalRate, rate, false, func(dst []float64, pts []geom.Point) []float64 {
+		out, err := a.Ch.RadiatedPowerAtAll(node.Pos, dst, pts)
 		if err != nil {
-			return 0
+			// An unsteerable session measures zero everywhere, matching
+			// the scalar query's per-point error fallback.
+			if cap(dst) < len(pts) {
+				dst = make([]float64, len(pts))
+			}
+			dst = dst[:len(pts)]
+			for i := range dst {
+				dst[i] = 0
+			}
+			return dst
 		}
-		return rf
+		return out
 	})
 	return s, nil
 }
@@ -171,7 +185,7 @@ func (a *Actor) Spoof(node *wrsn.Node, dur float64) (charging.Session, error) {
 	if err != nil {
 		claimed = 0
 	}
-	a.applyDefenses(node, s, claimed, a.rect.DCOutput(rf), true, arr.RFPowerAt)
+	a.applyDefenses(node, s, claimed, a.rect.DCOutput(rf), true, arr.RFPowerAtAll)
 	return s, nil
 }
 
@@ -269,9 +283,10 @@ func (a *Actor) TravelTo(node *wrsn.Node) error {
 // applyDefenses runs the enabled countermeasures against a just-completed
 // session. claimedRateW is the DC rate the session purported to deliver;
 // actualDCW what the victim's rectifier truly produced; fieldAt evaluates
-// the charger's RF field at arbitrary points for witnesses; spoofed is
-// simulation ground truth deciding exposure vs false alarm.
-func (a *Actor) applyDefenses(node *wrsn.Node, s charging.Session, claimedRateW, actualDCW float64, spoofed bool, fieldAt func(geom.Point) float64) {
+// the charger's RF field at a batch of points for witnesses (RFPowerAtAll
+// shaped); spoofed is simulation ground truth deciding exposure vs false
+// alarm.
+func (a *Actor) applyDefenses(node *wrsn.Node, s charging.Session, claimedRateW, actualDCW float64, spoofed bool, fieldAt func([]float64, []geom.Point) []float64) {
 	def := a.P.Defense
 	if !def.Enabled() {
 		return
@@ -316,8 +331,25 @@ func (a *Actor) applyDefenses(node *wrsn.Node, s charging.Session, claimedRateW,
 		gainLow := s.MeterGainJ <= 1
 		rangeM := a.Ch.Array().Model.Range
 		pos := a.Ch.Pos()
-		for _, w := range a.W.Network().Nodes() {
-			if w.ID == node.ID || !w.Alive() || pos.Dist(w.Pos) > rangeM {
+		// The spatial index yields exactly the alive in-range nodes the
+		// full scan filtered to, in the same ascending ID order, so the
+		// per-witness duty-cycle draws consume the stream identically.
+		wit := a.W.Network().NodesNear(a.witnessBuf[:0], pos, rangeM)
+		a.witnessBuf = wit
+		if len(wit) > 0 {
+			// Prefetch the field at every candidate in one batch: the
+			// evaluation is deterministic (no stream draws), so computing
+			// it up front — including for witnesses the duty cycle then
+			// skips — changes nothing observable.
+			pts := a.witnessPts[:0]
+			for _, w := range wit {
+				pts = append(pts, w.Pos)
+			}
+			a.witnessPts = pts
+			a.witnessRF = fieldAt(a.witnessRF[:0], pts)
+		}
+		for i, w := range wit {
+			if w.ID == node.ID {
 				continue
 			}
 			if !a.R.Bool(def.WitnessDutyCycle) {
@@ -330,7 +362,7 @@ func (a *Actor) applyDefenses(node *wrsn.Node, s charging.Session, claimedRateW,
 				cost = defense.DefaultWitnessCostJ
 			}
 			a.drainForDefense(w, cost)
-			rf := fieldAt(w.Pos)
+			rf := a.witnessRF[i]
 			if rf >= def.WitnessThreshold() && gainLow {
 				expose("neighbor-witness", actualDCW, rf)
 				break

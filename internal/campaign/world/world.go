@@ -67,13 +67,23 @@ type W struct {
 	p     Params
 	probe obs.Probe
 
-	now        float64
-	qu         charging.Queue
-	cool       map[wrsn.NodeID]float64
-	keySet     map[wrsn.NodeID]bool
+	now float64
+	qu  charging.Queue
+	// cool and keySet are dense per-node tables (node IDs are the
+	// contiguous 0..n-1 range); zero values mean "no cooldown" / "not a
+	// key node", exactly matching the missing-key semantics of the maps
+	// they replaced.
+	cool       []float64
+	keySet     []bool
 	nextSample float64
 	nextAudit  float64
 	auditing   bool
+
+	// stepFn is the single engine handler bound at construction; the
+	// self-rescheduling step chain re-enqueues this one closure with the
+	// current stepTarget instead of allocating a fresh closure per step.
+	stepFn     sim.Handler
+	stepTarget float64
 
 	// Fault state. plan is nil on fault-free runs; every field below then
 	// stays zero and costs nothing on the hot path.
@@ -84,8 +94,10 @@ type W struct {
 	chDownTotal float64
 	sinkDown    bool
 	sinkSince   float64
-	retxAttempt map[wrsn.NodeID]int
-	retxNext    map[wrsn.NodeID]float64
+	// retxAttempt/retxNext are dense per-node tables, nil on fault-free
+	// runs so the hot path stays a nil check.
+	retxAttempt []int
+	retxNext    []float64
 }
 
 // New builds a world over the network, writing into led. The world owns a
@@ -94,6 +106,7 @@ type W struct {
 // fault events carry lower sequence numbers than any world step scheduled
 // later — at equal timestamps the fault applies first.
 func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe obs.Probe) *W {
+	n := len(nw.Nodes())
 	w := &W{
 		ctx:    ctx,
 		eng:    sim.New(),
@@ -101,13 +114,24 @@ func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe o
 		led:    led,
 		p:      p,
 		probe:  obs.Or(probe),
-		cool:   make(map[wrsn.NodeID]float64),
-		keySet: make(map[wrsn.NodeID]bool),
+		cool:   make([]float64, n),
+		keySet: make([]bool, n),
+	}
+	w.stepFn = func(e *sim.Engine) {
+		// CatchUp, not a bare step: a same-pump fault handler may already
+		// have advanced the world past this event's boundary (its Sync
+		// hook calls CatchUp), and after any such re-entrancy the world
+		// clock must land exactly on engine-now before rescheduling, or
+		// the next At would be in the past and kill the chain. With no
+		// faults w.now is exactly one step behind e.Now() and CatchUp
+		// performs the identical single step.
+		w.CatchUp(e.Now())
+		w.scheduleStep(w.stepTarget)
 	}
 	if !p.Faults.Empty() {
 		w.plan = p.Faults
-		w.retxAttempt = make(map[wrsn.NodeID]int)
-		w.retxNext = make(map[wrsn.NodeID]float64)
+		w.retxAttempt = make([]int, n)
+		w.retxNext = make([]float64, n)
 		// ErrPast is impossible here: the engine clock is zero and plan
 		// events are non-negative.
 		_ = faults.Compile(w.plan, w.eng, faults.Hooks{
@@ -165,7 +189,7 @@ func (w *W) Auditing() bool { return w.auditing }
 // are recorded, routing recomputes on topology change, and new requests,
 // samples, and audits are taken at the boundary.
 func (w *W) step(target float64) {
-	step := math.Min(target, w.now+w.p.PollSec)
+	step := min(target, w.now+w.p.PollSec)
 	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < step {
 		step = dt
 	}
@@ -207,22 +231,14 @@ func (w *W) scheduleStep(target float64) {
 	if w.now >= target || w.Canceled() {
 		return
 	}
-	next := math.Min(target, w.now+w.p.PollSec)
+	next := min(target, w.now+w.p.PollSec)
 	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < next {
 		next = dt
 	}
-	err := w.eng.At(next, "world.step", func(e *sim.Engine) {
-		// CatchUp, not a bare step: a same-pump fault handler may already
-		// have advanced the world past this event's boundary (its Sync
-		// hook calls CatchUp), and after any such re-entrancy the world
-		// clock must land exactly on engine-now before rescheduling, or
-		// the next At would be in the past and kill the chain. With no
-		// faults w.now is exactly one step behind e.Now() and CatchUp
-		// performs the identical single step.
-		w.CatchUp(e.Now())
-		w.scheduleStep(target)
-	})
-	if err != nil {
+	// AdvanceTo cannot be called from inside a handler, so at most one
+	// step chain is in flight and a single target field suffices.
+	w.stepTarget = target
+	if err := w.eng.At(next, "world.step", w.stepFn); err != nil {
 		// The engine clock can sit past w.now only after a canceled run's
 		// drained RunUntil; stepping is over either way.
 		return
@@ -312,8 +328,8 @@ func (w *W) ScanRequests() {
 			if w.retxAttempt != nil && w.retxAttempt[n.ID] > 0 {
 				// The request finally got through after one or more losses.
 				w.led.Faults.RequestsRecovered++
-				delete(w.retxAttempt, n.ID)
-				delete(w.retxNext, n.ID)
+				w.retxAttempt[n.ID] = 0
+				w.retxNext[n.ID] = 0
 			}
 			if w.probe.Enabled() {
 				w.probe.Add("campaign.requests.issued", 1)
@@ -430,8 +446,8 @@ func (w *W) failNode(id int) {
 	n.Fail()
 	w.qu.Remove(n.ID)
 	if w.retxAttempt != nil {
-		delete(w.retxAttempt, n.ID)
-		delete(w.retxNext, n.ID)
+		w.retxAttempt[n.ID] = 0
+		w.retxNext[n.ID] = 0
 	}
 	w.nw.Recompute()
 	w.led.Faults.NodeFailures++

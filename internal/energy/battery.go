@@ -69,7 +69,7 @@ func (b *Battery) Charge(j float64) float64 {
 	if j <= 0 {
 		return 0
 	}
-	stored := math.Min(j, b.capacity-b.level)
+	stored := min(j, b.capacity-b.level)
 	b.level += stored
 	return stored
 }
@@ -81,7 +81,7 @@ func (b *Battery) Drain(j float64) float64 {
 	if j <= 0 {
 		return 0
 	}
-	removed := math.Min(j, b.level)
+	removed := min(j, b.level)
 	b.level -= removed
 	return removed
 }
@@ -100,5 +100,5 @@ func (b *Battery) TimeToDepletion(watts float64) float64 {
 }
 
 func clamp(x, lo, hi float64) float64 {
-	return math.Max(lo, math.Min(hi, x))
+	return max(lo, min(hi, x))
 }

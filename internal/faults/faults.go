@@ -366,7 +366,7 @@ type Report struct {
 	// SinkOutages / SinkRestores count outage windows opened and
 	// closed; SinkDownSec is the cumulative unreachable time and
 	// SinkWindows marks the intervals themselves.
-	SinkOutages int
+	SinkOutages  int
 	SinkRestores int
 	SinkDownSec  float64
 	SinkWindows  []Window

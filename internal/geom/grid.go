@@ -1,0 +1,105 @@
+package geom
+
+import "math"
+
+// Grid is a uniform-bucket spatial index over a fixed point set, built
+// once and queried many times. It replaces O(n²) pairwise scans with
+// O(n·k) neighborhood lookups: a range query visits only the buckets
+// whose cells intersect the query square and returns a candidate
+// superset of the disk — callers apply their own exact distance
+// predicate, so an index-backed scan can reproduce a brute-force scan's
+// results bit for bit.
+//
+// The cell size should match the dominant query radius (one comm range,
+// one charging range): then a query touches at most a 3×3 block of
+// cells. Points never move after construction; indices into the
+// original slice are what queries return.
+type Grid struct {
+	cell   float64
+	origin Point
+	cols   int
+	rows   int
+	// buckets is a dense cols×rows array of index lists. Within one
+	// bucket, indices are ascending (points are inserted in slice
+	// order); across buckets a query yields no particular order.
+	buckets [][]int32
+}
+
+// NewGrid indexes pts with the given cell size. A non-positive cell or
+// empty pts yields a degenerate grid whose queries return nothing.
+func NewGrid(pts []Point, cell float64) *Grid {
+	g := &Grid{cell: cell}
+	if cell <= 0 || len(pts) == 0 {
+		return g
+	}
+	bb := BoundingBox(pts)
+	g.origin = bb.Min
+	g.cols = int((bb.Max.X-bb.Min.X)/cell) + 1
+	g.rows = int((bb.Max.Y-bb.Min.Y)/cell) + 1
+	g.buckets = make([][]int32, g.cols*g.rows)
+	// Count first so every bucket is allocated exactly once.
+	counts := make([]int32, g.cols*g.rows)
+	cells := make([]int32, len(pts))
+	for i, p := range pts {
+		c := int32(g.cellIndex(p))
+		cells[i] = c
+		counts[c]++
+	}
+	for i := range pts {
+		c := cells[i]
+		if g.buckets[c] == nil {
+			g.buckets[c] = make([]int32, 0, counts[c])
+		}
+		g.buckets[c] = append(g.buckets[c], int32(i))
+	}
+	return g
+}
+
+// cellIndex maps a point inside the bounding box to its bucket slot.
+func (g *Grid) cellIndex(p Point) int {
+	cx := int((p.X - g.origin.X) / g.cell)
+	cy := int((p.Y - g.origin.Y) / g.cell)
+	return cy*g.cols + cx
+}
+
+// clampCell converts a coordinate offset to a cell ordinate clamped to
+// the grid, so queries centered outside the indexed area still see the
+// border cells.
+func clampCell(off, cell float64, n int) int {
+	c := int(math.Floor(off / cell))
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// Candidates appends to dst the indices of every indexed point whose
+// cell intersects the axis-aligned square of half-width r around p —
+// a superset of the points within distance r. The margin widens the
+// square slightly so border-of-cell rounding can never exclude a point
+// a caller's exact predicate would accept. No cross-bucket ordering is
+// guaranteed.
+func (g *Grid) Candidates(dst []int32, p Point, r float64) []int32 {
+	if g.buckets == nil || r < 0 {
+		return dst
+	}
+	// A point passing an exact predicate like Dist(p,q) ≤ r can sit up
+	// to a rounding error outside the mathematical square; a fixed
+	// margin far above one ulp of any field coordinate absorbs that.
+	const margin = 1e-6
+	r += margin
+	x0 := clampCell(p.X-r-g.origin.X, g.cell, g.cols)
+	x1 := clampCell(p.X+r-g.origin.X, g.cell, g.cols)
+	y0 := clampCell(p.Y-r-g.origin.Y, g.cell, g.rows)
+	y1 := clampCell(p.Y+r-g.origin.Y, g.cell, g.rows)
+	for cy := y0; cy <= y1; cy++ {
+		row := cy * g.cols
+		for cx := x0; cx <= x1; cx++ {
+			dst = append(dst, g.buckets[row+cx]...)
+		}
+	}
+	return dst
+}

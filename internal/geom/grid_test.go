@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestGridCandidatesSuperset checks every point accepted by an exact
+// disk predicate appears among the grid candidates, across random point
+// sets, radii, and query centers (inside and outside the indexed area).
+func TestGridCandidatesSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+		}
+		cell := 10 + rng.Float64()*80
+		g := NewGrid(pts, cell)
+		for q := 0; q < 20; q++ {
+			p := Point{X: rng.Float64()*400 - 50, Y: rng.Float64()*400 - 50}
+			r := rng.Float64() * 120
+			got := map[int32]bool{}
+			for _, i := range g.Candidates(nil, p, r) {
+				got[i] = true
+			}
+			for i, pt := range pts {
+				if p.Dist(pt) <= r && !got[int32(i)] {
+					t.Fatalf("trial %d: point %d at %v (dist %v ≤ %v) missing from candidates",
+						trial, i, pt, p.Dist(pt), r)
+				}
+			}
+		}
+	}
+}
+
+// TestGridDegenerate covers empty input, non-positive cell, and
+// negative radius.
+func TestGridDegenerate(t *testing.T) {
+	if got := NewGrid(nil, 10).Candidates(nil, Point{}, 5); len(got) != 0 {
+		t.Fatalf("empty grid returned %v", got)
+	}
+	if got := NewGrid([]Point{{X: 1, Y: 1}}, 0).Candidates(nil, Point{}, 5); len(got) != 0 {
+		t.Fatalf("zero-cell grid returned %v", got)
+	}
+	g := NewGrid([]Point{{X: 1, Y: 1}}, 10)
+	if got := g.Candidates(nil, Point{}, -1); len(got) != 0 {
+		t.Fatalf("negative radius returned %v", got)
+	}
+}
+
+// TestGridSinglePointAndReuse checks dst reuse semantics and a
+// one-point grid.
+func TestGridSinglePointAndReuse(t *testing.T) {
+	g := NewGrid([]Point{{X: 5, Y: 5}}, 4)
+	buf := make([]int32, 0, 4)
+	got := g.Candidates(buf, Point{X: 5.5, Y: 5.1}, 1)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("got %v, want [0]", got)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("candidates did not reuse the provided buffer")
+	}
+}
+
+func BenchmarkGridCandidates(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * 300, Y: rng.Float64() * 300}
+	}
+	g := NewGrid(pts, 50)
+	var buf []int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = g.Candidates(buf[:0], pts[i%len(pts)], 50)
+	}
+}

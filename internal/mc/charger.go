@@ -84,6 +84,18 @@ type Charger struct {
 	// probe receives charger telemetry (travel distance/energy, radiated
 	// energy); always non-nil (the no-op probe when uninstrumented).
 	probe obs.Probe
+
+	// steered memoizes the docked, focus-steered scratch array that
+	// DeliveredPower and RadiatedPowerAt evaluate. SteerFocus fully
+	// overwrites every emitter's gain and phase and the dock depends only
+	// on (charger position, node position), so the steered state is a pure
+	// function of those two points while the chassis is parked; the memo
+	// is dropped whenever the charger moves (Travel, Reset). Witness scans
+	// that probe the same session's field dozens of times re-steer once.
+	steered    wpt.Array
+	steeredEm  []wpt.Emitter
+	steeredFor geom.Point
+	steeredOK  bool
 }
 
 // New returns a charger parked at depot.
@@ -163,6 +175,7 @@ func (c *Charger) Travel(dst geom.Point) error {
 	c.spent += cost
 	c.pos = dst
 	c.array.MoveTo(dst)
+	c.dropSteered()
 	return nil
 }
 
@@ -198,17 +211,38 @@ func (c *Charger) ServicePoint(nodePos geom.Point) geom.Point {
 	return c.pos.Lerp(nodePos, t)
 }
 
+// steeredArray returns the scratch array docked at nodePos's service point
+// and focus-steered on the node, serving repeat queries for the same node
+// from the memo. The scratch is rebuilt from the live array's geometry, so
+// steering mutations on the live array (SteerSpoof) never leak in.
+func (c *Charger) steeredArray(nodePos geom.Point) (*wpt.Array, error) {
+	if c.steeredOK && nodePos == c.steeredFor {
+		return &c.steered, nil
+	}
+	c.steeredOK = false
+	dock := c.ServicePoint(nodePos)
+	c.steeredEm = append(c.steeredEm[:0], c.array.Emitters...)
+	c.steered = *c.array
+	c.steered.Emitters = c.steeredEm
+	c.steered.MoveTo(dock)
+	if err := wpt.SteerFocus(&c.steered, nodePos); err != nil {
+		return nil, fmt.Errorf("mc: focus at %v: %w", nodePos, err)
+	}
+	c.steeredFor, c.steeredOK = nodePos, true
+	return &c.steered, nil
+}
+
+// dropSteered discards the steered-array memo; called whenever the chassis
+// (and with it the dock geometry) moves.
+func (c *Charger) dropSteered() { c.steeredOK = false }
+
 // DeliveredPower returns the DC power a node at nodePos harvests while the
 // charger, docked at its service point, focuses its array on the node.
 // This is the legitimate charging rate.
 func (c *Charger) DeliveredPower(nodePos geom.Point) (float64, error) {
-	dock := c.ServicePoint(nodePos)
-	// Evaluate on a scratch array so the query does not disturb state.
-	arr := *c.array
-	arr.Emitters = append([]wpt.Emitter(nil), c.array.Emitters...)
-	arr.MoveTo(dock)
-	if err := wpt.SteerFocus(&arr, nodePos); err != nil {
-		return 0, fmt.Errorf("mc: focus at %v: %w", nodePos, err)
+	arr, err := c.steeredArray(nodePos)
+	if err != nil {
+		return 0, err
 	}
 	return c.rect.DCOutput(arr.RFPowerAt(nodePos)), nil
 }
@@ -218,14 +252,23 @@ func (c *Charger) DeliveredPower(nodePos geom.Point) (float64, error) {
 // node — what a neighbor witness sees during a genuine charge. The query
 // does not disturb the charger's state.
 func (c *Charger) RadiatedPowerAt(nodePos, at geom.Point) (float64, error) {
-	dock := c.ServicePoint(nodePos)
-	arr := *c.array
-	arr.Emitters = append([]wpt.Emitter(nil), c.array.Emitters...)
-	arr.MoveTo(dock)
-	if err := wpt.SteerFocus(&arr, nodePos); err != nil {
-		return 0, fmt.Errorf("mc: focus at %v: %w", nodePos, err)
+	arr, err := c.steeredArray(nodePos)
+	if err != nil {
+		return 0, err
 	}
 	return arr.RFPowerAt(at), nil
+}
+
+// RadiatedPowerAtAll is the batch form of RadiatedPowerAt: the session
+// array is steered once and evaluated at every probe point, which is what
+// witness scans over a neighborhood want. When dst has sufficient capacity
+// the result reuses it.
+func (c *Charger) RadiatedPowerAtAll(nodePos geom.Point, dst []float64, pts []geom.Point) ([]float64, error) {
+	arr, err := c.steeredArray(nodePos)
+	if err != nil {
+		return nil, err
+	}
+	return arr.RFPowerAtAll(dst, pts), nil
 }
 
 // FullRechargeTime returns how long a focused session must last to deliver
@@ -248,4 +291,5 @@ func (c *Charger) Reset() {
 	c.pos = c.depot
 	c.spent = 0
 	c.array.MoveTo(c.depot)
+	c.dropSteered()
 }

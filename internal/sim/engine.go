@@ -4,10 +4,10 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/obs"
@@ -56,6 +56,13 @@ func (e *Engine) Now() float64 { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
+// Grow pre-allocates queue capacity for at least n additional events, so
+// a run with a known event population reaches steady state without any
+// queue reallocation.
+func (e *Engine) Grow(n int) {
+	e.queue = slices.Grow(e.queue, n)
+}
+
 // At schedules fn at absolute time t. Scheduling at the current time is
 // allowed (the event runs after the current handler returns).
 func (e *Engine) At(t float64, name string, fn Handler) error {
@@ -66,7 +73,7 @@ func (e *Engine) At(t float64, name string, fn Handler) error {
 		return fmt.Errorf("sim: NaN timestamp for event %q", name)
 	}
 	e.seq++
-	e.queue.push(&event{t: t, seq: e.seq, name: name, fn: fn})
+	e.queue.push(event{t: t, seq: e.seq, name: name, fn: fn})
 	return nil
 }
 
@@ -76,12 +83,12 @@ func (e *Engine) After(dt float64, name string, fn Handler) error {
 }
 
 // Pending returns the number of queued events.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // PeekTime returns the timestamp of the next event, or +Inf when the queue
 // is empty.
 func (e *Engine) PeekTime() float64 {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return math.Inf(1)
 	}
 	return e.queue[0].t
@@ -89,7 +96,7 @@ func (e *Engine) PeekTime() float64 {
 
 // Step executes the next event and returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.queue) == 0 {
 		return false
 	}
 	ev := e.queue.pop()
@@ -100,7 +107,7 @@ func (e *Engine) Step() bool {
 		ev.fn(e)
 		p.Observe("sim.handler_sec."+ev.name, time.Since(start).Seconds())
 		p.Add("sim.events", 1)
-		p.Set("sim.queue_depth", float64(e.queue.Len()))
+		p.Set("sim.queue_depth", float64(len(e.queue)))
 		return true
 	}
 	ev.fn(e)
@@ -114,7 +121,7 @@ func (e *Engine) Step() bool {
 // against runaway self-scheduling loops; 0 means no guard.
 func (e *Engine) RunUntil(deadline float64, maxEvents uint64) error {
 	start := e.processed
-	for e.queue.Len() > 0 && e.queue[0].t <= deadline {
+	for len(e.queue) > 0 && e.queue[0].t <= deadline {
 		if maxEvents > 0 && e.processed-start >= maxEvents {
 			return fmt.Errorf("sim: exceeded %d events before deadline %v (now %v)", maxEvents, deadline, e.now)
 		}
@@ -147,35 +154,71 @@ type event struct {
 	fn   Handler
 }
 
-// eventHeap orders events by timestamp, then scheduling sequence. It
-// satisfies heap.Interface (whose Push/Pop trade in `any`); engine code
-// uses the typed push/pop helpers below instead of the raw interface.
-type eventHeap []*event
+// eventHeap is a binary min-heap of events ordered by timestamp, then
+// scheduling sequence. Events are stored by value and sifted manually,
+// so the queue performs zero heap allocations at steady state (push
+// reuses capacity freed by earlier pops). Because (t, seq) is a total
+// order — seq is unique — the pop sequence is identical to any other
+// correct heap over the same comparator, including the previous
+// container/heap implementation.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less reports whether the event at i sorts before the event at j.
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-// Push is heap.Interface plumbing; use push.
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// push inserts an event maintaining heap order.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
 
-// Pop is heap.Interface plumbing; use pop.
-func (h *eventHeap) Pop() any {
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	ev := old[n]
+	// Zero the vacated slot so the queue does not pin the handler closure
+	// (and its captures) past execution.
+	old[n] = event{}
+	*h = old[:n]
+	h.siftDown(0)
 	return ev
 }
 
-// push inserts an event maintaining heap order — the typed front door.
-func (h *eventHeap) push(ev *event) { heap.Push(h, ev) }
+// siftUp restores heap order after appending at index i.
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
 
-// pop removes and returns the earliest event — the typed front door.
-func (h *eventHeap) pop() *event { return heap.Pop(h).(*event) }
+// siftDown restores heap order after replacing the value at index i.
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+}

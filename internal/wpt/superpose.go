@@ -38,6 +38,12 @@ type Array struct {
 	// in radians. It bounds the achievable null depth: a perfect null needs
 	// exact anti-phase, and jitter leaves residual field.
 	PhaseJitterRad float64
+
+	// cache memoizes field probes for the current configuration; see
+	// fieldCache. It is owned by this exact *Array value — a copy of the
+	// struct shares the pointer but fails the cache's owner check and
+	// transparently recomputes.
+	cache *fieldCache
 }
 
 // DefaultPhaseJitterRad is the RMS phase error of the attack rig's
@@ -95,6 +101,7 @@ func (a *Array) Translate(offset geom.Point) {
 	for i := range a.Emitters {
 		a.Emitters[i].Pos = a.Emitters[i].Pos.Add(offset)
 	}
+	a.invalidate()
 }
 
 // MoveTo repositions the array so its centroid sits at dst, preserving the
@@ -121,21 +128,24 @@ func (a *Array) Centroid() geom.Point {
 // single-emitter amplitude from the charge model, k = 2π/λ the wavenumber,
 // and dᵢ the element-to-point distance. Elements beyond the charging range
 // contribute nothing.
+//
+// Repeated probes of an unchanged configuration are served from a
+// position-keyed cache; any mutation of the array (steering, movement, a
+// direct emitter write) invalidates it. Cached and uncached results are
+// bit-identical.
 func (a *Array) FieldAt(x geom.Point) complex128 {
-	k := 2 * math.Pi / a.Carrier.Wavelength()
-	var sum complex128
-	for _, e := range a.Emitters {
-		if e.Gain == 0 {
-			continue
-		}
-		d := e.Pos.Dist(x)
-		if d > a.Model.Range {
-			continue
-		}
-		amp := e.Gain * a.Model.Amplitude(d)
-		sum += cmplx.Rect(amp, e.PhaseRad-k*d)
+	c, warm := a.cacheFor()
+	if !warm {
+		return c.fieldSum(a, x)
 	}
-	return sum
+	if c.entries == nil {
+		c.entries = make(map[geom.Point]complex128, 8)
+	} else if v, ok := c.entries[x]; ok {
+		return v
+	}
+	v := c.fieldSum(a, x)
+	c.entries[x] = v
+	return v
 }
 
 // RFPowerAt returns the superposed RF power at point x in watts: the squared
@@ -145,26 +155,60 @@ func (a *Array) RFPowerAt(x geom.Point) float64 {
 	return real(f)*real(f) + imag(f)*imag(f)
 }
 
+// RFPowerAtAll returns the superposed RF power at every point, in watts.
+// It is the batch form of RFPowerAt: the cache is validated once for the
+// whole batch instead of per probe, which is what campaign witness scans
+// and testbed sweeps want. When dst has sufficient capacity the result
+// reuses it; otherwise a new slice is allocated.
+func (a *Array) RFPowerAtAll(dst []float64, points []geom.Point) []float64 {
+	if cap(dst) < len(points) {
+		dst = make([]float64, len(points))
+	}
+	dst = dst[:len(points)]
+	c, warm := a.cacheFor()
+	if !warm {
+		for i, x := range points {
+			f := c.fieldSum(a, x)
+			dst[i] = real(f)*real(f) + imag(f)*imag(f)
+		}
+		return dst
+	}
+	if c.entries == nil {
+		c.entries = make(map[geom.Point]complex128, len(points))
+	}
+	for i, x := range points {
+		f, ok := c.entries[x]
+		if !ok {
+			f = c.fieldSum(a, x)
+			c.entries[x] = f
+		}
+		dst[i] = real(f)*real(f) + imag(f)*imag(f)
+	}
+	return dst
+}
+
 // RFPowerAtWithJitter returns the RF power at x when each element's phase is
 // perturbed by the given per-element phase errors (radians). Callers sample
 // the errors from N(0, PhaseJitterRad²) to evaluate realistic null depth.
 // len(errs) must equal the emitter count.
+//
+// The jitter-independent geometry terms (per-emitter distance and
+// amplitude at x) are memoized for the most recent probe position, so
+// Monte-Carlo loops that redraw phase errors at a fixed victim pay only
+// the phase rotation per draw.
 func (a *Array) RFPowerAtWithJitter(x geom.Point, errs []float64) (float64, error) {
 	if len(errs) != len(a.Emitters) {
 		return 0, fmt.Errorf("wpt: got %d phase errors for %d emitters", len(errs), len(a.Emitters))
 	}
-	k := 2 * math.Pi / a.Carrier.Wavelength()
+	c, _ := a.cacheFor()
+	terms := c.jitterTermsAt(a, x)
 	var sum complex128
 	for i, e := range a.Emitters {
-		if e.Gain == 0 {
+		t := terms[i]
+		if t.skip {
 			continue
 		}
-		d := e.Pos.Dist(x)
-		if d > a.Model.Range {
-			continue
-		}
-		amp := e.Gain * a.Model.Amplitude(d)
-		sum += cmplx.Rect(amp, e.PhaseRad+errs[i]-k*d)
+		sum += cmplx.Rect(t.amp, e.PhaseRad+errs[i]-c.k*t.d)
 	}
 	return real(sum)*real(sum) + imag(sum)*imag(sum), nil
 }

@@ -1,7 +1,6 @@
 package wrsn
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -36,11 +35,29 @@ type Network struct {
 	radio     energy.RadioModel
 	policy    RoutingPolicy
 
+	// grid indexes node positions (static after construction) for range
+	// queries, replacing O(n²) pairwise scans in adjacency builds.
+	grid *geom.Grid
+
 	// Derived state, rebuilt by Recompute.
 	parent   []NodeID // routing parent per node
 	hopDist  []float64
 	loads    []energy.Load
 	children [][]NodeID
+	// drainW caches DrainWatts per node for the current tree; energy
+	// advance and depletion forecasting read it every step.
+	drainW []float64
+
+	// Scratch buffers reused across Recompute calls so steady-state
+	// routing rebuilds stop allocating.
+	adj     [][]int
+	cand    []int32
+	dist    []float64
+	pred    []int
+	pq      distHeap
+	order   []int
+	relay   []float64
+	nearBuf []NodeID
 }
 
 // RoutingPolicy selects the edge-weight objective of the sink-rooted
@@ -124,6 +141,11 @@ func NewNetwork(specs []NodeSpec, cfg Config) (*Network, error) {
 		}
 		nw.nodes[i] = n
 	}
+	pts := make([]geom.Point, len(nw.nodes))
+	for i, n := range nw.nodes {
+		pts[i] = n.Pos
+	}
+	nw.grid = geom.NewGrid(pts, cfg.CommRange)
 	nw.Recompute()
 	return nw, nil
 }
@@ -168,20 +190,42 @@ func (nw *Network) linked(a, b geom.Point) bool {
 }
 
 // aliveAdjacency builds the adjacency lists over alive nodes; index
-// len(nodes) stands for the sink.
+// len(nodes) stands for the sink. It queries the position grid instead
+// of scanning all pairs; candidates are filtered to alive higher-index
+// neighbors and sorted ascending before the symmetric append, so the
+// resulting lists — and therefore Dijkstra's tie-breaking — are
+// identical to the original i<j pairwise scan.
 func (nw *Network) aliveAdjacency() [][]int {
 	n := len(nw.nodes)
-	adj := make([][]int, n+1)
+	if cap(nw.adj) < n+1 {
+		nw.adj = make([][]int, n+1)
+	}
+	adj := nw.adj[:n+1]
+	for i := range adj {
+		adj[i] = adj[i][:0]
+	}
 	for i, a := range nw.nodes {
 		if !a.Alive() {
 			continue
 		}
-		for j := i + 1; j < n; j++ {
+		all := nw.grid.Candidates(nw.cand[:0], a.Pos, nw.commRange)
+		nw.cand = all
+		keep := all[:0]
+		for _, cj := range all {
+			j := int(cj)
+			if j <= i {
+				continue
+			}
 			b := nw.nodes[j]
 			if b.Alive() && nw.linked(a.Pos, b.Pos) {
-				adj[i] = append(adj[i], j)
-				adj[j] = append(adj[j], i)
+				keep = append(keep, cj)
 			}
+		}
+		sort32(keep)
+		for _, cj := range keep {
+			j := int(cj)
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
 		}
 		if nw.linked(a.Pos, nw.sink) {
 			adj[i] = append(adj[i], n)
@@ -191,31 +235,79 @@ func (nw *Network) aliveAdjacency() [][]int {
 	return adj
 }
 
+// sort32 insertion-sorts a small candidate list ascending; neighbor
+// lists are a dozen entries, below the crossover where sort.Slice's
+// overhead pays off.
+func sort32(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// NodesNear appends to dst every alive node whose position is within
+// rangeM of pos (by the exact Dist ≤ rangeM predicate), in ascending ID
+// order. It is the indexed replacement for brute-force witness scans.
+func (nw *Network) NodesNear(dst []*Node, pos geom.Point, rangeM float64) []*Node {
+	nw.cand = nw.grid.Candidates(nw.cand[:0], pos, rangeM)
+	if cap(nw.nearBuf) < len(nw.cand) {
+		nw.nearBuf = make([]NodeID, 0, len(nw.cand))
+	}
+	ids := nw.nearBuf[:0]
+	for _, ci := range nw.cand {
+		n := nw.nodes[ci]
+		if n.Alive() && pos.Dist(n.Pos) <= rangeM {
+			ids = append(ids, NodeID(ci))
+		}
+	}
+	nw.nearBuf = ids
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	for _, id := range ids {
+		dst = append(dst, nw.nodes[id])
+	}
+	return dst
+}
+
 // Recompute rebuilds the routing tree and traffic loads over currently
 // alive nodes. Call it after node deaths or energy-state changes that
-// affect routing.
+// affect routing. Derived and scratch state is reused across calls, so
+// steady-state rebuilds allocate nothing.
 func (nw *Network) Recompute() {
 	n := len(nw.nodes)
-	nw.parent = make([]NodeID, n)
-	nw.hopDist = make([]float64, n)
-	nw.loads = make([]energy.Load, n)
-	nw.children = make([][]NodeID, n)
+	if len(nw.parent) != n {
+		nw.parent = make([]NodeID, n)
+		nw.hopDist = make([]float64, n)
+		nw.loads = make([]energy.Load, n)
+		nw.children = make([][]NodeID, n)
+		nw.drainW = make([]float64, n)
+		nw.dist = make([]float64, n+1)
+		nw.pred = make([]int, n+1)
+	}
+	for i := range nw.children {
+		nw.children[i] = nw.children[i][:0]
+	}
 	adj := nw.aliveAdjacency()
 
 	// Dijkstra from the sink (index n) under the configured edge-weight
 	// policy. Each node's routing parent is its predecessor toward the
 	// sink.
 	const sinkIdx = -100 // internal marker in pred for "sink is parent"
-	dist := make([]float64, n+1)
-	pred := make([]int, n+1)
+	dist := nw.dist
+	pred := nw.pred
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		pred[i] = int(ParentNone)
 	}
 	dist[n] = 0
-	pq := &distHeap{{idx: n, d: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(distItem)
+	pq := nw.pq[:0]
+	pq.push(distItem{idx: n, d: 0})
+	for len(pq) > 0 {
+		it := pq.pop()
 		if it.d > dist[it.idx] {
 			continue
 		}
@@ -237,10 +329,11 @@ func (nw *Network) Recompute() {
 				} else {
 					pred[next] = it.idx
 				}
-				heap.Push(pq, distItem{idx: next, d: nd})
+				pq.push(distItem{idx: next, d: nd})
 			}
 		}
 	}
+	nw.pq = pq[:0]
 
 	for i := range nw.nodes {
 		nw.hopDist[i] = dist[i]
@@ -282,16 +375,21 @@ func (nw *Network) edgeWeight(from geom.Point, to int) float64 {
 func (nw *Network) Policy() RoutingPolicy { return nw.policy }
 
 // computeLoads derives per-node steady-state loads by aggregating subtree
-// traffic bottom-up over the routing tree.
+// traffic bottom-up over the routing tree, then refreshes the per-node
+// drain cache.
 func (nw *Network) computeLoads() {
 	// Topological order: process nodes by decreasing route distance so
 	// children precede parents.
-	order := make([]int, 0, len(nw.nodes))
+	if cap(nw.order) < len(nw.nodes) {
+		nw.order = make([]int, 0, len(nw.nodes))
+	}
+	order := nw.order[:0]
 	for i := range nw.nodes {
 		if nw.parent[i] != ParentNone {
 			order = append(order, i)
 		}
 	}
+	nw.order = order
 	// Insertion sort by descending hopDist; n is modest and this avoids an
 	// extra allocation-heavy sort.Slice in the hot path of Recompute.
 	for i := 1; i < len(order); i++ {
@@ -299,7 +397,13 @@ func (nw *Network) computeLoads() {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
-	relay := make([]float64, len(nw.nodes))
+	if len(nw.relay) != len(nw.nodes) {
+		nw.relay = make([]float64, len(nw.nodes))
+	}
+	relay := nw.relay
+	for i := range relay {
+		relay[i] = 0
+	}
 	for _, i := range order {
 		node := nw.nodes[i]
 		var hop float64
@@ -317,6 +421,16 @@ func (nw *Network) computeLoads() {
 			relay[p] += node.GenBps + relay[i]
 		}
 	}
+	// DrainWatts is a pure function of (parent, load, radio), all fixed
+	// until the next Recompute; caching it here turns the per-step energy
+	// advance and depletion forecasts into array reads.
+	for i := range nw.nodes {
+		if nw.parent[i] == ParentNone {
+			nw.drainW[i] = nw.radio.SenseW + nw.radio.IdleW
+		} else {
+			nw.drainW[i] = nw.radio.DrainWatts(nw.loads[i])
+		}
+	}
 }
 
 // Parent returns node id's routing parent: another node, ParentSink, or
@@ -330,14 +444,9 @@ func (nw *Network) Children(id NodeID) []NodeID { return nw.children[id] }
 // Load returns node id's steady-state traffic load from the last Recompute.
 func (nw *Network) Load(id NodeID) energy.Load { return nw.loads[id] }
 
-// DrainWatts returns node id's steady-state power draw. Disconnected nodes
-// still pay sensing and idle power.
-func (nw *Network) DrainWatts(id NodeID) float64 {
-	if nw.parent[id] == ParentNone {
-		return nw.radio.SenseW + nw.radio.IdleW
-	}
-	return nw.radio.DrainWatts(nw.loads[id])
-}
+// DrainWatts returns node id's steady-state power draw from the last
+// Recompute. Disconnected nodes still pay sensing and idle power.
+func (nw *Network) DrainWatts(id NodeID) float64 { return nw.drainW[id] }
 
 // Connected reports whether node id currently has a route to the sink.
 func (nw *Network) Connected(id NodeID) bool { return nw.parent[id] != ParentNone }
@@ -353,7 +462,12 @@ func (nw *Network) ConnectedCount() int {
 	return c
 }
 
-// distHeap is a min-heap for Dijkstra.
+// distHeap is a min-heap for Dijkstra, stored by value and sifted
+// manually so pushes never box through an interface. The sift algorithms
+// are element-for-element identical to container/heap's up/down, so the
+// pop order — including ties, which Dijkstra's tree construction is
+// sensitive to — matches the previous heap.Interface implementation
+// exactly.
 type distItem struct {
 	idx int
 	d   float64
@@ -361,14 +475,44 @@ type distItem struct {
 
 type distHeap []distItem
 
-func (h distHeap) Len() int           { return len(h) }
-func (h distHeap) Less(i, j int) bool { return h[i].d < h[j].d }
-func (h distHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *distHeap) Push(x any)        { *h = append(*h, x.(distItem)) }
-func (h *distHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *distHeap) push(it distItem) {
+	*h = append(*h, it)
+	// Sift up.
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(s[i].d < s[parent].d) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() distItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	it := s[n]
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		j := left
+		if right := left + 1; right < n && s[right].d < s[left].d {
+			j = right
+		}
+		if !(s[j].d < s[i].d) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
 	return it
 }
