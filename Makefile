@@ -6,7 +6,7 @@ GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun
 BENCH_PKGS = . ./internal/campaign
 BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults results clean
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon results clean
 
 all: verify
 
@@ -81,6 +81,14 @@ verify: build vet staticcheck test race
 verify-faults:
 	$(GO) test ./internal/campaign -run 'Golden|Fault|EmptyPlan' -count=1
 	$(GO) test -race ./internal/faults/... ./internal/experiments/engine/... ./internal/campaign/world/...
+
+# verify-daemon exercises the campaign-as-a-service path: the service and
+# client suites (HTTP determinism fence, backpressure, drain) under the
+# race detector, then the daemon's end-to-end -smoke self-test — a real
+# loopback HTTP server whose job digests must match the library path.
+verify-daemon:
+	$(GO) test -race -count=1 ./internal/service/... ./internal/jobspec/... ./client/...
+	$(GO) run ./cmd/wrsncsad -smoke -workers 4
 
 results:
 	mkdir -p results

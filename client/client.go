@@ -1,0 +1,273 @@
+// Package client is the Go client for the wrsncsad campaign daemon: a
+// thin typed wrapper over its HTTP/JSON API, so tools target a running
+// daemon instead of linking the simulation library. The wire types are
+// the daemon's own (aliased), keeping the two ends structurally
+// identical by construction.
+//
+//	c := client.New("http://127.0.0.1:8077")
+//	st, err := c.Submit(ctx, spec)            // 429-aware: returns *BusyError
+//	st, err = c.Wait(ctx, st.ID, time.Second) // poll to terminal state
+//	env, err := c.Outcome(ctx, st.ID)         // canonical JSON + digest
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/service"
+)
+
+// Wire types, shared with the daemon.
+type (
+	// JobSpec is the serializable job description POST /v1/jobs accepts.
+	JobSpec = jobspec.Spec
+	// JobStatus is one job's lifecycle snapshot.
+	JobStatus = service.JobStatus
+	// OutcomeEnvelope is the /outcome body: digest + canonical JSON.
+	OutcomeEnvelope = service.OutcomeEnvelope
+	// StreamFrame is one NDJSON frame of the /stream endpoint.
+	StreamFrame = service.StreamFrame
+	// Health is the /healthz body.
+	Health = service.Health
+	// TelemetrySnapshot is the cumulative telemetry view.
+	TelemetrySnapshot = obs.Snapshot
+)
+
+// BusyError reports queue-full backpressure (HTTP 429): retry after the
+// indicated delay.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("daemon busy: retry after %s", e.RetryAfter)
+}
+
+// APIError is any other non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Kind       string
+	Message    string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("daemon: %d %s: %s", e.StatusCode, e.Kind, e.Message)
+}
+
+// Client talks to one daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8077"), using http.DefaultClient.
+func New(baseURL string) *Client {
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+}
+
+// WithHTTPClient swaps the underlying *http.Client (timeouts, proxies).
+func (c *Client) WithHTTPClient(hc *http.Client) *Client {
+	c.hc = hc
+	return c
+}
+
+// Submit posts a job. A full queue returns *BusyError with the daemon's
+// Retry-After hint; the caller owns the retry loop (or use SubmitWait).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("client: encode spec: %w", err)
+	}
+	var st JobStatus
+	err = c.do(ctx, http.MethodPost, "/v1/jobs", body, &st)
+	return st, err
+}
+
+// SubmitWait is Submit with the backpressure loop built in: on 429 it
+// sleeps the daemon's Retry-After hint and tries again until ctx ends.
+func (c *Client) SubmitWait(ctx context.Context, spec JobSpec) (JobStatus, error) {
+	for {
+		st, err := c.Submit(ctx, spec)
+		var busy *BusyError
+		if err == nil || !errors.As(err, &busy) {
+			return st, err
+		}
+		t := time.NewTimer(busy.RetryAfter)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation and returns the updated status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Outcome fetches a done job's canonical outcome JSON and digest.
+func (c *Client) Outcome(ctx context.Context, id string) (OutcomeEnvelope, error) {
+	var env OutcomeEnvelope
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/outcome", nil, &env)
+	return env, err
+}
+
+// Telemetry fetches a job's cumulative telemetry snapshot.
+func (c *Client) Telemetry(ctx context.Context, id string) (*TelemetrySnapshot, error) {
+	var snap TelemetrySnapshot
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/telemetry", nil, &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Health fetches the daemon health summary.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Wait polls the job at the given cadence until it reaches a terminal
+// state or ctx ends.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Stream consumes the job's NDJSON telemetry stream, invoking fn per
+// frame until the terminal frame, an fn error, or ctx ends. interval is
+// the server-side frame cadence (0 = the daemon default).
+func (c *Client) Stream(ctx context.Context, id string, interval time.Duration, fn func(StreamFrame) error) error {
+	url := c.base + "/v1/jobs/" + id + "/stream"
+	if interval > 0 {
+		url += "?interval=" + interval.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var frame StreamFrame
+		if err := json.Unmarshal(sc.Bytes(), &frame); err != nil {
+			return fmt.Errorf("client: decode stream frame: %w", err)
+		}
+		if err := fn(frame); err != nil {
+			return err
+		}
+		if frame.Last {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("client: stream: %w", err)
+	}
+	return fmt.Errorf("client: stream ended without a terminal frame")
+}
+
+// do performs one JSON request/response cycle.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode >= 300 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// decodeError maps a non-2xx response to *BusyError (429) or *APIError.
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error service.ErrorInfo `json:"error"`
+	}
+	_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+	if resp.StatusCode == http.StatusTooManyRequests {
+		retry := time.Second
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		return &BusyError{RetryAfter: retry}
+	}
+	return &APIError{StatusCode: resp.StatusCode, Kind: body.Error.Kind, Message: body.Error.Message}
+}

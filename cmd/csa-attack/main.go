@@ -3,6 +3,12 @@
 // spoofed (or how it fell to the cascade), when it died, and what the
 // detector suite concluded.
 //
+// The campaign itself is described by a serializable job spec — the
+// same one cmd/wrsncsad accepts — so the run can execute in-process
+// (the default), be written to a file with -emit-job, or be submitted
+// to a running daemon with -daemon; all three produce the same Outcome
+// digest.
+//
 // With -metrics and/or -events the run records campaign telemetry
 // (sessions, spoofs, deaths, audits, charger travel) and exports it as
 // CSV, or JSON when the file extension is .json.
@@ -11,6 +17,7 @@
 //
 //	csa-attack [-seed 42] [-n 200] [-days 14] [-solver CSA] [-plan-only]
 //	           [-faults 1.0] [-metrics telemetry.csv] [-events events.json]
+//	           [-emit-job job.json] [-daemon http://127.0.0.1:8077]
 package main
 
 import (
@@ -19,14 +26,16 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
+	"github.com/reprolab/wrsn-csa/client"
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
-	"github.com/reprolab/wrsn-csa/internal/faults"
+	"github.com/reprolab/wrsn-csa/internal/cliexport"
 	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/mc"
-	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
@@ -39,38 +48,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "csa-attack:", err)
 		os.Exit(1)
 	}
-}
-
-// telemetryProbe returns the probe for the run: a recorder when any
-// export path is set, the no-op probe otherwise.
-func telemetryProbe(paths ...string) (obs.Probe, *obs.Recorder) {
-	for _, p := range paths {
-		if p != "" {
-			rec := obs.NewRecorder()
-			return rec, rec
-		}
-	}
-	return obs.Nop(), nil
-}
-
-// exportTelemetry writes the recorder's snapshot to the requested paths
-// (CSV, or JSON for .json extensions).
-func exportTelemetry(rec *obs.Recorder, metricsPath, eventsPath string) error {
-	if rec == nil {
-		return nil
-	}
-	snap := rec.Snapshot()
-	if metricsPath != "" {
-		if err := snap.ExportMetrics(metricsPath); err != nil {
-			return fmt.Errorf("export metrics: %w", err)
-		}
-	}
-	if eventsPath != "" {
-		if err := snap.ExportEvents(eventsPath); err != nil {
-			return fmt.Errorf("export events: %w", err)
-		}
-	}
-	return nil
 }
 
 // renderMap draws the deployment, the key-node targets and the planned
@@ -112,16 +89,42 @@ func run(ctx context.Context, args []string) error {
 	planOnly := fs.Bool("plan-only", false, "print the TIDE plan and exit without executing")
 	showMap := fs.Bool("map", false, "render the field, targets and planned route as ASCII art")
 	timeline := fs.Bool("timeline", false, "print the campaign's chronological event narrative")
-	faultLoad := fs.Float64("faults", 0, "fault-injection intensity: scales the default deterministic fault plan (0 = reliable network)")
-	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
-	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
+	jobOut := fs.String("emit-job", "", "write the campaign's job spec as JSON to this file (POST it to a daemon later)")
+	daemon := fs.String("daemon", "", "submit the campaign to the wrsncsad daemon at this base URL instead of running in-process")
+	var tel cliexport.Telemetry
+	tel.Register(fs)
+	var fl cliexport.FaultLoad
+	fl.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	probe, rec := telemetryProbe(*metricsPath, *eventsPath)
+	spec := jobspec.Spec{
+		Kind:     jobspec.KindAttack,
+		Scenario: trace.DefaultScenario(*seed, *n),
+		Campaign: jobspec.Campaign{
+			Seed:       *seed,
+			HorizonSec: *days * 86400,
+			Solver:     *solver,
+		},
+		Faults: fl.Spec(*seed, *days*86400),
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if *jobOut != "" {
+		data, err := spec.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jobOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote job spec to", *jobOut)
+	}
 
-	nw, _, err := trace.DefaultScenario(*seed, *n).Build()
+	probe := tel.Probe()
+	nw, _, err := spec.Scenario.Build()
 	if err != nil {
 		return err
 	}
@@ -157,20 +160,20 @@ func run(ctx context.Context, args []string) error {
 		if err := tbl.Render(os.Stdout); err != nil {
 			return err
 		}
-		return exportTelemetry(rec, *metricsPath, *eventsPath)
+		return tel.Export()
 	}
 
-	ccfg := campaign.Config{
-		Seed: *seed, HorizonSec: *days * 86400, Solver: *solver, Probe: probe,
+	if *daemon != "" {
+		return runDaemon(ctx, *daemon, spec)
 	}
-	if *faultLoad > 0 {
-		spec := faults.DefaultSpec(*seed, *days*86400).Scale(*faultLoad)
-		ccfg.Faults = faults.New(spec, nw.Len())
-	}
-	o, err := campaign.RunAttack(ctx, nw, ch, ccfg)
+
+	// The executed campaign runs from the spec — the exact computation a
+	// daemon would perform for the same job.
+	runRes, err := jobspec.Run(ctx, spec, probe)
 	if err != nil {
 		return err
 	}
+	o := runRes.Outcome
 	if rep := o.FaultReport(); rep != nil {
 		fmt.Printf("faults: %d injected, %d survived, %d fatal (node failures %d, lost requests %d, charger breakdowns %d, sink outages %d)\n",
 			rep.Injected(), rep.Survived(), rep.Fatal(),
@@ -226,5 +229,29 @@ func run(ctx context.Context, args []string) error {
 			fmt.Println(" ", line)
 		}
 	}
-	return exportTelemetry(rec, *metricsPath, *eventsPath)
+	return tel.Export()
+}
+
+// runDaemon submits the campaign spec to a wrsncsad daemon, waits for
+// the terminal state, and prints the summary plus the outcome digest.
+func runDaemon(ctx context.Context, baseURL string, spec jobspec.Spec) error {
+	c := client.New(baseURL)
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("daemon submit: %w", err)
+	}
+	fmt.Printf("\nsubmitted job %s to %s\n", st.ID, baseURL)
+	st, err = c.Wait(ctx, st.ID, 250*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("daemon wait: %w", err)
+	}
+	if st.Error != nil {
+		return fmt.Errorf("daemon job %s: %s: %s", st.ID, st.Error.Kind, st.Error.Message)
+	}
+	if s := st.Summary; s != nil {
+		fmt.Printf("exhaustion: %d/%d, dead total %d, detected: %v, caught: %v\n",
+			s.KeyDead, s.KeyNodes, s.DeadTotal, s.Detected, s.Caught)
+	}
+	fmt.Printf("outcome digest: %s\n", st.Digest)
+	return nil
 }

@@ -33,8 +33,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/reprolab/wrsn-csa/internal/cliexport"
 	"github.com/reprolab/wrsn-csa/internal/experiments"
-	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
 
@@ -60,19 +60,14 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 	outDir := fs.String("out", "", "directory to write <id>.txt and <id>.csv into")
 	baseSeed := fs.Uint64("seed", 0, "base seed offset for independent replications")
 	timing := fs.Bool("timing", true, "print per-experiment timing to stderr")
-	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
-	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-campaign-job wall-clock bound (0 = none)")
 	jobRetries := fs.Int("job-retries", 0, "retries per failed campaign job (re-seeded identically)")
+	var tel cliexport.Telemetry
+	tel.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	probe := obs.Nop()
-	var rec *obs.Recorder
-	if *metricsPath != "" || *eventsPath != "" {
-		rec = obs.NewRecorder()
-		probe = rec
-	}
+	probe := tel.Probe()
 	cfg := experiments.NewConfig(
 		experiments.WithQuick(*quick),
 		experiments.WithSeeds(*seeds),
@@ -135,18 +130,8 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 			}
 		}
 	}
-	if rec != nil {
-		snap := rec.Snapshot()
-		if *metricsPath != "" {
-			if err := snap.ExportMetrics(*metricsPath); err != nil {
-				return fmt.Errorf("export metrics: %w", err)
-			}
-		}
-		if *eventsPath != "" {
-			if err := snap.ExportEvents(*eventsPath); err != nil {
-				return fmt.Errorf("export events: %w", err)
-			}
-		}
+	if err := tel.Export(); err != nil {
+		return err
 	}
 	if len(failed) > 0 {
 		return fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", "))

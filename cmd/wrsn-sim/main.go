@@ -2,6 +2,12 @@
 // legitimate on-demand service by default, or the full charging spoofing
 // attack with -attack — and prints the outcome and detector verdicts.
 //
+// The run is described by a serializable job spec (the same one
+// cmd/wrsncsad accepts), so the exact same computation can execute
+// in-process (the default), be written to a file with -emit-job, or be
+// submitted to a running daemon with -daemon; all three produce the
+// same Outcome digest.
+//
 // With -metrics and/or -events the run records telemetry (sim engine
 // throughput, charger travel, campaign sessions) and exports it as CSV,
 // or JSON when the file extension is .json.
@@ -11,6 +17,7 @@
 //	wrsn-sim [-seed 42] [-n 200] [-pattern uniform|clustered|grid|corridor]
 //	         [-days 14] [-scheduler NJNP|FCFS|EDF] [-attack] [-solver CSA]
 //	         [-faults 1.0] [-metrics telemetry.csv] [-events events.json]
+//	         [-emit-job job.json] [-daemon http://127.0.0.1:8077]
 package main
 
 import (
@@ -20,13 +27,14 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"time"
 
+	"github.com/reprolab/wrsn-csa/client"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
-	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/cliexport"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/faults"
-	"github.com/reprolab/wrsn-csa/internal/mc"
-	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
@@ -37,26 +45,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wrsn-sim:", err)
 		os.Exit(1)
 	}
-}
-
-// exportTelemetry snapshots the recorder (when one exists) and writes the
-// requested export files (CSV, or JSON for .json extensions).
-func exportTelemetry(rec *obs.Recorder, metricsPath, eventsPath string) error {
-	if rec == nil {
-		return nil
-	}
-	snap := rec.Snapshot()
-	if metricsPath != "" {
-		if err := snap.ExportMetrics(metricsPath); err != nil {
-			return fmt.Errorf("export metrics: %w", err)
-		}
-	}
-	if eventsPath != "" {
-		if err := snap.ExportEvents(eventsPath); err != nil {
-			return fmt.Errorf("export events: %w", err)
-		}
-	}
-	return nil
 }
 
 func run(ctx context.Context, args []string) error {
@@ -70,19 +58,16 @@ func run(ctx context.Context, args []string) error {
 	solver := fs.String("solver", campaign.SolverCSA, "attack planner: CSA, Random, GreedyNearest, Direct")
 	chargers := fs.Int("chargers", 1, "fleet size for legitimate service (>1 uses the event-driven fleet)")
 	verify := fs.Float64("verify", 0, "harvest-verification probability (countermeasure extension)")
-	faultLoad := fs.Float64("faults", 0, "fault-injection intensity: scales the default deterministic fault plan (0 = reliable network)")
 	scenarioIn := fs.String("scenario", "", "load the scenario from this JSON file (overrides -seed/-n/-pattern)")
 	scenarioOut := fs.String("emit-scenario", "", "write the effective scenario as JSON to this file")
-	metricsPath := fs.String("metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
-	eventsPath := fs.String("events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
+	jobOut := fs.String("emit-job", "", "write the run's job spec as JSON to this file (POST it to a daemon later)")
+	daemon := fs.String("daemon", "", "submit the job to the wrsncsad daemon at this base URL instead of running in-process")
+	var tel cliexport.Telemetry
+	tel.Register(fs)
+	var fl cliexport.FaultLoad
+	fl.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
-	}
-	probe := obs.Nop()
-	var rec *obs.Recorder
-	if *metricsPath != "" || *eventsPath != "" {
-		rec = obs.NewRecorder()
-		probe = rec
 	}
 	if *chargers < 1 {
 		return fmt.Errorf("chargers must be ≥ 1")
@@ -120,62 +105,69 @@ func run(ctx context.Context, args []string) error {
 		}
 		fmt.Println("wrote scenario to", *scenarioOut)
 	}
+
+	spec := jobspec.Spec{
+		Kind:     jobspec.KindLegit,
+		Scenario: sc,
+		Campaign: jobspec.Campaign{
+			Seed:       *seed,
+			HorizonSec: *days * 86400,
+			Scheduler:  *schedName,
+			Defense:    defense.Config{VerifyProb: *verify},
+		},
+		Faults: fl.Spec(*seed, *days*86400),
+	}
+	switch {
+	case *doAttack:
+		spec.Kind = jobspec.KindAttack
+		spec.Campaign.Solver = *solver
+	case *chargers > 1:
+		spec.Kind = jobspec.KindFleet
+		spec.Chargers = *chargers
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if *jobOut != "" {
+		data, err := spec.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jobOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote job spec to", *jobOut)
+	}
+
+	// The banner needs the built world (node/key counts); the run itself
+	// rebuilds from the spec, so this build is display-only.
 	nw, _, err := sc.Build()
 	if err != nil {
 		return err
 	}
-	sched, err := charging.ByName(*schedName)
+	fmt.Printf("scenario: %d nodes (%s), %d key nodes, sink %v, horizon %.1f days\n",
+		nw.Len(), *pattern, len(nw.KeyNodes()), nw.Sink(), *days)
+
+	if *daemon != "" {
+		return runDaemon(ctx, *daemon, spec)
+	}
+
+	res, err := jobspec.Run(ctx, spec, tel.Probe())
 	if err != nil {
 		return err
 	}
-	ch := mc.New(nw.Sink(), mc.DefaultParams())
-	ch.Instrument(probe)
-	cfg := campaign.Config{
-		Seed:       *seed,
-		HorizonSec: *days * 86400,
-		Scheduler:  sched,
-		Solver:     *solver,
-		Defense:    defense.Config{VerifyProb: *verify},
-		Probe:      probe,
-	}
-	if *faultLoad > 0 {
-		spec := faults.DefaultSpec(*seed, *days*86400).Scale(*faultLoad)
-		cfg.Faults = faults.New(spec, nw.Len())
-	}
-
-	keys := nw.KeyNodes()
-	fmt.Printf("scenario: %d nodes (%s), %d key nodes, sink %v, horizon %.1f days\n",
-		nw.Len(), *pattern, len(keys), nw.Sink(), *days)
-
-	if *chargers > 1 {
-		fleet := make([]*mc.Charger, *chargers)
-		for i := range fleet {
-			fleet[i] = mc.New(nw.Sink(), mc.DefaultParams())
-			fleet[i].Instrument(probe)
-		}
-		fo, err := campaign.RunLegitFleet(ctx, nw, fleet, cfg)
-		if err != nil {
-			return err
-		}
+	if res.Fleet != nil {
+		fo := res.Fleet
 		fmt.Printf("\nmode: legit fleet of %d\n", *chargers)
 		fmt.Printf("sessions: %d, requests served %d/%d, utility %.0f kJ, fleet energy %.2f MJ, busy %.0f%%\n",
 			len(fo.Audit.Sessions), fo.RequestsServed, fo.RequestsIssued,
 			fo.CoverUtilityJ/1000, fo.EnergySpentJ/1e6, 100*fo.BusyFrac)
 		fmt.Printf("dead: %d/%d\n", fo.DeadTotal, nw.Len())
 		printFaults(fo.FaultReport())
-		return exportTelemetry(rec, *metricsPath, *eventsPath)
+		return tel.Export()
 	}
 
-	var o *campaign.Outcome
-	if *doAttack {
-		o, err = campaign.RunAttack(ctx, nw, ch, cfg)
-	} else {
-		o, err = campaign.RunLegit(ctx, nw, ch, cfg)
-	}
-	if err != nil {
-		return err
-	}
-
+	o := res.Outcome
 	fmt.Printf("\nmode: %s\n", o.Solver)
 	fmt.Printf("sessions: %d, requests served %d/%d, cover utility %.0f kJ, charger energy %.2f MJ\n",
 		len(o.Sessions), o.RequestsServed, o.RequestsIssued, o.CoverUtilityJ/1000, o.EnergySpentJ/1e6)
@@ -196,7 +188,34 @@ func run(ctx context.Context, args []string) error {
 		fmt.Printf("key-node exhaustion: %.0f%%, detected: %v\n", 100*o.KeyExhaustRatio(), o.Detected)
 	}
 	printFaults(o.FaultReport())
-	return exportTelemetry(rec, *metricsPath, *eventsPath)
+	return tel.Export()
+}
+
+// runDaemon submits the spec to a wrsncsad daemon, waits for the
+// terminal state, and prints the summary plus the outcome digest.
+func runDaemon(ctx context.Context, baseURL string, spec jobspec.Spec) error {
+	c := client.New(baseURL)
+	st, err := c.SubmitWait(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("daemon submit: %w", err)
+	}
+	fmt.Printf("\nsubmitted job %s to %s\n", st.ID, baseURL)
+	st, err = c.Wait(ctx, st.ID, 250*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("daemon wait: %w", err)
+	}
+	if st.Error != nil {
+		return fmt.Errorf("daemon job %s: %s: %s", st.ID, st.Error.Kind, st.Error.Message)
+	}
+	if s := st.Summary; s != nil {
+		fmt.Printf("mode: %s, dead %d, key dead %d/%d, requests served %d/%d, energy %.2f MJ\n",
+			s.Solver, s.DeadTotal, s.KeyDead, s.KeyNodes, s.RequestsServed, s.RequestsIssued, s.EnergySpentJ/1e6)
+		if spec.Kind == jobspec.KindAttack {
+			fmt.Printf("detected: %v, caught: %v\n", s.Detected, s.Caught)
+		}
+	}
+	fmt.Printf("outcome digest: %s\n", st.Digest)
+	return nil
 }
 
 // printFaults summarizes the run's fault ledger; nil (no plan) is silent.

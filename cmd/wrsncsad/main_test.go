@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+// TestSmokeMode runs the full -smoke self-test (loopback HTTP server,
+// mixed job batch, digest verification against the library path, drain)
+// exactly as `make verify-daemon` does.
+func TestSmokeMode(t *testing.T) {
+	if err := run([]string{"-smoke", "-workers", "2", "-queue", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

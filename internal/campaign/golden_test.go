@@ -19,20 +19,16 @@ package campaign
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"math"
 	"os"
 	"path/filepath"
-	"reflect"
-	"sort"
 	"testing"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/charging"
 	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/digest"
 	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
@@ -41,69 +37,17 @@ import (
 
 const goldenPath = "testdata/outcome_digests.json"
 
-// jsonSafe rebuilds v as a tree of maps, slices and scalars that
-// encoding/json accepts: non-finite floats (FirstDeathAt is +Inf when
-// nobody died) become strings, pointers are followed, nil pointers become
-// nil. Struct fields keep their names, so the digest covers every
-// exported field of Outcome and its nested types.
-func jsonSafe(v reflect.Value) any {
-	switch v.Kind() {
-	case reflect.Pointer, reflect.Interface:
-		if v.IsNil() {
-			return nil
-		}
-		return jsonSafe(v.Elem())
-	case reflect.Struct:
-		m := make(map[string]any, v.NumField())
-		t := v.Type()
-		for i := 0; i < v.NumField(); i++ {
-			if !t.Field(i).IsExported() {
-				continue
-			}
-			m[t.Field(i).Name] = jsonSafe(v.Field(i))
-		}
-		return m
-	case reflect.Slice, reflect.Array:
-		if v.Kind() == reflect.Slice && v.IsNil() {
-			return nil
-		}
-		out := make([]any, v.Len())
-		for i := 0; i < v.Len(); i++ {
-			out[i] = jsonSafe(v.Index(i))
-		}
-		return out
-	case reflect.Map:
-		// Outcome holds no maps today; render deterministically anyway.
-		keys := v.MapKeys()
-		sort.Slice(keys, func(i, j int) bool {
-			return fmt.Sprint(keys[i].Interface()) < fmt.Sprint(keys[j].Interface())
-		})
-		m := make(map[string]any, len(keys))
-		for _, k := range keys {
-			m[fmt.Sprint(k.Interface())] = jsonSafe(v.MapIndex(k))
-		}
-		return m
-	case reflect.Float64, reflect.Float32:
-		f := v.Float()
-		if math.IsInf(f, 0) || math.IsNaN(f) {
-			return fmt.Sprint(f)
-		}
-		return f
-	default:
-		return v.Interface()
-	}
-}
-
 // digestOf reduces any outcome-like value to a hex SHA-256 over its
-// canonical JSON form (map keys sort, so the encoding is deterministic).
+// canonical JSON form via the shared digest package — the same
+// canonicalization the campaign service reports to clients, so a daemon
+// digest is directly comparable against these goldens.
 func digestOf(t *testing.T, v any) string {
 	t.Helper()
-	b, err := json.Marshal(jsonSafe(reflect.ValueOf(v)))
+	d, err := digest.Sum(v)
 	if err != nil {
-		t.Fatalf("marshal outcome: %v", err)
+		t.Fatalf("digest outcome: %v", err)
 	}
-	sum := sha256.Sum256(b)
-	return hex.EncodeToString(sum[:])
+	return d
 }
 
 // goldenCase runs one pinned campaign configuration. probe is attached to

@@ -1,0 +1,107 @@
+// Package cliexport centralizes the telemetry-export and fault-load flag
+// wiring previously duplicated across cmd/experiments, cmd/csa-attack
+// and cmd/wrsn-sim (and now shared by cmd/wrsncsad): register the flags
+// on a FlagSet, get a probe for the run, export the recording at the
+// end.
+package cliexport
+
+import (
+	"flag"
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/faults"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+)
+
+// Telemetry owns the -metrics/-events export flags and the recorder
+// behind them. The zero value is ready to Register.
+type Telemetry struct {
+	// MetricsPath and EventsPath are the flag values (.json for JSON,
+	// CSV otherwise; empty disables that export).
+	MetricsPath string
+	EventsPath  string
+
+	rec *obs.Recorder
+}
+
+// Register installs the -metrics and -events flags on fs.
+func (t *Telemetry) Register(fs *flag.FlagSet) {
+	fs.StringVar(&t.MetricsPath, "metrics", "", "export run telemetry metrics to this file (.json for JSON, CSV otherwise)")
+	fs.StringVar(&t.EventsPath, "events", "", "export the telemetry event stream to this file (.json for JSON, CSV otherwise)")
+}
+
+// Probe returns the probe for the run: a recorder when any export path
+// is set (created once; later calls return the same recorder), the
+// no-op probe otherwise. Call it after flag parsing.
+func (t *Telemetry) Probe() obs.Probe {
+	if t.MetricsPath == "" && t.EventsPath == "" {
+		return obs.Nop()
+	}
+	if t.rec == nil {
+		t.rec = obs.NewRecorder()
+	}
+	return t.rec
+}
+
+// Recorder returns the recorder behind Probe, or nil when no export path
+// was requested.
+func (t *Telemetry) Recorder() *obs.Recorder {
+	t.Probe()
+	if t.MetricsPath == "" && t.EventsPath == "" {
+		return nil
+	}
+	return t.rec
+}
+
+// Export snapshots the recorder and writes the requested files. With no
+// export paths (or before Probe) it is a no-op, so commands call it
+// unconditionally on every exit path.
+func (t *Telemetry) Export() error {
+	if t.rec == nil {
+		return nil
+	}
+	snap := t.rec.Snapshot()
+	if t.MetricsPath != "" {
+		if err := snap.ExportMetrics(t.MetricsPath); err != nil {
+			return fmt.Errorf("export metrics: %w", err)
+		}
+	}
+	if t.EventsPath != "" {
+		if err := snap.ExportEvents(t.EventsPath); err != nil {
+			return fmt.Errorf("export events: %w", err)
+		}
+	}
+	return nil
+}
+
+// FaultLoad owns the -faults intensity flag: a scale factor over the
+// default deterministic fault plan.
+type FaultLoad struct {
+	// Load is the flag value; 0 disables fault injection.
+	Load float64
+}
+
+// Register installs the -faults flag on fs.
+func (f *FaultLoad) Register(fs *flag.FlagSet) {
+	fs.Float64Var(&f.Load, "faults", 0, "fault-injection intensity: scales the default deterministic fault plan (0 = reliable network)")
+}
+
+// Spec returns the scaled fault spec for the seed and horizon, or nil
+// when the load is zero — ready to set on a jobspec.Spec.
+func (f *FaultLoad) Spec(seed uint64, horizonSec float64) *faults.Spec {
+	if f.Load <= 0 {
+		return nil
+	}
+	spec := faults.DefaultSpec(seed, horizonSec).Scale(f.Load)
+	return &spec
+}
+
+// Plan compiles the scaled spec for an n-node network, or nil when the
+// load is zero. Plans are single-use; call Plan once per run.
+func (f *FaultLoad) Plan(seed uint64, horizonSec float64, n int) *faults.Plan {
+	spec := f.Spec(seed, horizonSec)
+	if spec == nil {
+		return nil
+	}
+	return faults.New(*spec, n)
+}

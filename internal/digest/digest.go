@@ -1,0 +1,88 @@
+// Package digest reduces outcome-like values to canonical JSON and
+// SHA-256 digests. It is the single canonicalization used by the golden
+// determinism harness (internal/campaign) and the campaign service
+// (internal/service): a daemon-computed digest is comparable, byte for
+// byte, with one computed over the in-process library path.
+//
+// The canonical form rebuilds the value as a tree of maps, slices and
+// scalars that encoding/json accepts: non-finite floats (FirstDeathAt is
+// +Inf when nobody died) become strings, pointers are followed, nil
+// pointers become nil, and map keys sort. Struct fields keep their
+// names, so a digest covers every exported field of the value and its
+// nested types.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+)
+
+// Canonical returns the canonical JSON encoding of v.
+func Canonical(v any) ([]byte, error) {
+	return json.Marshal(jsonSafe(reflect.ValueOf(v)))
+}
+
+// Sum returns the hex SHA-256 over v's canonical JSON form.
+func Sum(v any) (string, error) {
+	b, err := Canonical(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// jsonSafe rebuilds v as a tree of maps, slices and scalars that
+// encoding/json accepts. Unexported struct fields are skipped, matching
+// the digest contract: only the exported surface is pinned.
+func jsonSafe(v reflect.Value) any {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return nil
+		}
+		return jsonSafe(v.Elem())
+	case reflect.Struct:
+		m := make(map[string]any, v.NumField())
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				continue
+			}
+			m[t.Field(i).Name] = jsonSafe(v.Field(i))
+		}
+		return m
+	case reflect.Slice, reflect.Array:
+		if v.Kind() == reflect.Slice && v.IsNil() {
+			return nil
+		}
+		out := make([]any, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			out[i] = jsonSafe(v.Index(i))
+		}
+		return out
+	case reflect.Map:
+		keys := v.MapKeys()
+		sort.Slice(keys, func(i, j int) bool {
+			return fmt.Sprint(keys[i].Interface()) < fmt.Sprint(keys[j].Interface())
+		})
+		m := make(map[string]any, len(keys))
+		for _, k := range keys {
+			m[fmt.Sprint(k.Interface())] = jsonSafe(v.MapIndex(k))
+		}
+		return m
+	case reflect.Float64, reflect.Float32:
+		f := v.Float()
+		if math.IsInf(f, 0) || math.IsNaN(f) {
+			return fmt.Sprint(f)
+		}
+		return f
+	default:
+		return v.Interface()
+	}
+}

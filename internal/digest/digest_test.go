@@ -1,0 +1,69 @@
+package digest
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+type inner struct {
+	B float64
+	A string
+}
+
+type outer struct {
+	Ptr    *inner
+	Nil    *inner
+	Slice  []float64
+	NilSl  []int
+	M      map[string]int
+	hidden int
+}
+
+func TestCanonicalShape(t *testing.T) {
+	v := outer{
+		Ptr:   &inner{B: math.Inf(1), A: "x"},
+		Slice: []float64{1, math.NaN()},
+		M:     map[string]int{"b": 2, "a": 1},
+	}
+	v.hidden = 7 // must not influence the digest
+	b, err := Canonical(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"+Inf"`, `"NaN"`, `"Nil":null`, `"NilSl":null`, `{"a":1,"b":2}`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("canonical form %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, "hidden") {
+		t.Errorf("canonical form leaked unexported field: %s", s)
+	}
+}
+
+func TestSumDeterministicAndSensitive(t *testing.T) {
+	a := outer{Ptr: &inner{A: "x"}, M: map[string]int{"k": 1}}
+	d1, err := Sum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Sum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("digest not deterministic: %s vs %s", d1, d2)
+	}
+	a.M["k"] = 2
+	d3, err := Sum(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Fatal("digest insensitive to value change")
+	}
+	if len(d1) != 64 {
+		t.Fatalf("want hex sha256, got %q", d1)
+	}
+}

@@ -1,0 +1,280 @@
+// Package jobspec defines the canonical, JSON-round-trippable
+// description of one campaign job — scenario, campaign knobs, fault
+// load, fleet size — and the single execution path that turns a Spec
+// into an Outcome. The daemon (internal/service), cmd/wrsn-sim and
+// cmd/csa-attack all build their runs from a Spec, so "submit this job
+// to a daemon" and "run it in-process" are the same computation by
+// construction: every piece of randomness derives from seeds carried in
+// the Spec, never from submission order, worker identity, or wall clock.
+//
+// A Spec deliberately carries only serializable data. The non-wire
+// knobs of campaign.Config — a Scheduler implementation, a custom
+// detector suite, a live telemetry Probe, a compiled fault Plan — are
+// represented by their canonical serializable forms (a scheduler name,
+// the default suite, a caller-side probe, a faults.Spec compiled freshly
+// per run, honoring the plan's single-use contract).
+package jobspec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/digest"
+	"github.com/reprolab/wrsn-csa/internal/faults"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// Job kinds: the attack campaign, the legitimate single-charger
+// baseline, and the legitimate multi-charger fleet.
+const (
+	KindAttack = "attack"
+	KindLegit  = "legit"
+	KindFleet  = "fleet"
+)
+
+// Spec is one complete campaign job. The zero value is not runnable;
+// start from Default and adjust.
+type Spec struct {
+	// Kind selects the campaign flavor: KindAttack, KindLegit, KindFleet.
+	Kind string `json:"kind"`
+	// Scenario describes the deployment to build (trace.Scenario is
+	// already the serializable scenario form used by -scenario files).
+	Scenario trace.Scenario `json:"scenario"`
+	// Campaign carries the campaign knobs in wire form.
+	Campaign Campaign `json:"campaign"`
+	// Faults, when non-nil, is compiled into a fresh fault plan for every
+	// run (plans are single-use; specs are reusable).
+	Faults *faults.Spec `json:"faults,omitempty"`
+	// Chargers is the fleet size; required ≥ 1 for KindFleet, must be 0
+	// for the single-charger kinds.
+	Chargers int `json:"chargers,omitempty"`
+}
+
+// Campaign is the serializable mirror of campaign.Config: identical
+// knobs, with the interface-valued fields replaced by their canonical
+// wire forms (Scheduler by name; detectors fixed to the default suite;
+// probe and fault plan supplied at run time). Zero values defer to the
+// same defaults campaign.Config applies.
+type Campaign struct {
+	Seed             uint64         `json:"seed"`
+	HorizonSec       float64        `json:"horizon_sec,omitempty"`
+	RequestFrac      float64        `json:"request_frac,omitempty"`
+	CooldownSec      float64        `json:"cooldown_sec,omitempty"`
+	PollSec          float64        `json:"poll_sec,omitempty"`
+	Solver           string         `json:"solver,omitempty"`
+	Scheduler        string         `json:"scheduler,omitempty"`
+	MaxCovers        int            `json:"max_covers,omitempty"`
+	InstanceBudgetJ  float64        `json:"instance_budget_j,omitempty"`
+	Band             wpt.SpoofBand  `json:"band,omitempty"`
+	NoFill           bool           `json:"no_fill,omitempty"`
+	SingleEmitter    bool           `json:"single_emitter,omitempty"`
+	Progressive      bool           `json:"progressive,omitempty"`
+	SampleEverySec   float64        `json:"sample_every_sec,omitempty"`
+	AuditEverySec    float64        `json:"audit_every_sec,omitempty"`
+	MinAuditSessions int            `json:"min_audit_sessions,omitempty"`
+	PendingGraceSec  float64        `json:"pending_grace_sec,omitempty"`
+	BenignFailRate   float64        `json:"benign_fail_rate,omitempty"`
+	Defense          defense.Config `json:"defense,omitempty"`
+}
+
+// Default returns the evaluation-default legit baseline at the given
+// scenario seed and node count; set Kind/Solver/etc. from there.
+func Default(seed uint64, n int) Spec {
+	return Spec{
+		Kind:     KindLegit,
+		Scenario: trace.DefaultScenario(seed, n),
+		Campaign: Campaign{Seed: seed},
+	}
+}
+
+// solverNames is the accepted Solver vocabulary (KindAttack only).
+var solverNames = map[string]bool{
+	"":                           true, // default CSA
+	campaign.SolverCSA:           true,
+	campaign.SolverCSAPolished:   true,
+	campaign.SolverRandom:        true,
+	campaign.SolverGreedyNearest: true,
+	campaign.SolverDirect:        true,
+}
+
+// Validate checks everything that can be checked without building the
+// world, so a daemon can reject a bad Spec at submission time with a
+// useful message instead of failing the job later.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindAttack, KindLegit:
+		if s.Chargers != 0 {
+			return fmt.Errorf("jobspec: kind %q is single-charger; chargers must be 0, got %d", s.Kind, s.Chargers)
+		}
+	case KindFleet:
+		if s.Chargers < 1 {
+			return fmt.Errorf("jobspec: kind %q needs chargers ≥ 1, got %d", s.Kind, s.Chargers)
+		}
+	default:
+		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q or %q)", s.Kind, KindAttack, KindLegit, KindFleet)
+	}
+	if s.Scenario.Deploy.N <= 0 {
+		return fmt.Errorf("jobspec: scenario needs a positive node count, got %d", s.Scenario.Deploy.N)
+	}
+	if !solverNames[s.Campaign.Solver] {
+		return fmt.Errorf("jobspec: unknown solver %q", s.Campaign.Solver)
+	}
+	if _, err := s.scheduler(); err != nil {
+		return err
+	}
+	if s.Faults != nil && s.Faults.RequestLossProb < 0 {
+		return fmt.Errorf("jobspec: negative request-loss probability %v", s.Faults.RequestLossProb)
+	}
+	return nil
+}
+
+// scheduler resolves the scheduler name; empty means the campaign
+// default (NJNP, applied by campaign.Config itself).
+func (s Spec) scheduler() (charging.Scheduler, error) {
+	if s.Campaign.Scheduler == "" {
+		return nil, nil
+	}
+	sched, err := charging.ByName(s.Campaign.Scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("jobspec: %w", err)
+	}
+	return sched, nil
+}
+
+// Config materializes the campaign.Config for a run on an n-node
+// network: scheduler resolved by name, a fresh single-use fault plan
+// compiled from the fault spec, and the caller's probe attached.
+func (s Spec) Config(probe obs.Probe, n int) (campaign.Config, error) {
+	sched, err := s.scheduler()
+	if err != nil {
+		return campaign.Config{}, err
+	}
+	c := s.Campaign
+	cfg := campaign.Config{
+		Seed:             c.Seed,
+		HorizonSec:       c.HorizonSec,
+		RequestFrac:      c.RequestFrac,
+		CooldownSec:      c.CooldownSec,
+		PollSec:          c.PollSec,
+		Solver:           c.Solver,
+		Scheduler:        sched,
+		MaxCovers:        c.MaxCovers,
+		InstanceBudgetJ:  c.InstanceBudgetJ,
+		Band:             c.Band,
+		NoFill:           c.NoFill,
+		SingleEmitter:    c.SingleEmitter,
+		Progressive:      c.Progressive,
+		SampleEverySec:   c.SampleEverySec,
+		AuditEverySec:    c.AuditEverySec,
+		MinAuditSessions: c.MinAuditSessions,
+		PendingGraceSec:  c.PendingGraceSec,
+		BenignFailRate:   c.BenignFailRate,
+		Defense:          c.Defense,
+		Probe:            probe,
+	}
+	if s.Faults != nil {
+		cfg.Faults = faults.New(*s.Faults, n)
+	}
+	return cfg, nil
+}
+
+// Result is what a run produces: exactly one of Outcome (single-charger
+// kinds) or Fleet (KindFleet) is non-nil.
+type Result struct {
+	Outcome *campaign.Outcome
+	Fleet   *campaign.FleetOutcome
+}
+
+// Digest returns the hex SHA-256 of the result's canonical JSON form —
+// the byte-identity currency of the golden harness and the daemon.
+func (r *Result) Digest() (string, error) {
+	if r.Fleet != nil {
+		return digest.Sum(r.Fleet)
+	}
+	return digest.Sum(r.Outcome)
+}
+
+// CanonicalJSON returns the result's canonical JSON encoding (non-finite
+// floats stringified, map keys sorted) — the outcome body the daemon
+// serves.
+func (r *Result) CanonicalJSON() ([]byte, error) {
+	if r.Fleet != nil {
+		return digest.Canonical(r.Fleet)
+	}
+	return digest.Canonical(r.Outcome)
+}
+
+// Run executes the Spec: build the scenario, park the charger(s) at the
+// sink, compile the fault plan, run the campaign. All randomness derives
+// from Spec seeds, so the same Spec always produces the same Result —
+// in-process or behind a daemon, at any concurrency.
+func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	probe = obs.Or(probe)
+	nw, _, err := s.Scenario.Build()
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := s.Config(probe, nw.Len())
+	if err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindFleet:
+		fleet := make([]*mc.Charger, s.Chargers)
+		for i := range fleet {
+			fleet[i] = mc.New(nw.Sink(), mc.DefaultParams())
+			fleet[i].Instrument(probe)
+		}
+		fo, err := campaign.RunLegitFleet(ctx, nw, fleet, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Fleet: fo}, nil
+	case KindAttack:
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		ch.Instrument(probe)
+		o, err := campaign.RunAttack(ctx, nw, ch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Outcome: o}, nil
+	default: // KindLegit; Validate already rejected anything else
+		ch := mc.New(nw.Sink(), mc.DefaultParams())
+		ch.Instrument(probe)
+		o, err := campaign.RunLegit(ctx, nw, ch, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Outcome: o}, nil
+	}
+}
+
+// Decode parses a Spec from JSON, rejecting unknown fields so typos in
+// hand-written job files fail loudly at submit time.
+func Decode(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("jobspec: decode: %w", err)
+	}
+	return s, nil
+}
+
+// Encode renders the Spec as indented JSON, the file form -emit-job
+// writes and POST /v1/jobs accepts.
+func (s Spec) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("jobspec: encode: %w", err)
+	}
+	return append(b, '\n'), nil
+}

@@ -98,6 +98,15 @@ type Recorder struct {
 	gauges   map[string]float64
 	hists    map[string]*metrics.Summary
 	events   []Event
+
+	// Window cursor (see WindowSnapshot): the counter values and event
+	// count as of the previous window, and the number of windows cut so
+	// far. Nil/zero until the first WindowSnapshot call, so recorders
+	// that never window pay nothing.
+	winCounters map[string]float64
+	winHistN    map[string]int
+	winEvents   int
+	winSeq      int
 }
 
 // NewRecorder returns an empty recording probe.

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Window is one incremental telemetry export: what the recorder saw
+// since the previous WindowSnapshot call. It is the streaming unit the
+// campaign service ships mid-run, where Snapshot is the end-of-run
+// cumulative unit.
+//
+// Semantics per section:
+//
+//   - Counters carry the DELTA accumulated inside the window; counters
+//     untouched in the window are omitted, so summing each name's deltas
+//     across all windows (plus a final Snapshot for the tail) rebuilds
+//     the cumulative totals exactly.
+//   - Gauges are last-write-wins levels, exported at their CURRENT value
+//     every window (a scrape, like any level-based exporter).
+//   - Histograms report their CUMULATIVE summary, included only in
+//     windows where new samples arrived (N moved); distribution moments
+//     are not meaningfully differentiable, levels are.
+//   - Events carry exactly the tail appended inside the window, in
+//     emission order; concatenating every window's events rebuilds the
+//     full stream.
+type Window struct {
+	// Seq numbers the window, starting at 1.
+	Seq int `json:"seq"`
+	// Counters holds per-name deltas since the previous window,
+	// name-sorted; names with zero delta are omitted.
+	Counters []Metric `json:"counters,omitempty"`
+	// Gauges holds every gauge's current value, name-sorted.
+	Gauges []Metric `json:"gauges,omitempty"`
+	// Histograms holds cumulative summaries of the histograms that
+	// received samples inside the window, name-sorted.
+	Histograms []HistogramStat `json:"histograms,omitempty"`
+	// Events is the event-stream tail appended inside the window.
+	Events []Event `json:"events,omitempty"`
+}
+
+// Empty reports whether the window carries no data at all.
+func (w *Window) Empty() bool {
+	return len(w.Counters) == 0 && len(w.Gauges) == 0 &&
+		len(w.Histograms) == 0 && len(w.Events) == 0
+}
+
+// WriteJSON writes the window as one compact JSON object plus newline —
+// the NDJSON framing the daemon's streaming endpoint uses.
+func (w *Window) WriteJSON(out io.Writer) error {
+	return json.NewEncoder(out).Encode(w)
+}
+
+// WindowSnapshot cuts an incremental export window: everything recorded
+// since the previous WindowSnapshot (or since the recorder's birth, for
+// the first call) and advances the cursor. Snapshot is unaffected — it
+// stays the cumulative view regardless of how many windows were cut.
+//
+// The cursor is single-consumer state: concurrent WindowSnapshot callers
+// each get a consistent window, but the stream of deltas is partitioned
+// among them arbitrarily. Give each consumer its own Recorder when that
+// matters.
+func (r *Recorder) WindowSnapshot() *Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.winCounters == nil {
+		r.winCounters = make(map[string]float64, len(r.counters))
+		r.winHistN = make(map[string]int, len(r.hists))
+	}
+	r.winSeq++
+	w := &Window{Seq: r.winSeq, Gauges: sortedMetrics(r.gauges)}
+
+	for name, v := range r.counters {
+		if delta := v - r.winCounters[name]; delta != 0 {
+			w.Counters = append(w.Counters, Metric{Name: name, Value: delta})
+		}
+		r.winCounters[name] = v
+	}
+	sort.Slice(w.Counters, func(i, j int) bool { return w.Counters[i].Name < w.Counters[j].Name })
+
+	names := make([]string, 0, len(r.hists))
+	for name, h := range r.hists {
+		if h.N() != r.winHistN[name] {
+			names = append(names, name)
+			r.winHistN[name] = h.N()
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		w.Histograms = append(w.Histograms, HistogramStat{
+			Name: name, N: h.N(),
+			Mean: h.Mean(), Std: h.Std(), Min: h.Min(), Max: h.Max(),
+		})
+	}
+
+	if tail := r.events[r.winEvents:]; len(tail) > 0 {
+		w.Events = append([]Event(nil), tail...)
+	}
+	r.winEvents = len(r.events)
+	return w
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// feed drives a fixed recording sequence, calling cut() at the two
+// mid-run points where a windowing consumer would export.
+func feed(r *Recorder, cut func()) {
+	r.Add("jobs", 2)
+	r.Set("queue", 5)
+	r.Observe("lat", 1)
+	r.Event(Event{T: 1, Kind: "a", Node: 1})
+	cut()
+	r.Add("jobs", 3)
+	r.Add("errs", 1)
+	r.Set("queue", 2)
+	r.Observe("lat", 3)
+	r.Event(Event{T: 2, Kind: "b", Node: 2})
+	r.Event(Event{T: 3, Kind: "c", Node: 3})
+	cut()
+	r.Add("jobs", 1)
+	r.Event(Event{T: 4, Kind: "d", Node: 4})
+}
+
+func TestWindowSnapshotDeltas(t *testing.T) {
+	r := NewRecorder()
+	var wins []*Window
+	feed(r, func() { wins = append(wins, r.WindowSnapshot()) })
+	wins = append(wins, r.WindowSnapshot()) // tail window
+
+	if len(wins) != 3 {
+		t.Fatalf("want 3 windows, got %d", len(wins))
+	}
+	for i, w := range wins {
+		if w.Seq != i+1 {
+			t.Errorf("window %d has seq %d", i, w.Seq)
+		}
+	}
+
+	// Counter deltas across windows must sum to the cumulative totals.
+	sums := map[string]float64{}
+	var events []Event
+	for _, w := range wins {
+		for _, m := range w.Counters {
+			sums[m.Name] += m.Value
+		}
+		events = append(events, w.Events...)
+	}
+	if sums["jobs"] != 6 || sums["errs"] != 1 {
+		t.Errorf("window deltas sum to %v, want jobs=6 errs=1", sums)
+	}
+	if got := r.Counter("jobs"); sums["jobs"] != got {
+		t.Errorf("delta sum %g != cumulative %g", sums["jobs"], got)
+	}
+
+	// Concatenated window events rebuild the full stream in order.
+	all := r.Events()
+	if len(events) != len(all) {
+		t.Fatalf("windows carried %d events, recorder has %d", len(events), len(all))
+	}
+	for i := range all {
+		if events[i] != all[i] {
+			t.Errorf("event %d: window %+v != recorder %+v", i, events[i], all[i])
+		}
+	}
+
+	// Window 1: first write of each section.
+	w := wins[0]
+	if len(w.Counters) != 1 || w.Counters[0].Name != "jobs" || w.Counters[0].Value != 2 {
+		t.Errorf("window 1 counters = %+v", w.Counters)
+	}
+	if len(w.Gauges) != 1 || w.Gauges[0].Value != 5 {
+		t.Errorf("window 1 gauges = %+v", w.Gauges)
+	}
+	if len(w.Histograms) != 1 || w.Histograms[0].N != 1 {
+		t.Errorf("window 1 histograms = %+v", w.Histograms)
+	}
+
+	// Window 2: deltas only, gauge at its new level, histogram cumulative.
+	w = wins[1]
+	if len(w.Counters) != 2 { // errs + jobs, name-sorted
+		t.Fatalf("window 2 counters = %+v", w.Counters)
+	}
+	if w.Counters[0].Name != "errs" || w.Counters[0].Value != 1 ||
+		w.Counters[1].Name != "jobs" || w.Counters[1].Value != 3 {
+		t.Errorf("window 2 counters = %+v", w.Counters)
+	}
+	if w.Gauges[0].Value != 2 {
+		t.Errorf("window 2 gauge = %+v", w.Gauges)
+	}
+	if w.Histograms[0].N != 2 || w.Histograms[0].Mean != 2 {
+		t.Errorf("window 2 histogram = %+v", w.Histograms)
+	}
+
+	// Window 3: no gauge writes happened, but gauges are levels and stay
+	// exported; the untouched histogram is omitted.
+	w = wins[2]
+	if len(w.Counters) != 1 || w.Counters[0].Value != 1 {
+		t.Errorf("window 3 counters = %+v", w.Counters)
+	}
+	if len(w.Histograms) != 0 {
+		t.Errorf("window 3 histograms = %+v, want none (no new samples)", w.Histograms)
+	}
+	if len(w.Gauges) != 1 {
+		t.Errorf("window 3 gauges = %+v", w.Gauges)
+	}
+
+	// A quiescent recorder cuts a window with no deltas — only the gauge
+	// levels, which repeat by design.
+	w = r.WindowSnapshot()
+	if w.Seq != 4 || len(w.Counters) != 0 || len(w.Histograms) != 0 || len(w.Events) != 0 {
+		t.Errorf("quiescent window = %+v, want only gauges at seq 4", w)
+	}
+	if len(w.Gauges) != 1 {
+		t.Errorf("quiescent window dropped gauge levels: %+v", w.Gauges)
+	}
+}
+
+// TestSnapshotUnchangedByWindows is the Snapshot-semantics fence: the
+// cumulative CSV and JSON exports of a recorder that cut windows mid-run
+// must be byte-identical to those of a recorder that never did.
+func TestSnapshotUnchangedByWindows(t *testing.T) {
+	windowed, plain := NewRecorder(), NewRecorder()
+	feed(windowed, func() { windowed.WindowSnapshot() })
+	feed(plain, func() {})
+
+	exports := []struct {
+		name string
+		dump func(*Snapshot, *bytes.Buffer) error
+	}{
+		{"metrics-csv", func(s *Snapshot, b *bytes.Buffer) error { return s.WriteMetricsCSV(b) }},
+		{"events-csv", func(s *Snapshot, b *bytes.Buffer) error { return s.WriteEventsCSV(b) }},
+		{"json", func(s *Snapshot, b *bytes.Buffer) error { return s.WriteJSON(b) }},
+	}
+	for _, ex := range exports {
+		var a, b bytes.Buffer
+		if err := ex.dump(windowed.Snapshot(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.dump(plain.Snapshot(), &b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Errorf("%s export drifted under windowing:\nwindowed: %s\nplain:    %s", ex.name, a.String(), b.String())
+		}
+	}
+}
+
+func TestWindowWriteJSON(t *testing.T) {
+	r := NewRecorder()
+	r.Add("x", 1)
+	var buf bytes.Buffer
+	if err := r.WindowSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if line[len(line)-1] != '\n' {
+		t.Error("window JSON is not newline-framed")
+	}
+	if want := `{"seq":1,"counters":[{"name":"x","value":1}]}` + "\n"; line != want {
+		t.Errorf("window JSON = %q, want %q", line, want)
+	}
+}

@@ -1,0 +1,248 @@
+// HTTP/JSON surface of the campaign service. Routes (all JSON):
+//
+//	POST   /v1/jobs               submit a jobspec.Spec → 202 JobStatus
+//	                              (429 + Retry-After when the queue is
+//	                              full, 503 when draining, 400 invalid)
+//	GET    /v1/jobs               all job statuses, submission order
+//	GET    /v1/jobs/{id}          one job's status
+//	DELETE /v1/jobs/{id}          cancel; returns the updated status
+//	GET    /v1/jobs/{id}/outcome  canonical outcome JSON + digest (409
+//	                              until done)
+//	GET    /v1/jobs/{id}/telemetry cumulative telemetry snapshot
+//	GET    /v1/jobs/{id}/stream   NDJSON frames of status + incremental
+//	                              telemetry windows until terminal
+//	GET    /v1/healthz            service health, queue, job counts
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+)
+
+// maxSpecBytes bounds a submitted JobSpec body; scenarios are recipes
+// (seeds and knobs), not node dumps, so 1 MiB is generous.
+const maxSpecBytes = 1 << 20
+
+// StreamFrame is one NDJSON line of the streaming endpoint: the job's
+// status at frame time plus the telemetry window cut since the previous
+// frame. The final frame of a stream has Last set and, for done jobs,
+// the status carries the outcome digest.
+type StreamFrame struct {
+	Job    JobStatus   `json:"job"`
+	Window *obs.Window `json:"window,omitempty"`
+	Last   bool        `json:"last,omitempty"`
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	Status     string        `json:"status"` // "ok" or "draining"
+	Workers    int           `json:"workers"`
+	QueueLen   int           `json:"queue_len"`
+	QueueDepth int           `json:"queue_depth"`
+	Jobs       map[State]int `json:"jobs"`
+}
+
+// Handler returns the service's HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/outcome", s.handleOutcome)
+	mux.HandleFunc("GET /v1/jobs/{id}/telemetry", s.handleTelemetry)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	return mux
+}
+
+func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	if s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, Health{
+		Status:     status,
+		Workers:    s.Workers(),
+		QueueLen:   s.QueueLen(),
+		QueueDepth: s.QueueDepth(),
+		Jobs:       s.Counts(),
+	})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("read body: %v", err))
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "invalid", fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	spec, err := jobspec.Decode(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "invalid", err.Error())
+		return
+	}
+	st, err := s.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Backpressure, not buffering: the client owns the retry.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeError(w, http.StatusTooManyRequests, "queue_full", err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.RetryAfter())))
+		writeError(w, http.StatusServiceUnavailable, "draining", err.Error())
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "invalid", err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// OutcomeEnvelope is the /outcome body: the digest plus the canonical
+// outcome JSON (non-finite floats stringified, map keys sorted — the
+// exact bytes the digest covers).
+type OutcomeEnvelope struct {
+	ID      string          `json:"id"`
+	Digest  string          `json:"digest"`
+	Outcome json.RawMessage `json:"outcome"`
+}
+
+func (s *Service) handleOutcome(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	dig, body, err := s.Outcome(id)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case err != nil:
+		writeError(w, http.StatusConflict, "not_done", err.Error())
+	default:
+		// Compact encoding so the embedded canonical outcome bytes —
+		// the exact bytes the digest covers — pass through unaltered
+		// (an indenting encoder would reformat the RawMessage).
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_ = json.NewEncoder(w).Encode(OutcomeEnvelope{ID: id, Digest: dig, Outcome: body})
+	}
+}
+
+func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	snap, err := s.Telemetry(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// handleStream serves NDJSON frames — job status plus the incremental
+// telemetry window — at ?interval (default 500ms, floor 10ms) until the
+// job is terminal or the client goes away. The last frame is marked.
+func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, err := s.lookup(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		return
+	}
+	interval := 500 * time.Millisecond
+	if v := r.URL.Query().Get("interval"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "invalid", fmt.Sprintf("interval: %v", err))
+			return
+		}
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		interval = d
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		st, err := s.Job(id)
+		if err != nil {
+			return
+		}
+		frame := StreamFrame{Job: st, Window: j.rec.WindowSnapshot(), Last: st.State.Terminal()}
+		if err := enc.Encode(frame); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if frame.Last {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.done:
+			// Loop once more to emit the terminal frame immediately.
+		case <-tick.C:
+		}
+	}
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error ErrorInfo `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, kind, msg string) {
+	writeJSON(w, code, apiError{Error: ErrorInfo{Kind: kind, Message: msg}})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// retryAfterSeconds renders a Retry-After header value, rounding up so a
+// sub-second hint never becomes 0 ("retry immediately").
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

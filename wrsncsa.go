@@ -25,6 +25,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/detect"
 	"github.com/reprolab/wrsn-csa/internal/faults"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -353,3 +354,46 @@ func LegitFleet(nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOut
 func LegitFleetContext(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
 	return campaign.RunLegitFleet(ctx, nw, chargers, cfg)
 }
+
+// Job-spec re-exports (see the internal jobspec package): the
+// serializable description of one campaign job, shared by the wrsncsad
+// daemon, the CLIs and this library. The same JobSpec always produces
+// the same result — in-process via RunJob or behind a daemon via the
+// client package — because every piece of randomness derives from seeds
+// carried in the spec.
+type (
+	// JobSpec is one complete campaign job: kind, scenario, campaign
+	// knobs, fault load, fleet size.
+	JobSpec = jobspec.Spec
+	// JobCampaign is the serializable mirror of CampaignConfig used
+	// inside a JobSpec (scheduler by name, faults as a spec).
+	JobCampaign = jobspec.Campaign
+	// JobResult is a run's result: Outcome or Fleet, with canonical
+	// JSON and digest accessors.
+	JobResult = jobspec.Result
+)
+
+// Job kinds for JobSpec.Kind.
+const (
+	JobKindAttack = jobspec.KindAttack
+	JobKindLegit  = jobspec.KindLegit
+	JobKindFleet  = jobspec.KindFleet
+)
+
+// DefaultJobSpec returns the evaluation-default legit job at the given
+// scenario seed and node count; set Kind/Solver/etc. from there.
+func DefaultJobSpec(seed uint64, n int) JobSpec { return jobspec.Default(seed, n) }
+
+// RunJob executes a JobSpec in-process: build the scenario, run the
+// campaign, return the result. This is exactly the computation a
+// wrsncsad daemon performs for the same spec — byte-identical digests.
+// probe may be nil.
+func RunJob(ctx context.Context, spec JobSpec, probe Probe) (*JobResult, error) {
+	return jobspec.Run(ctx, spec, probe)
+}
+
+// TelemetryWindow is an incremental telemetry view: the deltas since the
+// previous window cut from the same Recorder (counters as deltas, gauge
+// levels, histograms when moved, the event tail). Cut one with
+// Recorder.WindowSnapshot; the daemon's /stream endpoint serves these.
+type TelemetryWindow = obs.Window
