@@ -1,12 +1,13 @@
 GO ?= go
 
-# Benchmarks that gate in CI: the parallel engine's sweep throughput and
-# the end-to-end campaign hot path.
-GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun
+# Benchmarks that gate in CI: the parallel engine's sweep throughput,
+# the end-to-end campaign hot path, and the snapshot/fork seed sweep
+# against its rebuild baseline (BenchmarkSeedSweep matches both).
+GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep
 BENCH_PKGS = . ./internal/campaign
 BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon results clean
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot results clean
 
 all: verify
 
@@ -89,6 +90,16 @@ verify-faults:
 verify-daemon:
 	$(GO) test -race -count=1 ./internal/service/... ./internal/jobspec/... ./client/...
 	$(GO) run ./cmd/wrsncsad -smoke -workers 4
+
+# verify-snapshot focuses the snapshot/fork contracts: the golden fork
+# fence (every pinned digest reproduced from a fork, and from an
+# encode→decode→fork), the snapshot package's round-trip and concurrency
+# suite under the race detector, and the jobspec snapshot-spec
+# determinism fence.
+verify-snapshot:
+	$(GO) test ./internal/campaign -run 'GoldenForked|GoldenDecodedFork|ForkSpecsCover' -count=1
+	$(GO) test -race -count=1 ./internal/snapshot/...
+	$(GO) test -count=1 ./internal/jobspec -run 'Snapshot'
 
 results:
 	mkdir -p results

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"testing"
 
+	wrsncsa "github.com/reprolab/wrsn-csa"
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/experiments"
@@ -138,6 +139,55 @@ func BenchmarkExperimentSweep(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Seed-sweep benchmarks: the cost of running the same 200-node scenario
+// at sweepSeeds campaign seeds, the shape of every Monte-Carlo figure.
+// The horizon is short (6 simulated hours) so per-seed simulation is
+// comparable to scenario warm-up (placement + routing convergence) —
+// the regime early-window and detection-threshold sweeps live in, and
+// the one the snapshot subsystem exists for. BenchmarkSeedSweep rebuilds
+// the world per seed; BenchmarkSeedSweepForked builds one snapshot and
+// forks per seed. Outcomes are byte-identical (the golden fork fence);
+// only wall-clock moves, and the gate keeps the gap from regressing.
+const sweepSeeds = 8
+
+var sweepCfgBase = wrsncsa.CampaignConfig{HorizonSec: 6 * 3600}
+
+// BenchmarkSeedSweep is the rebuild baseline: every seed pays scenario
+// construction again.
+func BenchmarkSeedSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < sweepSeeds; s++ {
+			nw, _, err := wrsncsa.BuildScenario(42, 200)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := sweepCfgBase
+			cfg.Seed = uint64(s)
+			if _, err := wrsncsa.Legit(context.Background(), nw, wrsncsa.NewCharger(nw), cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSeedSweepForked pays warm-up once per sweep (the snapshot
+// build is inside the timed region) and forks per seed.
+func BenchmarkSeedSweepForked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		snap, err := wrsncsa.BuildSnapshot(42, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < sweepSeeds; s++ {
+			cfg := sweepCfgBase
+			cfg.Seed = uint64(s)
+			if _, err := wrsncsa.Legit(context.Background(), nil, nil, cfg, wrsncsa.WithSnapshot(snap)); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

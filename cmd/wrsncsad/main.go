@@ -22,6 +22,7 @@
 //
 //	wrsncsad [-addr :8077] [-queue 64] [-workers 0] [-job-timeout 0]
 //	         [-job-retries 0] [-retry-after 1s] [-drain-timeout 30s]
+//	         [-max-results 0] [-persist-dir dir]
 //	         [-metrics daemon.csv] [-events events.json] [-smoke]
 package main
 
@@ -61,6 +62,8 @@ func run(args []string) error {
 	jobRetries := fs.Int("job-retries", 0, "extra attempts for a failed job")
 	retryAfter := fs.Duration("retry-after", time.Second, "Retry-After hint returned with 429/503")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are canceled")
+	maxResults := fs.Int("max-results", 0, "finished jobs to retain; older ones are evicted and answer 410 Gone (0 = unbounded)")
+	persistDir := fs.String("persist-dir", "", "directory for durable job specs; queued/running jobs are re-run after a restart (empty = no persistence)")
 	smoke := fs.Bool("smoke", false, "self-test: serve on a loopback port, run jobs through the HTTP path, verify digests against the library path, drain, exit")
 	var tel cliexport.Telemetry
 	tel.Register(fs)
@@ -73,6 +76,8 @@ func run(args []string) error {
 		Workers:    *workers,
 		Job:        engine.Options{Timeout: *jobTimeout, Retries: *jobRetries},
 		RetryAfter: *retryAfter,
+		MaxResults: *maxResults,
+		PersistDir: *persistDir,
 		Probe:      tel.Probe(),
 	}
 	if *smoke {

@@ -1,6 +1,7 @@
 package wrsncsa_test
 
 import (
+	"context"
 	"fmt"
 
 	wrsncsa "github.com/reprolab/wrsn-csa"
@@ -15,7 +16,7 @@ func Example() {
 		return
 	}
 	ch := wrsncsa.NewCharger(nw)
-	out, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+	out, err := wrsncsa.Attack(context.Background(), nw, ch, wrsncsa.CampaignConfig{Seed: 42})
 	if err != nil {
 		fmt.Println("attack:", err)
 		return
@@ -77,7 +78,7 @@ func ExampleLegit() {
 		fmt.Println("build:", err)
 		return
 	}
-	out, err := wrsncsa.Legit(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{Seed: 42})
+	out, err := wrsncsa.Legit(context.Background(), nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{Seed: 42})
 	if err != nil {
 		fmt.Println("legit:", err)
 		return
@@ -94,7 +95,7 @@ func ExampleDefenseConfig() {
 		fmt.Println("build:", err)
 		return
 	}
-	out, err := wrsncsa.Attack(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
+	out, err := wrsncsa.Attack(context.Background(), nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
 		Seed:    42,
 		Defense: wrsncsa.DefenseConfig{VerifyProb: 0.5},
 	})

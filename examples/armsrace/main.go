@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -37,13 +38,14 @@ func denseCorridorNet(seed uint64) (*wrsncsa.Network, error) {
 
 func run() error {
 	const seed = 31
+	ctx := context.Background()
 
 	fmt.Println("── round 0: undefended network (uniform, 150 nodes) ──")
 	nw, _, err := wrsncsa.BuildScenario(seed, 150)
 	if err != nil {
 		return err
 	}
-	o, err := wrsncsa.Attack(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{Seed: seed})
+	o, err := wrsncsa.Attack(ctx, nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{Seed: seed})
 	if err != nil {
 		return err
 	}
@@ -55,7 +57,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	o, err = wrsncsa.Attack(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
+	o, err = wrsncsa.Attack(ctx, nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
 		Seed:    seed,
 		Defense: wrsncsa.DefenseConfig{WitnessDutyCycle: 0.5},
 	})
@@ -92,7 +94,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	o, err = wrsncsa.Attack(nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
+	o, err = wrsncsa.Attack(ctx, nw, wrsncsa.NewCharger(nw), wrsncsa.CampaignConfig{
 		Seed:    seed,
 		Defense: wrsncsa.DefenseConfig{VerifyProb: 0.3},
 	})

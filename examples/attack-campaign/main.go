@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -20,24 +21,24 @@ func main() {
 
 func run() error {
 	const seed, n = 2024, 250
+	ctx := context.Background()
 	cfg := wrsncsa.CampaignConfig{Seed: seed, SampleEverySec: 86400}
 
-	// Baseline: the same scenario under an honest charger.
-	nw, _, err := wrsncsa.BuildScenario(seed, n)
-	if err != nil {
-		return err
-	}
-	legit, err := wrsncsa.Legit(nw, wrsncsa.NewCharger(nw), cfg)
+	// Build the world once; campaigns mutate state, so each run gets its
+	// own fork of the snapshot instead of a full rebuild.
+	snap, err := wrsncsa.BuildSnapshot(seed, n)
 	if err != nil {
 		return err
 	}
 
-	// Attack: rebuild the identical network (campaigns mutate state).
-	nw2, _, err := wrsncsa.BuildScenario(seed, n)
+	// Baseline: the scenario under an honest charger.
+	legit, err := wrsncsa.Legit(ctx, nil, nil, cfg, wrsncsa.WithSnapshot(snap))
 	if err != nil {
 		return err
 	}
-	att, err := wrsncsa.Attack(nw2, wrsncsa.NewCharger(nw2), cfg)
+
+	// Attack: the identical network, forked warm.
+	att, err := wrsncsa.Attack(ctx, nil, nil, cfg, wrsncsa.WithSnapshot(snap))
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -28,40 +29,34 @@ func run() error {
 		scores[d.Name()] = make(map[string][]float64)
 	}
 
+	ctx := context.Background()
 	for i := 0; i < runs; i++ {
 		seed := uint64(100 + i*31)
 		// Horizon-only judgment: live audits off so every behavior leaves
 		// its full evidence trail.
 		base := wrsncsa.CampaignConfig{Seed: seed, AuditEverySec: -1}
 
-		nw, _, err := wrsncsa.BuildScenario(seed, n)
+		// One world per seed; all three behaviors fork it.
+		snap, err := wrsncsa.BuildSnapshot(seed, n)
 		if err != nil {
 			return err
 		}
-		legit, err := wrsncsa.Legit(nw, wrsncsa.NewCharger(nw), base)
+		legit, err := wrsncsa.Legit(ctx, nil, nil, base, wrsncsa.WithSnapshot(snap))
 		if err != nil {
 			return err
 		}
 
-		nw2, _, err := wrsncsa.BuildScenario(seed, n)
-		if err != nil {
-			return err
-		}
 		csaCfg := base
 		csaCfg.Solver = wrsncsa.SolverCSA
-		csa, err := wrsncsa.Attack(nw2, wrsncsa.NewCharger(nw2), csaCfg)
+		csa, err := wrsncsa.Attack(ctx, nil, nil, csaCfg, wrsncsa.WithSnapshot(snap))
 		if err != nil {
 			return err
 		}
 
-		nw3, _, err := wrsncsa.BuildScenario(seed, n)
-		if err != nil {
-			return err
-		}
 		dirCfg := base
 		dirCfg.Solver = wrsncsa.SolverDirect
 		dirCfg.NoFill = true
-		direct, err := wrsncsa.Attack(nw3, wrsncsa.NewCharger(nw3), dirCfg)
+		direct, err := wrsncsa.Attack(ctx, nil, nil, dirCfg, wrsncsa.WithSnapshot(snap))
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,14 @@ func NewBattery(capacity, level, quantum float64) (*Battery, error) {
 	return b, nil
 }
 
+// Clone returns an independent copy of the battery with identical
+// capacity, level, and meter quantum. Snapshot forks use it to give each
+// forked world its own energy state.
+func (b *Battery) Clone() *Battery {
+	c := *b
+	return &c
+}
+
 // Capacity returns the battery capacity in joules.
 func (b *Battery) Capacity() float64 { return b.capacity }
 

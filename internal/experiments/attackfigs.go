@@ -7,11 +7,8 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
-	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
-	"github.com/reprolab/wrsn-csa/internal/trace"
-	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
 // solverSpecs pairs each attack planner with its execution mode: the
@@ -247,41 +244,34 @@ func RunRuntime(ctx context.Context, cfg Config) (*Output, error) {
 	}, nil
 }
 
-// newDefaultCharger parks a default charger at the network's sink (the
-// depot in every evaluation scenario).
-func newDefaultCharger(nw *wrsn.Network) *mc.Charger {
-	return mc.New(nw.Sink(), mc.DefaultParams())
-}
-
-// runOneAttack builds a fresh scenario and runs an attack campaign on it.
+// runOneAttack forks the (seed, n) baseline world from the snapshot forge
+// and runs an attack campaign on it.
 func runOneAttack(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, _, err := trace.DefaultScenario(seed, n).Build()
+	nw, ch, err := forkDefaultWorld(seed, n)
 	if err != nil {
 		return nil, err
 	}
-	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
 	return campaign.RunAttack(ctx, nw, ch, ccfg)
 }
 
-// runOneLegit builds a fresh scenario and runs the legitimate baseline.
+// runOneLegit forks the (seed, n) baseline world and runs the legitimate
+// baseline.
 func runOneLegit(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, _, err := trace.DefaultScenario(seed, n).Build()
+	nw, ch, err := forkDefaultWorld(seed, n)
 	if err != nil {
 		return nil, err
 	}
-	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	ccfg.Seed = seed
 	return campaign.RunLegit(ctx, nw, ch, ccfg)
 }
 
-// buildInstance constructs the TIDE instance of a fresh scenario.
+// buildInstance constructs the TIDE instance of a forked baseline world.
 func buildInstance(seed uint64, n int, budget float64) (*attack.Instance, error) {
-	nw, _, err := trace.DefaultScenario(seed, n).Build()
+	nw, ch, err := forkDefaultWorld(seed, n)
 	if err != nil {
 		return nil, err
 	}
-	ch := mc.New(nw.Sink(), mc.DefaultParams())
 	return attack.BuildInstance(nw, ch, attack.BuilderConfig{BudgetJ: budget})
 }
 

@@ -7,10 +7,8 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/faults"
-	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
-	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
 // RunFaultTolerance is R-Fig 14, the robustness extension: the CSA
@@ -46,11 +44,10 @@ func RunFaultTolerance(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*res, error) {
 		j := jobs[i]
-		nw, _, err := trace.DefaultScenario(j.seed, n).Build()
+		nw, ch, err := forkDefaultWorld(j.seed, n)
 		if err != nil {
 			return nil, err
 		}
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
 		ccfg := campaign.Config{Seed: j.seed, Solver: campaign.SolverCSA}
 		if j.intensity > 0 {
 			// The fault seed is the campaign seed: reliability varies with

@@ -6,10 +6,8 @@ import (
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
-	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
-	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
 // RunFleet is R-Tab 4 (extension): charging capacity scaling with a
@@ -39,13 +37,9 @@ func RunFleet(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.FleetOutcome, error) {
 		j := jobs[i]
-		nw, _, err := trace.DefaultScenario(j.seed, n).Build()
+		nw, chargers, err := forkFleetWorld(j.seed, n, j.chargers)
 		if err != nil {
 			return nil, err
-		}
-		chargers := make([]*mc.Charger, j.chargers)
-		for i := range chargers {
-			chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
 		}
 		return campaign.RunLegitFleet(ctx, nw, chargers, campaign.Config{Seed: j.seed})
 	})

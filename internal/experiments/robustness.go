@@ -7,7 +7,6 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/rng"
-	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
@@ -31,7 +30,7 @@ func RunRobustness(ctx context.Context, cfg Config) (*Output, error) {
 	seeds := cfg.seeds()
 
 	outs, err := mapTimed(ctx, cfg, seeds, func(ctx context.Context, s int) ([][]wrsn.RobustnessPoint, error) {
-		nw, _, err := trace.DefaultScenario(cfg.seed(s), n).Build()
+		nw, _, err := forkDefaultWorld(cfg.seed(s), n)
 		if err != nil {
 			return nil, err
 		}

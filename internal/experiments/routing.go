@@ -54,11 +54,11 @@ func RunRoutingMitigation(ctx context.Context, cfg Config) (*Output, error) {
 				Seed: j.seed, Solver: campaign.SolverCSA,
 			})
 		}
-		nw, _, err := sc.Build()
+		nw, ch, err := forge.fork(sc)
 		if err != nil {
 			return nil, err
 		}
-		return campaign.RunLegit(ctx, nw, newDefaultCharger(nw), campaign.Config{Seed: j.seed})
+		return campaign.RunLegit(ctx, nw, ch, campaign.Config{Seed: j.seed})
 	})
 	if err != nil {
 		return nil, err

@@ -210,12 +210,12 @@ func RunAblations(ctx context.Context, cfg Config) (*Output, error) {
 	}, nil
 }
 
-// runAttackOnScenario runs an attack campaign on an explicit scenario.
+// runAttackOnScenario runs an attack campaign on an explicit scenario,
+// forked from the snapshot forge.
 func runAttackOnScenario(ctx context.Context, sc trace.Scenario, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, _, err := sc.Build()
+	nw, ch, err := forge.fork(sc)
 	if err != nil {
 		return nil, err
 	}
-	ch := newDefaultCharger(nw)
 	return campaign.RunAttack(ctx, nw, ch, ccfg)
 }

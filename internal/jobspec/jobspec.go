@@ -27,8 +27,10 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wpt"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
 // Job kinds: the attack campaign, the legitimate single-charger
@@ -55,6 +57,14 @@ type Spec struct {
 	// Chargers is the fleet size; required ≥ 1 for KindFleet, must be 0
 	// for the single-charger kinds.
 	Chargers int `json:"chargers,omitempty"`
+	// Snapshot, when non-empty, is an encoded world snapshot
+	// (internal/snapshot wire form): the run forks the captured world —
+	// skipping placement and routing convergence — instead of building
+	// Scenario. The snapshot carries its own scenario provenance, so
+	// Scenario may be zero. Forking reproduces the unsnapshotted run
+	// byte-identically (the snapshot barrier precedes all campaign
+	// randomness), so carrying a snapshot changes cost, never results.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
 }
 
 // Campaign is the serializable mirror of campaign.Config: identical
@@ -120,7 +130,11 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q or %q)", s.Kind, KindAttack, KindLegit, KindFleet)
 	}
-	if s.Scenario.Deploy.N <= 0 {
+	if len(s.Snapshot) > 0 {
+		if _, err := snapshot.Decode(s.Snapshot); err != nil {
+			return fmt.Errorf("jobspec: %w", err)
+		}
+	} else if s.Scenario.Deploy.N <= 0 {
 		return fmt.Errorf("jobspec: scenario needs a positive node count, got %d", s.Scenario.Deploy.N)
 	}
 	if !solverNames[s.Campaign.Solver] {
@@ -211,16 +225,57 @@ func (r *Result) CanonicalJSON() ([]byte, error) {
 	return digest.Canonical(r.Outcome)
 }
 
-// Run executes the Spec: build the scenario, park the charger(s) at the
+// WithSnapshot returns a copy of the Spec carrying the snapshot's
+// encoded form; the run will fork the captured world instead of building
+// Scenario.
+func (s Spec) WithSnapshot(snap *snapshot.Snapshot) (Spec, error) {
+	b, err := snap.Encode()
+	if err != nil {
+		return Spec{}, fmt.Errorf("jobspec: %w", err)
+	}
+	s.Snapshot = b
+	s.Scenario = snap.Scenario()
+	return s, nil
+}
+
+// world materializes the network and first charger: forked from the
+// embedded snapshot when present, built from the scenario otherwise.
+// Either way the charger is parked at the sink with default params (a
+// snapshot captured without a charger falls back to a fresh one).
+func (s Spec) world() (*wrsn.Network, *mc.Charger, error) {
+	if len(s.Snapshot) > 0 {
+		snap, err := snapshot.Decode(s.Snapshot)
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobspec: %w", err)
+		}
+		nw, ch, _, err := snap.Fork()
+		if err != nil {
+			return nil, nil, fmt.Errorf("jobspec: %w", err)
+		}
+		if ch == nil {
+			ch = mc.New(nw.Sink(), mc.DefaultParams())
+		}
+		return nw, ch, nil
+	}
+	nw, _, err := s.Scenario.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return nw, mc.New(nw.Sink(), mc.DefaultParams()), nil
+}
+
+// Run executes the Spec: materialize the world (scenario build, or
+// snapshot fork when the spec carries one), park the charger(s) at the
 // sink, compile the fault plan, run the campaign. All randomness derives
 // from Spec seeds, so the same Spec always produces the same Result —
-// in-process or behind a daemon, at any concurrency.
+// in-process or behind a daemon, at any concurrency, with or without a
+// snapshot.
 func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	probe = obs.Or(probe)
-	nw, _, err := s.Scenario.Build()
+	nw, ch, err := s.world()
 	if err != nil {
 		return nil, err
 	}
@@ -228,11 +283,13 @@ func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	ch.Instrument(probe)
 	switch s.Kind {
 	case KindFleet:
 		fleet := make([]*mc.Charger, s.Chargers)
-		for i := range fleet {
-			fleet[i] = mc.New(nw.Sink(), mc.DefaultParams())
+		fleet[0] = ch
+		for i := 1; i < len(fleet); i++ {
+			fleet[i] = ch.Fork()
 			fleet[i].Instrument(probe)
 		}
 		fo, err := campaign.RunLegitFleet(ctx, nw, fleet, cfg)
@@ -241,16 +298,12 @@ func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
 		}
 		return &Result{Fleet: fo}, nil
 	case KindAttack:
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
-		ch.Instrument(probe)
 		o, err := campaign.RunAttack(ctx, nw, ch, cfg)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Outcome: o}, nil
 	default: // KindLegit; Validate already rejected anything else
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
-		ch.Instrument(probe)
 		o, err := campaign.RunLegit(ctx, nw, ch, cfg)
 		if err != nil {
 			return nil, err

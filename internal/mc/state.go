@@ -1,0 +1,98 @@
+package mc
+
+import (
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/wpt"
+)
+
+// ArrayState is the serializable form of the charger's emitter array:
+// model constants plus per-element position/gain/phase. The field cache is
+// derived state and is not captured.
+type ArrayState struct {
+	Model          wpt.ChargeModel `json:"model"`
+	Carrier        wpt.Carrier     `json:"carrier"`
+	Emitters       []wpt.Emitter   `json:"emitters"`
+	MaxGain        float64         `json:"max_gain"`
+	PhaseJitterRad float64         `json:"phase_jitter_rad"`
+}
+
+// State is the serializable form of a Charger: configuration, position,
+// spent budget, the full array (including any steering applied), and the
+// assumed rectifier. Telemetry probes and the steered-array memo are
+// runtime-only and are not captured.
+type State struct {
+	Params    Params        `json:"params"`
+	Pos       geom.Point    `json:"pos"`
+	Depot     geom.Point    `json:"depot"`
+	SpentJ    float64       `json:"spent_j"`
+	Array     ArrayState    `json:"array"`
+	Rectifier wpt.Rectifier `json:"rectifier"`
+}
+
+// State captures the charger's current state. The result is self-contained:
+// mutating the charger afterwards does not alter it.
+func (c *Charger) State() State {
+	return State{
+		Params: c.params,
+		Pos:    c.pos,
+		Depot:  c.depot,
+		SpentJ: c.spent,
+		Array: ArrayState{
+			Model:          c.array.Model,
+			Carrier:        c.array.Carrier,
+			Emitters:       append([]wpt.Emitter(nil), c.array.Emitters...),
+			MaxGain:        c.array.MaxGain,
+			PhaseJitterRad: c.array.PhaseJitterRad,
+		},
+		Rectifier: c.rect,
+	}
+}
+
+// FromState reconstructs a charger from captured state. The restored
+// charger carries the no-op telemetry probe; attach one with Instrument if
+// needed. Probes never alter charger behavior, so a restored run replays
+// identically regardless.
+func FromState(st State) (*Charger, error) {
+	arr := &wpt.Array{
+		Model:          st.Array.Model,
+		Carrier:        st.Array.Carrier,
+		Emitters:       append([]wpt.Emitter(nil), st.Array.Emitters...),
+		MaxGain:        st.Array.MaxGain,
+		PhaseJitterRad: st.Array.PhaseJitterRad,
+	}
+	if err := arr.Validate(); err != nil {
+		return nil, fmt.Errorf("mc: restoring charger array: %w", err)
+	}
+	if err := st.Rectifier.Validate(); err != nil {
+		return nil, fmt.Errorf("mc: restoring charger rectifier: %w", err)
+	}
+	return &Charger{
+		params: st.Params,
+		pos:    st.Pos,
+		depot:  st.Depot,
+		spent:  st.SpentJ,
+		array:  arr,
+		rect:   st.Rectifier,
+		probe:  obs.Nop(),
+	}, nil
+}
+
+// Fork returns an independent copy of the charger: the array is
+// deep-cloned so steering one copy never disturbs the other, and the fork
+// starts with the no-op probe and a cold steered-array memo. Fork performs
+// only pure reads of the receiver, so a shared template charger may be
+// forked concurrently as long as nothing mutates it.
+func (c *Charger) Fork() *Charger {
+	return &Charger{
+		params: c.params,
+		pos:    c.pos,
+		depot:  c.depot,
+		spent:  c.spent,
+		array:  c.array.Clone(),
+		rect:   c.rect,
+		probe:  obs.Nop(),
+	}
+}

@@ -36,6 +36,16 @@ func New(seed uint64) *Stream {
 	return &st
 }
 
+// State returns the stream's exact generator state. Together with
+// FromState it lets a snapshot freeze a stream mid-sequence and resume
+// it elsewhere: FromState(r.State()) continues with precisely the draws
+// r would have produced next.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// FromState reconstructs a stream at an exact captured state; the
+// inverse of State.
+func FromState(s [4]uint64) *Stream { return &Stream{s: s} }
+
 // Split derives an independent child stream keyed by label. Splitting is
 // deterministic — the same parent state and label always yield the same
 // child — and does not advance the parent.

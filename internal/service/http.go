@@ -116,7 +116,7 @@ func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
 func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		writeLookupError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -125,7 +125,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	st, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		writeLookupError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -144,8 +144,8 @@ func (s *Service) handleOutcome(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	dig, body, err := s.Outcome(id)
 	switch {
-	case errors.Is(err, ErrNotFound):
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrGone):
+		writeLookupError(w, err)
 	case err != nil:
 		writeError(w, http.StatusConflict, "not_done", err.Error())
 	default:
@@ -161,7 +161,7 @@ func (s *Service) handleOutcome(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	snap, err := s.Telemetry(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		writeLookupError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
@@ -174,7 +174,7 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, err := s.lookup(id)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "not_found", err.Error())
+		writeLookupError(w, err)
 		return
 	}
 	interval := 500 * time.Millisecond
@@ -223,6 +223,17 @@ func (s *Service) handleStream(w http.ResponseWriter, r *http.Request) {
 // apiError is the uniform error body.
 type apiError struct {
 	Error ErrorInfo `json:"error"`
+}
+
+// writeLookupError distinguishes "never existed" (404) from "existed,
+// finished, and was evicted to honor -max-results" (410): the latter
+// tells a polling client its result is unrecoverable, not mistyped.
+func writeLookupError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrGone) {
+		writeError(w, http.StatusGone, "gone", err.Error())
+		return
+	}
+	writeError(w, http.StatusNotFound, "not_found", err.Error())
 }
 
 func writeError(w http.ResponseWriter, code int, kind, msg string) {

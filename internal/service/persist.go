@@ -1,0 +1,133 @@
+// Durable job intake: with Options.PersistDir set, every accepted spec
+// is written to disk until its job reaches a terminal state, and a
+// restarted daemon re-enqueues whatever specs remain. The unit of
+// persistence is the spec — not the half-finished campaign — because
+// jobs are deterministic: re-running a spec from scratch reproduces the
+// exact result the dead daemon would have served. Specs that carry world
+// snapshots resume cheaply on top of that: the snapshot is part of the
+// spec file, so the re-run forks instead of re-paying scenario warm-up.
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
+	"github.com/reprolab/wrsn-csa/internal/obs"
+)
+
+// specPath returns the durable spec file for a job ID.
+func (s *Service) specPath(id string) string {
+	return filepath.Join(s.opts.PersistDir, id+".json")
+}
+
+// persistLocked writes j's spec durably (atomically, via rename).
+// Persistence is best-effort: a write failure is counted, not fatal —
+// the job still runs, it just loses restart protection. Callers hold
+// s.mu.
+func (s *Service) persistLocked(j *job) {
+	if s.opts.PersistDir == "" {
+		return
+	}
+	b, err := j.spec.Encode()
+	if err == nil {
+		tmp := s.specPath(j.id) + ".tmp"
+		if err = os.WriteFile(tmp, b, 0o644); err == nil {
+			err = os.Rename(tmp, s.specPath(j.id))
+		}
+	}
+	if err != nil {
+		s.probeAdd("service.persist_errors", 1)
+	}
+}
+
+// unpersistLocked removes j's durable spec once the job is terminal.
+// Callers hold s.mu.
+func (s *Service) unpersistLocked(j *job) {
+	if s.opts.PersistDir == "" {
+		return
+	}
+	if err := os.Remove(s.specPath(j.id)); err != nil && !os.IsNotExist(err) {
+		s.probeAdd("service.persist_errors", 1)
+	}
+}
+
+// loadPersisted scans PersistDir for specs a previous daemon left behind
+// and rebuilds queued job records for them, in submission (ID) order and
+// keeping their IDs; s.seq advances past the highest resumed ID so new
+// submissions never collide. Unreadable or invalid spec files are set
+// aside with a .bad suffix rather than deleted or retried forever.
+// Called from New before the worker pool starts, so no locking applies
+// yet.
+func (s *Service) loadPersisted() []*job {
+	if s.opts.PersistDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.opts.PersistDir, 0o755); err != nil {
+		s.probeAdd("service.persist_errors", 1)
+		return nil
+	}
+	entries, err := os.ReadDir(s.opts.PersistDir)
+	if err != nil {
+		s.probeAdd("service.persist_errors", 1)
+		return nil
+	}
+	type candidate struct {
+		id  string
+		seq int
+	}
+	var cands []candidate
+	for _, e := range entries {
+		name := e.Name()
+		id, ok := strings.CutSuffix(name, ".json")
+		if !ok || e.IsDir() {
+			continue
+		}
+		numS, ok := strings.CutPrefix(id, "job-")
+		if !ok {
+			continue
+		}
+		num, err := strconv.Atoi(numS)
+		if err != nil || num <= 0 {
+			continue
+		}
+		cands = append(cands, candidate{id: id, seq: num})
+	}
+	sort.Slice(cands, func(i, k int) bool { return cands[i].seq < cands[k].seq })
+	var resumed []*job
+	for _, c := range cands {
+		if c.seq > s.seq {
+			s.seq = c.seq
+		}
+		path := s.specPath(c.id)
+		b, err := os.ReadFile(path)
+		var spec jobspec.Spec
+		if err == nil {
+			spec, err = jobspec.Decode(b)
+		}
+		if err == nil {
+			err = spec.Validate()
+		}
+		if err != nil {
+			_ = os.Rename(path, path+".bad")
+			s.probeAdd("service.resume_errors", 1)
+			continue
+		}
+		resumed = append(resumed, &job{
+			id:        c.id,
+			spec:      spec,
+			rec:       obs.NewRecorder(),
+			state:     StateQueued,
+			submitted: time.Now(),
+			done:      make(chan struct{}),
+		})
+	}
+	if len(resumed) > 0 {
+		s.probeAdd("service.resumed", float64(len(resumed)))
+	}
+	return resumed
+}

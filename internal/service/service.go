@@ -30,11 +30,14 @@ import (
 )
 
 // Sentinel errors Submit can return; the HTTP layer maps them to status
-// codes (429, 503, 400).
+// codes (429, 503, 400, 410).
 var (
 	ErrQueueFull = errors.New("service: job queue full")
 	ErrDraining  = errors.New("service: draining, not accepting jobs")
 	ErrNotFound  = errors.New("service: no such job")
+	// ErrGone marks a job whose result was evicted under Options.MaxResults:
+	// the ID was real, but the daemon no longer holds its record.
+	ErrGone = errors.New("service: job result evicted")
 )
 
 // State is a job's lifecycle phase.
@@ -123,6 +126,19 @@ type Options struct {
 	Probe obs.Probe
 	// Runner overrides the job executor (tests); nil gets jobspec.Run.
 	Runner Runner
+	// MaxResults bounds how many terminal job records the daemon retains;
+	// the oldest finished results are evicted first (queued and running
+	// jobs are never evicted). Requests for an evicted ID return ErrGone
+	// (HTTP 410). Non-positive retains everything — the pre-eviction
+	// behavior, acceptable for short-lived daemons only.
+	MaxResults int
+	// PersistDir, when set, makes submissions durable: each accepted
+	// job's spec is written to this directory and removed when the job
+	// reaches a terminal state. A daemon restarted with the same
+	// PersistDir re-enqueues the jobs that were queued or in flight when
+	// it died. Specs carrying world snapshots resume without re-paying
+	// the warm-up prefix — the snapshot rides inside the spec file.
+	PersistDir string
 }
 
 func (o *Options) applyDefaults() {
@@ -170,25 +186,49 @@ type Service struct {
 	mu    sync.Mutex
 	jobs  map[string]*job
 	order []string
-	queue chan *job
-	drain bool
-	seq   int
+	// evicted remembers IDs whose terminal records were dropped under
+	// MaxResults, so requests for them answer ErrGone (410) rather than
+	// ErrNotFound. An entry costs a few bytes — the map is the reason the
+	// daemon's memory stays flat while the jobs map is bounded.
+	evicted  map[string]struct{}
+	finished int // terminal records currently retained
+	queue    chan *job
+	drain    bool
+	seq      int
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workers    sync.WaitGroup
 }
 
-// New starts a Service with its worker pool running.
+// New starts a Service with its worker pool running. With
+// Options.PersistDir set, jobs persisted by a previous daemon — queued
+// or in flight at its death — are re-enqueued (in submission order,
+// keeping their IDs) before the pool starts, so a restart resumes where
+// the old process stopped.
 func New(opts Options) *Service {
 	opts.applyDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		opts:       opts,
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, opts.QueueDepth),
+		evicted:    make(map[string]struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+	}
+	resumed := s.loadPersisted()
+	// Resumed jobs must all fit the intake queue or the restart would
+	// drop work; grow the queue when the backlog exceeds the configured
+	// depth.
+	depth := opts.QueueDepth
+	if len(resumed) > depth {
+		depth = len(resumed)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range resumed {
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.queue <- j
 	}
 	s.workers.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -237,20 +277,33 @@ func (s *Service) Submit(spec jobspec.Spec) (JobStatus, error) {
 	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.persistLocked(j)
 	s.probeAdd("service.submitted", 1)
 	s.probeGauges()
 	return s.statusLocked(j), nil
 }
 
-// Job returns the status of one job.
+// Job returns the status of one job. Evicted jobs answer ErrGone.
 func (s *Service) Job(id string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return JobStatus{}, ErrNotFound
+	j, err := s.jobLocked(id)
+	if err != nil {
+		return JobStatus{}, err
 	}
 	return s.statusLocked(j), nil
+}
+
+// jobLocked resolves an ID, distinguishing never-seen (ErrNotFound) from
+// evicted (ErrGone). Callers hold s.mu.
+func (s *Service) jobLocked(id string) (*job, error) {
+	if j, ok := s.jobs[id]; ok {
+		return j, nil
+	}
+	if _, ok := s.evicted[id]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrGone, id)
+	}
+	return nil, ErrNotFound
 }
 
 // Jobs returns every job's status in submission order.
@@ -270,9 +323,9 @@ func (s *Service) Jobs() []JobStatus {
 func (s *Service) Cancel(id string) (JobStatus, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return JobStatus{}, ErrNotFound
+	j, err := s.jobLocked(id)
+	if err != nil {
+		return JobStatus{}, err
 	}
 	switch {
 	case j.state.Terminal():
@@ -292,9 +345,9 @@ func (s *Service) Cancel(id string) (JobStatus, error) {
 func (s *Service) Outcome(id string) (dig string, body []byte, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return "", nil, ErrNotFound
+	j, err := s.jobLocked(id)
+	if err != nil {
+		return "", nil, err
 	}
 	if j.state != StateDone {
 		return "", nil, fmt.Errorf("service: job %s is %s, not done", id, j.state)
@@ -389,11 +442,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 func (s *Service) lookup(id string) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	j, ok := s.jobs[id]
-	if !ok {
-		return nil, ErrNotFound
-	}
-	return j, nil
+	return s.jobLocked(id)
 }
 
 // worker drains the queue until it closes (Shutdown) — queued jobs are
@@ -449,12 +498,16 @@ func (s *Service) runJob(j *job) {
 	s.finishLocked(j, StateDone, nil)
 }
 
-// finishLocked moves a job to a terminal state. Callers hold s.mu.
+// finishLocked moves a job to a terminal state, drops its durable spec
+// (it no longer needs restart protection), and applies result eviction.
+// Callers hold s.mu.
 func (s *Service) finishLocked(j *job, st State, e *ErrorInfo) {
 	j.state = st
 	j.err = e
 	j.finished = time.Now()
 	close(j.done)
+	s.unpersistLocked(j)
+	s.finished++
 	switch st {
 	case StateDone:
 		s.probeAdd("service.done", 1)
@@ -463,7 +516,31 @@ func (s *Service) finishLocked(j *job, st State, e *ErrorInfo) {
 	default:
 		s.probeAdd("service.failed", 1)
 	}
+	s.evictLocked()
 	s.probeGauges()
+}
+
+// evictLocked enforces Options.MaxResults: while more terminal records
+// are retained than allowed, the oldest (by submission order) is dropped
+// from the jobs map and remembered in the evicted set. Queued and
+// running jobs are never touched. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	if s.opts.MaxResults <= 0 {
+		return
+	}
+	for i := 0; s.finished > s.opts.MaxResults && i < len(s.order); {
+		id := s.order[i]
+		j := s.jobs[id]
+		if j == nil || !j.state.Terminal() {
+			i++
+			continue
+		}
+		delete(s.jobs, id)
+		s.evicted[id] = struct{}{}
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		s.finished--
+		s.probeAdd("service.evicted", 1)
+	}
 }
 
 // classify converts a job error into its structured wire form.

@@ -94,6 +94,45 @@ func (e *Engine) PeekTime() float64 {
 	return e.queue[0].t
 }
 
+// PendingEvent describes one queued event: its timestamp, scheduling
+// sequence number, and name. Handlers are closures and cannot be
+// serialized, so snapshot code uses PendingEvents to see — and refuse —
+// in-flight work rather than to capture it.
+type PendingEvent struct {
+	T    float64 `json:"t"`
+	Seq  uint64  `json:"seq"`
+	Name string  `json:"name"`
+}
+
+// PendingEvents returns descriptions of all queued events in execution
+// order (by timestamp, then scheduling sequence). The engine is not
+// modified.
+func (e *Engine) PendingEvents() []PendingEvent {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	evs := make([]PendingEvent, len(e.queue))
+	for i, ev := range e.queue {
+		evs[i] = PendingEvent{T: ev.t, Seq: ev.seq, Name: ev.name}
+	}
+	slices.SortFunc(evs, func(a, b PendingEvent) int {
+		if a.T != b.T {
+			if a.T < b.T {
+				return -1
+			}
+			return 1
+		}
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
+	})
+	return evs
+}
+
 // Step executes the next event and returns false when the queue is empty.
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {

@@ -1,0 +1,219 @@
+// Package snapshot captures the deterministic warm-up prefix of a
+// Monte-Carlo run — scenario placement, connectivity repair, and routing
+// convergence — as a versioned, serializable world state that can be
+// forked once per seed instead of rebuilt once per seed.
+//
+// A Snapshot is taken at the post-build barrier: the network exists and
+// routing has converged, but no campaign has started, so the simulation
+// clock is zero and no events are queued. The wire format reserves fields
+// for mid-run state (clock, pending events) so future versions can
+// checkpoint live campaigns; version 1 refuses to fork such snapshots
+// because event handlers are closures and cannot be serialized.
+//
+// Forking is copy-on-write: each fork deep-copies the mutable world
+// (nodes, batteries, routing arrays, charger) and shares the immutable
+// parts (the position grid). Fork is safe to call from many goroutines.
+// Campaign randomness derives from the campaign seed, not from snapshot
+// state, so N forks of one snapshot reproduce N fresh builds exactly —
+// the golden-digest harness pins this byte-for-byte.
+package snapshot
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/reprolab/wrsn-csa/internal/digest"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/sim"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// Version is the wire-format version this package writes. Decode accepts
+// exactly this version: the format pins simulation semantics, so a
+// snapshot from a different version must be rebuilt from its scenario
+// rather than reinterpreted.
+const Version = 1
+
+// ErrLiveState is returned by Fork for snapshots carrying mid-run
+// simulation state (non-zero clock or pending events), which version 1
+// captures for inspection but cannot resume.
+var ErrLiveState = errors.New("snapshot: version 1 forks only barrier snapshots (zero clock, empty event queue)")
+
+// wire is the serialized form. Field order fixes the canonical encoding;
+// encoding/json emits struct fields in declaration order.
+type wire struct {
+	Version  int                `json:"version"`
+	Scenario trace.Scenario     `json:"scenario"`
+	ClockSec float64            `json:"clock_sec"`
+	Pending  []sim.PendingEvent `json:"pending_events,omitempty"`
+	Network  wrsn.State         `json:"network"`
+	Charger  *mc.State          `json:"charger,omitempty"`
+	RNG      *[4]uint64         `json:"rng,omitempty"`
+}
+
+// Snapshot is a captured world state: scenario provenance, the network
+// and charger at the barrier, and the post-placement rng position. It is
+// immutable after capture; Fork hands out independent copies.
+type Snapshot struct {
+	w wire
+
+	// The fork template materializes lazily (decoded snapshots rebuild the
+	// network once via FromState, captured ones clone the live world at
+	// capture time) and is only ever read afterwards; mu guards both the
+	// lazy build and the concurrent pure-read forks.
+	mu     sync.Mutex
+	tmplNW *wrsn.Network
+	tmplCH *mc.Charger
+}
+
+// CaptureOption configures Capture. Options follow the repo-wide
+// convention: With* constructors returning closures over an unexported
+// config.
+type CaptureOption func(*captureCfg)
+
+type captureCfg struct {
+	eng *sim.Engine
+}
+
+// WithEngine records the engine's clock and queued events into the
+// snapshot. Version 1 cannot resume such state — Fork returns ErrLiveState
+// when either is non-zero — but the capture is still useful for
+// checkpoint inspection and forward-compatible persistence.
+func WithEngine(e *sim.Engine) CaptureOption {
+	return func(c *captureCfg) { c.eng = e }
+}
+
+// Capture snapshots a built world at the barrier. The scenario records
+// provenance (and nothing more — restore never re-runs placement); nw is
+// required; ch and rest may be nil when the caller has no charger or
+// discarded the post-placement stream. Capture performs only pure reads
+// of its arguments, and the snapshot does not alias them: mutating the
+// world afterwards does not affect the snapshot or its forks.
+func Capture(sc trace.Scenario, nw *wrsn.Network, ch *mc.Charger, rest *rng.Stream, opts ...CaptureOption) (*Snapshot, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("snapshot: nil network")
+	}
+	var cfg captureCfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Snapshot{w: wire{
+		Version:  Version,
+		Scenario: sc,
+		Network:  nw.State(),
+	}}
+	if cfg.eng != nil {
+		s.w.ClockSec = cfg.eng.Now()
+		s.w.Pending = cfg.eng.PendingEvents()
+	}
+	if ch != nil {
+		st := ch.State()
+		s.w.Charger = &st
+	}
+	if rest != nil {
+		st := rest.State()
+		s.w.RNG = &st
+	}
+	// Seed the fork template from the live world now — cheaper than the
+	// FromState+Recompute rebuild a decoded snapshot pays on first Fork.
+	s.tmplNW = nw.Fork()
+	if ch != nil {
+		s.tmplCH = ch.Fork()
+	}
+	return s, nil
+}
+
+// Build runs the scenario's warm-up prefix once — placement, connectivity
+// repair, routing convergence — parks a fresh charger at the sink (the
+// standard evaluation position), and captures the barrier snapshot. It is
+// the one-call form sweep drivers use before forking per seed.
+func Build(sc trace.Scenario, params mc.Params) (*Snapshot, error) {
+	nw, rest, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	return Capture(sc, nw, mc.New(nw.Sink(), params), rest)
+}
+
+// Fork returns an independent world: a deep copy of the snapshot's
+// network and charger (nil if none was captured) plus a post-placement
+// rng stream resumed at the captured position (nil if none was captured).
+// Forks share no mutable state with each other or with the snapshot, so
+// each can be simulated on its own goroutine.
+func (s *Snapshot) Fork() (*wrsn.Network, *mc.Charger, *rng.Stream, error) {
+	if s.w.ClockSec != 0 || len(s.w.Pending) > 0 {
+		return nil, nil, nil, ErrLiveState
+	}
+	s.mu.Lock()
+	if s.tmplNW == nil {
+		nw, err := wrsn.FromState(s.w.Network)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, nil, nil, fmt.Errorf("snapshot: restoring network: %w", err)
+		}
+		s.tmplNW = nw
+		if s.w.Charger != nil {
+			ch, err := mc.FromState(*s.w.Charger)
+			if err != nil {
+				s.mu.Unlock()
+				return nil, nil, nil, fmt.Errorf("snapshot: restoring charger: %w", err)
+			}
+			s.tmplCH = ch
+		}
+	}
+	nw := s.tmplNW.Fork()
+	var ch *mc.Charger
+	if s.tmplCH != nil {
+		ch = s.tmplCH.Fork()
+	}
+	s.mu.Unlock()
+	var rest *rng.Stream
+	if s.w.RNG != nil {
+		rest = rng.FromState(*s.w.RNG)
+	}
+	return nw, ch, rest, nil
+}
+
+// Scenario returns the captured scenario, the snapshot's provenance.
+func (s *Snapshot) Scenario() trace.Scenario { return s.w.Scenario }
+
+// NodeCount returns the number of nodes in the captured network.
+func (s *Snapshot) NodeCount() int { return len(s.w.Network.Nodes) }
+
+// HasCharger reports whether a charger was captured.
+func (s *Snapshot) HasCharger() bool { return s.w.Charger != nil }
+
+// Encode returns the canonical wire encoding: versioned JSON with fixed
+// field order. Encoding the same snapshot always yields identical bytes,
+// and float64 values survive the round-trip exactly (encoding/json emits
+// the shortest representation that parses back to the same value).
+func (s *Snapshot) Encode() ([]byte, error) {
+	return json.Marshal(&s.w)
+}
+
+// Decode reconstructs a snapshot from Encode's output. It rejects
+// unknown wire versions. The fork template is rebuilt lazily on first
+// Fork.
+func Decode(data []byte) (*Snapshot, error) {
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("snapshot: decode: %w", err)
+	}
+	if w.Version != Version {
+		return nil, fmt.Errorf("snapshot: unsupported wire version %d (want %d)", w.Version, Version)
+	}
+	if len(w.Network.Nodes) == 0 {
+		return nil, fmt.Errorf("snapshot: decode: no nodes")
+	}
+	return &Snapshot{w: w}, nil
+}
+
+// Digest returns the hex SHA-256 over the snapshot's canonical form. Two
+// snapshots with the same digest fork into identical worlds.
+func (s *Snapshot) Digest() (string, error) {
+	return digest.Sum(&s.w)
+}

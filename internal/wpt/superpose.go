@@ -70,6 +70,18 @@ func NewArray(positions ...geom.Point) *Array {
 	}
 }
 
+// Clone returns an independent deep copy of the array: the emitter slice
+// is copied so steering or moving the clone never disturbs the original.
+// The field cache does not carry over; the clone rebuilds it lazily on
+// first probe. Clone reads the source without mutating it, so a shared
+// template array may be cloned concurrently.
+func (a *Array) Clone() *Array {
+	b := *a
+	b.Emitters = append([]Emitter(nil), a.Emitters...)
+	b.cache = nil
+	return &b
+}
+
 // Validate reports whether the array configuration is usable.
 func (a *Array) Validate() error {
 	if err := a.Model.Validate(); err != nil {

@@ -1,0 +1,145 @@
+package wrsn
+
+import (
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/energy"
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+// NodeState is the serializable state of one sensor node: everything needed
+// to reconstruct the node exactly, including the true (un-metered) battery
+// level and the hardware-fault flag.
+type NodeState struct {
+	Pos       geom.Point `json:"pos"`
+	GenBps    float64    `json:"gen_bps"`
+	CapacityJ float64    `json:"capacity_j"`
+	LevelJ    float64    `json:"level_j"`
+	QuantumJ  float64    `json:"quantum_j"`
+	Failed    bool       `json:"failed,omitempty"`
+}
+
+// State is the serializable form of a Network. It carries only primary
+// state — node specs, sink, radio, policy — not the derived routing tree:
+// Recompute is deterministic, so FromState rebuilds routing, loads, and
+// drains bit-identically from the primary state alone.
+type State struct {
+	Sink      geom.Point        `json:"sink"`
+	CommRange float64           `json:"comm_range"`
+	Radio     energy.RadioModel `json:"radio"`
+	Policy    RoutingPolicy     `json:"policy"`
+	Nodes     []NodeState       `json:"nodes"`
+}
+
+// State captures the network's current primary state. The result is
+// self-contained: mutating the network afterwards does not alter it.
+func (nw *Network) State() State {
+	st := State{
+		Sink:      nw.sink,
+		CommRange: nw.commRange,
+		Radio:     nw.radio,
+		Policy:    nw.policy,
+		Nodes:     make([]NodeState, len(nw.nodes)),
+	}
+	for i, n := range nw.nodes {
+		st.Nodes[i] = NodeState{
+			Pos:       n.Pos,
+			GenBps:    n.GenBps,
+			CapacityJ: n.Battery.Capacity(),
+			LevelJ:    n.Battery.Level(),
+			QuantumJ:  n.Battery.Quantum(),
+			Failed:    n.failed,
+		}
+	}
+	return st
+}
+
+// FromState reconstructs a network from captured state and recomputes
+// routing. Because Recompute is a pure function of the primary state, the
+// result is indistinguishable from the network State was called on:
+// identical routing tree, loads, and drain rates.
+func FromState(st State) (*Network, error) {
+	if len(st.Nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	if st.CommRange <= 0 {
+		return nil, fmt.Errorf("wrsn: state has non-positive comm range %v", st.CommRange)
+	}
+	if err := st.Radio.Validate(); err != nil {
+		return nil, err
+	}
+	nw := &Network{
+		nodes:     make([]*Node, len(st.Nodes)),
+		sink:      st.Sink,
+		commRange: st.CommRange,
+		radio:     st.Radio,
+		policy:    st.Policy,
+	}
+	pts := make([]geom.Point, len(st.Nodes))
+	for i, ns := range st.Nodes {
+		bat, err := energy.NewBattery(ns.CapacityJ, ns.LevelJ, ns.QuantumJ)
+		if err != nil {
+			return nil, fmt.Errorf("wrsn: node %d: %w", i, err)
+		}
+		nw.nodes[i] = &Node{
+			ID:      NodeID(i),
+			Pos:     ns.Pos,
+			Battery: bat,
+			GenBps:  ns.GenBps,
+			failed:  ns.Failed,
+		}
+		pts[i] = ns.Pos
+	}
+	nw.grid = geom.NewGrid(pts, st.CommRange)
+	nw.Recompute()
+	return nw, nil
+}
+
+// Fork returns an independent copy-on-write copy of the network: nodes and
+// batteries are deep-copied so the fork's energy dynamics never touch the
+// original, while the position grid — immutable after construction — is
+// shared. The derived routing state (parents, loads, children, drains) is
+// copied rather than recomputed, so forking skips the Dijkstra pass the
+// original already paid for.
+//
+// Fork performs only pure reads of the receiver, so many goroutines may
+// fork the same template network concurrently as long as none of them
+// mutates it.
+func (nw *Network) Fork() *Network {
+	n := len(nw.nodes)
+	f := &Network{
+		nodes:     make([]*Node, n),
+		sink:      nw.sink,
+		commRange: nw.commRange,
+		radio:     nw.radio,
+		policy:    nw.policy,
+		grid:      nw.grid,
+	}
+	for i, src := range nw.nodes {
+		f.nodes[i] = &Node{
+			ID:      src.ID,
+			Pos:     src.Pos,
+			Battery: src.Battery.Clone(),
+			GenBps:  src.GenBps,
+			failed:  src.failed,
+		}
+	}
+	if len(nw.parent) == n {
+		// Recompute allocates the whole derived+Dijkstra block together
+		// when len(parent) != n, so a fork that copies parent must also
+		// provide dist/pred at their invariant sizes.
+		f.parent = append([]NodeID(nil), nw.parent...)
+		f.hopDist = append([]float64(nil), nw.hopDist...)
+		f.loads = append([]energy.Load(nil), nw.loads...)
+		f.drainW = append([]float64(nil), nw.drainW...)
+		f.children = make([][]NodeID, n)
+		for i, c := range nw.children {
+			if len(c) > 0 {
+				f.children[i] = append([]NodeID(nil), c...)
+			}
+		}
+		f.dist = make([]float64, n+1)
+		f.pred = make([]int, n+1)
+	}
+	return f
+}

@@ -26,7 +26,7 @@ func TestProbeOutcomeDeterminism(t *testing.T) {
 		if probe != nil {
 			ch = wrsncsa.NewCharger(nw, wrsncsa.WithProbe(probe))
 		}
-		out, err := wrsncsa.AttackContext(context.Background(), nw, ch,
+		out, err := wrsncsa.Attack(context.Background(), nw, ch,
 			wrsncsa.CampaignConfig{Seed: 42, Probe: probe})
 		if err != nil {
 			t.Fatal(err)
@@ -103,7 +103,7 @@ func TestChargerOptions(t *testing.T) {
 	if got := ch.Params().BudgetJ; got != params.BudgetJ {
 		t.Errorf("charger budget %.0f J, want %.0f J", got, params.BudgetJ)
 	}
-	if _, err := wrsncsa.Legit(nw, ch, wrsncsa.CampaignConfig{Seed: 7}); err != nil {
+	if _, err := wrsncsa.Legit(context.Background(), nw, ch, wrsncsa.CampaignConfig{Seed: 7}); err != nil {
 		t.Fatal(err)
 	}
 	if rec.Counter("charger.travel_m") == 0 {
@@ -147,7 +147,7 @@ func TestContextCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := wrsncsa.LegitContext(ctx, nw, wrsncsa.NewCharger(nw),
+	if _, err := wrsncsa.Legit(ctx, nw, wrsncsa.NewCharger(nw),
 		wrsncsa.CampaignConfig{Seed: 42}); err == nil {
 		t.Error("canceled context accepted")
 	}

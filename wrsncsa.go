@@ -9,8 +9,40 @@
 //
 //	nw, _, err := wrsncsa.BuildScenario(42, 200)
 //	ch := wrsncsa.NewCharger(nw)
-//	outcome, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+//	outcome, err := wrsncsa.Attack(ctx, nw, ch, wrsncsa.CampaignConfig{Seed: 42})
 //	fmt.Println(outcome.KeyExhaustRatio(), outcome.Detected)
+//
+// # API conventions
+//
+// Run entry points (Attack, Legit, LegitFleet, RunJob) are
+// context-first: ctx is the first parameter, the campaign checkpoints
+// it at every world-step and service boundary, and ctx.Err() is
+// returned promptly after cancellation. Pass context.Background() when
+// cancellation is not needed.
+//
+// Every constructor and entry point that takes variation does so
+// through a trailing variadic option family named after the call it
+// configures — ScenarioOption for BuildScenario, ChargerOption for
+// NewCharger, PlanOption for PlanTIDE, RunOption for the run entry
+// points. All options are WithX functions; the zero-option call always
+// reproduces the evaluation default.
+//
+// # Snapshots
+//
+// A Snapshot freezes a built world (deployment, routing, charger) so
+// seed sweeps pay scenario construction once and fork per run:
+//
+//	snap, err := wrsncsa.BuildSnapshot(42, 200)
+//	for seed := uint64(0); seed < 100; seed++ {
+//		out, err := wrsncsa.Attack(ctx, nil, nil,
+//			wrsncsa.CampaignConfig{Seed: seed}, wrsncsa.WithSnapshot(snap))
+//		...
+//	}
+//
+// Forked runs are byte-identical to rebuilding the scenario from
+// scratch, and snapshots serialize (Encode/DecodeSnapshot), so a warm
+// world can cross process boundaries — JobSpec.WithSnapshot embeds one
+// in a daemon job.
 //
 // The re-exported subpackage types keep the full surface available:
 // construct custom deployments with trace, inspect topology with wrsn,
@@ -29,6 +61,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/rng"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 	"github.com/reprolab/wrsn-csa/internal/testbed"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 	"github.com/reprolab/wrsn-csa/internal/wpt"
@@ -197,31 +230,95 @@ func NewCharger(nw *Network, opts ...ChargerOption) *Charger {
 	return ch
 }
 
-// Attack runs the full charging spoofing attack campaign on the network:
-// TIDE planning, adaptive spoof execution, opportunistic cover service,
-// live audits. See campaign.RunAttack. It is AttackContext with a
-// background context; prefer AttackContext when the caller may need to
-// cancel.
-func Attack(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunAttack(context.Background(), nw, ch, cfg)
+// RunOption adjusts one campaign run (Attack, Legit, LegitFleet).
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	snap  *Snapshot
+	fleet int
 }
 
-// AttackContext is Attack with cancellation: the campaign checkpoints ctx
-// at every world-step and service boundary and returns ctx.Err() promptly
-// once the context is canceled. See campaign.RunAttack.
-func AttackContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+// WithSnapshot runs the campaign on a fresh fork of snap instead of the
+// network and charger arguments, which may then be nil. Forking is
+// cheap (no placement, no routing convergence) and byte-identical to
+// rebuilding the snapshot's scenario, so a single warm snapshot can
+// back an entire seed sweep — including concurrent runs; forking is
+// safe from multiple goroutines.
+func WithSnapshot(snap *Snapshot) RunOption {
+	return func(o *runOptions) { o.snap = snap }
+}
+
+// WithFleetSize sets how many chargers LegitFleet forks when running
+// from a snapshot (default 1). Attack and Legit ignore it.
+func WithFleetSize(k int) RunOption {
+	return func(o *runOptions) { o.fleet = k }
+}
+
+// forkRun resolves the (nw, ch) pair a run executes on: the caller's
+// arguments, or forks of the run's snapshot when WithSnapshot is set.
+func (o *runOptions) forkRun(nw *Network, ch *Charger) (*Network, *Charger, error) {
+	if o.snap == nil {
+		return nw, ch, nil
+	}
+	fnw, fch, _, err := o.snap.Fork()
+	if err != nil {
+		return nil, nil, err
+	}
+	if fch == nil {
+		fch = mc.New(fnw.Sink(), mc.DefaultParams())
+	}
+	return fnw, fch, nil
+}
+
+func applyRunOptions(opts []RunOption) runOptions {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// Attack runs the full charging spoofing attack campaign on the
+// network: TIDE planning, adaptive spoof execution, opportunistic cover
+// service, live audits. See campaign.RunAttack. The campaign
+// checkpoints ctx at every world-step and service boundary and returns
+// ctx.Err() promptly once the context is canceled.
+//
+//	out, err := wrsncsa.Attack(ctx, nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+//
+// With WithSnapshot, nw and ch may be nil; the run forks the snapshot.
+func Attack(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig, opts ...RunOption) (*Outcome, error) {
+	o := applyRunOptions(opts)
+	nw, ch, err := o.forkRun(nw, ch)
+	if err != nil {
+		return nil, err
+	}
 	return campaign.RunAttack(ctx, nw, ch, cfg)
 }
 
-// Legit runs the uncompromised on-demand charging baseline. See
-// campaign.RunLegit. It is LegitContext with a background context.
-func Legit(nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
-	return campaign.RunLegit(context.Background(), nw, ch, cfg)
+// AttackContext is Attack under its pre-context-first name.
+//
+// Deprecated: call Attack, which now takes ctx first.
+func AttackContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return Attack(ctx, nw, ch, cfg)
 }
 
-// LegitContext is Legit with cancellation; see campaign.RunLegit.
-func LegitContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+// Legit runs the uncompromised on-demand charging baseline. See
+// campaign.RunLegit. Context and options behave as in Attack.
+func Legit(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig, opts ...RunOption) (*Outcome, error) {
+	o := applyRunOptions(opts)
+	nw, ch, err := o.forkRun(nw, ch)
+	if err != nil {
+		return nil, err
+	}
 	return campaign.RunLegit(ctx, nw, ch, cfg)
+}
+
+// LegitContext is Legit under its pre-context-first name.
+//
+// Deprecated: call Legit, which now takes ctx first.
+func LegitContext(ctx context.Context, nw *Network, ch *Charger, cfg CampaignConfig) (*Outcome, error) {
+	return Legit(ctx, nw, ch, cfg)
 }
 
 // PlanOption customizes PlanTIDE.
@@ -343,17 +440,74 @@ func DefaultFaultSpec(seed uint64, horizonSec float64) FaultSpec {
 func NewFaultPlan(spec FaultSpec, n int) *FaultPlan { return faults.New(spec, n) }
 
 // LegitFleet runs K honest chargers over the shared request queue. See
-// campaign.RunLegitFleet. It is LegitFleetContext with a background
-// context.
-func LegitFleet(nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
-	return campaign.RunLegitFleet(context.Background(), nw, chargers, cfg)
-}
-
-// LegitFleetContext is LegitFleet with cancellation; see
-// campaign.RunLegitFleet.
-func LegitFleetContext(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
+// campaign.RunLegitFleet. Context and options behave as in Attack; from
+// a snapshot, WithFleetSize sets how many chargers are forked:
+//
+//	o, err := wrsncsa.LegitFleet(ctx, nil, nil, cfg,
+//		wrsncsa.WithSnapshot(snap), wrsncsa.WithFleetSize(3))
+func LegitFleet(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig, opts ...RunOption) (*FleetOutcome, error) {
+	o := applyRunOptions(opts)
+	if o.snap != nil {
+		fnw, ch, err := o.forkRun(nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		nw = fnw
+		k := o.fleet
+		if k < 1 {
+			k = 1
+		}
+		chargers = make([]*Charger, k)
+		chargers[0] = ch
+		for i := 1; i < k; i++ {
+			chargers[i] = ch.Fork()
+		}
+	}
 	return campaign.RunLegitFleet(ctx, nw, chargers, cfg)
 }
+
+// LegitFleetContext is LegitFleet under its pre-context-first name.
+//
+// Deprecated: call LegitFleet, which now takes ctx first.
+func LegitFleetContext(ctx context.Context, nw *Network, chargers []*Charger, cfg CampaignConfig) (*FleetOutcome, error) {
+	return LegitFleet(ctx, nw, chargers, cfg)
+}
+
+// Snapshot re-exports (see the internal snapshot package): a versioned,
+// deterministic serialization of a built world — deployment, batteries,
+// converged routing, charger, remaining randomness — captured at the
+// campaign barrier (before any event runs). Fork() peels off
+// independent copies; Encode/Digest give canonical bytes.
+type Snapshot = snapshot.Snapshot
+
+// SnapshotVersion is the wire-format version DecodeSnapshot accepts.
+const SnapshotVersion = snapshot.Version
+
+// BuildSnapshot builds the standard evaluation scenario (as
+// BuildScenario, same options) plus a default charger and freezes the
+// result. One BuildSnapshot then N cheap Fork()s — via
+// WithSnapshot(snap) on the run entry points — replaces N full
+// scenario builds in a seed sweep.
+func BuildSnapshot(seed uint64, n int, opts ...ScenarioOption) (*Snapshot, error) {
+	sc := trace.DefaultScenario(seed, n)
+	for _, opt := range opts {
+		opt(&sc)
+	}
+	return snapshot.Build(sc, mc.DefaultParams())
+}
+
+// CaptureSnapshot freezes an already-built world: the scenario recipe,
+// its network, an optional charger, and the scenario's remaining
+// randomness stream (both returned by BuildScenario; ch and rest may be
+// nil). The capture only reads its arguments.
+func CaptureSnapshot(sc Scenario, nw *Network, ch *Charger, rest *rng.Stream) (*Snapshot, error) {
+	return snapshot.Capture(sc, nw, ch, rest)
+}
+
+// DecodeSnapshot parses snapshot bytes produced by Snapshot.Encode,
+// rejecting unknown wire versions. Decode → Fork → run is
+// byte-identical to running from the originally captured snapshot.
+func DecodeSnapshot(data []byte) (*Snapshot, error) { return snapshot.Decode(data) }
 
 // Job-spec re-exports (see the internal jobspec package): the
 // serializable description of one campaign job, shared by the wrsncsad
@@ -384,10 +538,11 @@ const (
 // scenario seed and node count; set Kind/Solver/etc. from there.
 func DefaultJobSpec(seed uint64, n int) JobSpec { return jobspec.Default(seed, n) }
 
-// RunJob executes a JobSpec in-process: build the scenario, run the
-// campaign, return the result. This is exactly the computation a
-// wrsncsad daemon performs for the same spec — byte-identical digests.
-// probe may be nil.
+// RunJob executes a JobSpec in-process: build the scenario — or fork
+// the spec's embedded snapshot, if JobSpec.WithSnapshot attached one —
+// run the campaign, return the result. This is exactly the computation
+// a wrsncsad daemon performs for the same spec — byte-identical
+// digests. probe may be nil.
 func RunJob(ctx context.Context, spec JobSpec, probe Probe) (*JobResult, error) {
 	return jobspec.Run(ctx, spec, probe)
 }

@@ -1,6 +1,7 @@
 package wrsncsa_test
 
 import (
+	"context"
 	"testing"
 
 	wrsncsa "github.com/reprolab/wrsn-csa"
@@ -29,7 +30,7 @@ func TestPublicAPIFlow(t *testing.T) {
 		t.Error("plan spoofs nothing")
 	}
 
-	out, err := wrsncsa.Attack(nw, ch, wrsncsa.CampaignConfig{Seed: 42})
+	out, err := wrsncsa.Attack(context.Background(), nw, ch, wrsncsa.CampaignConfig{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestPublicAPIFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	legit, err := wrsncsa.Legit(nw2, wrsncsa.NewCharger(nw2), wrsncsa.CampaignConfig{Seed: 42})
+	legit, err := wrsncsa.Legit(context.Background(), nw2, wrsncsa.NewCharger(nw2), wrsncsa.CampaignConfig{Seed: 42})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestFleetAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	fleet := []*wrsncsa.Charger{wrsncsa.NewCharger(nw), wrsncsa.NewCharger(nw)}
-	o, err := wrsncsa.LegitFleet(nw, fleet, wrsncsa.CampaignConfig{Seed: 3})
+	o, err := wrsncsa.LegitFleet(context.Background(), nw, fleet, wrsncsa.CampaignConfig{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
