@@ -1,13 +1,15 @@
 GO ?= go
 
 # Benchmarks that gate in CI: the parallel engine's sweep throughput,
-# the end-to-end campaign hot path, and the snapshot/fork seed sweep
-# against its rebuild baseline (BenchmarkSeedSweep matches both).
-GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep
-BENCH_PKGS = . ./internal/campaign
+# the end-to-end campaign hot path (including the death-heavy 10k scale
+# configs), the incremental routing recompute against its full-rebuild
+# twin, and the snapshot/fork seed sweep against its rebuild baseline
+# (BenchmarkSeedSweep matches both).
+GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep|BenchmarkRecomputeIncremental
+BENCH_PKGS = . ./internal/campaign ./internal/wrsn
 BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot results clean
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot verify-scale results clean
 
 all: verify
 
@@ -100,6 +102,17 @@ verify-snapshot:
 	$(GO) test ./internal/campaign -run 'GoldenForked|GoldenDecodedFork|ForkSpecsCover' -count=1
 	$(GO) test -race -count=1 ./internal/snapshot/...
 	$(GO) test -count=1 ./internal/jobspec -run 'Snapshot'
+
+# verify-scale focuses the large-network contracts: the incremental
+# shortest-path-tree oracle (exact equality with a brute-force canonical
+# Dijkstra through randomized fail/repair/depletion sequences and an
+# exact-tie lattice), the region partitioner, the sharded-stepping digest
+# invariance under the race detector, and a 10k-node campaign smoke on
+# the sharded path.
+verify-scale:
+	$(GO) test ./internal/wrsn -run 'Incremental|RegionShards' -count=1
+	$(GO) test -race ./internal/campaign -run 'ShardedSteppingDigest' -count=1
+	$(GO) test ./internal/campaign -run 'ShardedScaleSmoke' -count=1 -timeout 10m
 
 results:
 	mkdir -p results

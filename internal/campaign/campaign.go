@@ -129,6 +129,12 @@ type Config struct {
 	// consumed loss stream and are single-use: build a fresh plan (same
 	// faults.Spec) per run.
 	Faults *faults.Plan
+	// Shards sets the world's per-tick scan parallelism: 0 sizes
+	// automatically from GOMAXPROCS and network size, 1 forces sequential
+	// stepping, k > 1 splits the node set into k grid-region shards. The
+	// Outcome is byte-identical at any value — sharding is purely a
+	// wall-clock knob for large networks.
+	Shards int
 }
 
 // Sample is one point of the lifetime time series.
@@ -269,6 +275,7 @@ func layers(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (
 		PendingGraceSec:  cfg.PendingGraceSec,
 		Detectors:        cfg.Detectors,
 		Faults:           cfg.Faults,
+		Shards:           cfg.Shards,
 	}, cfg.Probe)
 	// The campaign stream must be split before any draw so solver and
 	// session randomness stay on the pre-refactor sequence.

@@ -78,6 +78,7 @@ func RunLegitFleet(ctx context.Context, nw *wrsn.Network, chargers []*mc.Charger
 		PendingGraceSec:  cfg.PendingGraceSec,
 		Detectors:        cfg.Detectors,
 		Faults:           cfg.Faults,
+		Shards:           cfg.Shards,
 	}, cfg.Probe)
 	r := rng.New(cfg.Seed).Split("campaign")
 	sp := session.Params{

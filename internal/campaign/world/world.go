@@ -56,6 +56,11 @@ type Params struct {
 	// Faults is the fault plan to compile onto the engine; nil or empty
 	// leaves the run byte-identical to a fault-free one.
 	Faults *faults.Plan
+	// Shards sets the per-tick scan parallelism: 0 sizes automatically
+	// from GOMAXPROCS and network size, 1 forces sequential stepping, and
+	// k > 1 splits the node set into k grid-region shards. The outcome is
+	// byte-identical at any value — sharding only changes wall-clock.
+	Shards int
 }
 
 // W is the mutable world of one campaign run.
@@ -69,6 +74,8 @@ type W struct {
 
 	now float64
 	qu  charging.Queue
+	// sh is the parallel tick stepper; nil steps sequentially.
+	sh *shardRunner
 	// cool and keySet are dense per-node tables (node IDs are the
 	// contiguous 0..n-1 range); zero values mean "no cooldown" / "not a
 	// key node", exactly matching the missing-key semantics of the maps
@@ -117,6 +124,7 @@ func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe o
 		cool:   make([]float64, n),
 		keySet: make([]bool, n),
 	}
+	w.sh = newShardRunner(nw, p.Shards)
 	w.stepFn = func(e *sim.Engine) {
 		// CatchUp, not a bare step: a same-pump fault handler may already
 		// have advanced the world past this event's boundary (its Sync
@@ -190,10 +198,10 @@ func (w *W) Auditing() bool { return w.auditing }
 // samples, and audits are taken at the boundary.
 func (w *W) step(target float64) {
 	step := min(target, w.now+w.p.PollSec)
-	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < step {
+	if dt, _ := w.nextDepletion(); dt > w.now && dt < step {
 		step = dt
 	}
-	died := w.nw.AdvanceEnergy(step - w.now)
+	died := w.advanceEnergy(step - w.now)
 	w.now = step
 	if len(died) > 0 {
 		for _, id := range died {
@@ -210,6 +218,24 @@ func (w *W) step(target float64) {
 	if w.nw.Policy() == wrsn.PolicyEnergyAware {
 		w.nw.Recompute()
 	}
+}
+
+// nextDepletion forecasts the soonest death from the current clock,
+// sharded when a runner is armed.
+func (w *W) nextDepletion() (float64, wrsn.NodeID) {
+	if w.sh == nil {
+		return w.nw.NextDepletion(w.now)
+	}
+	return w.sh.nextDepletion(w.now)
+}
+
+// advanceEnergy drains the network for dt and returns deaths in ascending
+// ID order, sharded when a runner is armed.
+func (w *W) advanceEnergy(dt float64) []wrsn.NodeID {
+	if w.sh == nil {
+		return w.nw.AdvanceEnergy(dt)
+	}
+	return w.sh.advanceEnergy(dt)
 }
 
 // AdvanceTo moves the world clock to t through the event engine: each
@@ -232,7 +258,7 @@ func (w *W) scheduleStep(target float64) {
 		return
 	}
 	next := min(target, w.now+w.p.PollSec)
-	if dt, _ := w.nw.NextDepletion(w.now); dt > w.now && dt < next {
+	if dt, _ := w.nextDepletion(); dt > w.now && dt < next {
 		next = dt
 	}
 	// AdvanceTo cannot be called from inside a handler, so at most one
@@ -292,49 +318,77 @@ func (w *W) ScanRequests() {
 	if w.sinkDown {
 		return
 	}
+	if w.sh != nil {
+		// Eligibility is a pure read per node, so shards evaluate it in
+		// parallel; the mutating tail (the loss draw onward) applies
+		// sequentially in ascending ID order — issuing one node's request
+		// never changes another's eligibility, so the split reproduces the
+		// sequential scan exactly, RNG draw order included.
+		for _, id := range w.sh.gatherWanting(w.wantsCharge) {
+			w.issueRequest(id)
+		}
+		return
+	}
 	for _, n := range w.nw.Nodes() {
-		if !n.Alive() || !w.nw.Connected(n.ID) || w.qu.Has(n.ID) {
-			continue
+		if w.wantsCharge(n.ID) {
+			w.issueRequest(n.ID)
 		}
-		if w.now < w.cool[n.ID] {
-			continue
+	}
+}
+
+// wantsCharge is the request-eligibility predicate: alive, connected,
+// nothing pending, outside cooldown and retransmission backoff, and below
+// the request threshold. It only reads world state, so the sharded scan
+// may evaluate it concurrently across disjoint nodes.
+func (w *W) wantsCharge(id wrsn.NodeID) bool {
+	n := w.nw.Nodes()[id]
+	if !n.Alive() || !w.nw.Connected(id) || w.qu.Has(id) {
+		return false
+	}
+	if w.now < w.cool[id] {
+		return false
+	}
+	if w.retxNext != nil && w.now < w.retxNext[id] {
+		return false
+	}
+	return n.Battery.Level() <= w.p.RequestFrac*n.Battery.Capacity()
+}
+
+// issueRequest runs the mutating tail of the scan for one eligible node:
+// the fault plan's loss draw, then the queue insert and ledger write.
+// Callers must invoke it in ascending node-ID order so the loss stream is
+// consumed exactly as the sequential scan would.
+func (w *W) issueRequest(id wrsn.NodeID) {
+	if w.plan.LoseRequest() {
+		w.noteRequestLost(id)
+		return
+	}
+	n := w.nw.Nodes()[id]
+	cap := n.Battery.Capacity()
+	drain := w.nw.DrainWatts(id)
+	deadline := math.Inf(1)
+	if drain > 0 {
+		deadline = w.now + n.Battery.Level()/drain
+	}
+	need := cap - n.Battery.Level()
+	err := w.qu.Add(charging.Request{
+		Node:     id,
+		Pos:      n.Pos,
+		IssuedAt: w.now,
+		Deadline: deadline,
+		NeedJ:    need,
+	})
+	if err == nil {
+		w.led.Issued++
+		if w.retxAttempt != nil && w.retxAttempt[id] > 0 {
+			// The request finally got through after one or more losses.
+			w.led.Faults.RequestsRecovered++
+			w.retxAttempt[id] = 0
+			w.retxNext[id] = 0
 		}
-		if w.retxNext != nil && w.now < w.retxNext[n.ID] {
-			continue
-		}
-		cap := n.Battery.Capacity()
-		if n.Battery.Level() > w.p.RequestFrac*cap {
-			continue
-		}
-		if w.plan.LoseRequest() {
-			w.noteRequestLost(n.ID)
-			continue
-		}
-		drain := w.nw.DrainWatts(n.ID)
-		deadline := math.Inf(1)
-		if drain > 0 {
-			deadline = w.now + n.Battery.Level()/drain
-		}
-		need := cap - n.Battery.Level()
-		err := w.qu.Add(charging.Request{
-			Node:     n.ID,
-			Pos:      n.Pos,
-			IssuedAt: w.now,
-			Deadline: deadline,
-			NeedJ:    need,
-		})
-		if err == nil {
-			w.led.Issued++
-			if w.retxAttempt != nil && w.retxAttempt[n.ID] > 0 {
-				// The request finally got through after one or more losses.
-				w.led.Faults.RequestsRecovered++
-				w.retxAttempt[n.ID] = 0
-				w.retxNext[n.ID] = 0
-			}
-			if w.probe.Enabled() {
-				w.probe.Add("campaign.requests.issued", 1)
-				w.probe.Event(obs.Event{T: w.now, Kind: "request", Node: int(n.ID), Value: need})
-			}
+		if w.probe.Enabled() {
+			w.probe.Add("campaign.requests.issued", 1)
+			w.probe.Event(obs.Event{T: w.now, Kind: "request", Node: int(id), Value: need})
 		}
 	}
 }
@@ -366,16 +420,22 @@ func (w *W) Sample() {
 	}
 	for w.nextSample <= w.now {
 		s := ledger.Sample{T: w.nextSample}
-		for _, n := range w.nw.Nodes() {
-			if !n.Alive() {
-				continue
-			}
-			s.Alive++
-			if w.nw.Connected(n.ID) {
-				s.Connected++
-			}
-			if w.keySet[n.ID] {
-				s.KeyAlive++
+		if w.sh != nil {
+			// Integer counts sum exactly, so the sharded tally is not
+			// merely digest-identical but trivially so.
+			s.Alive, s.Connected, s.KeyAlive = w.sh.sampleCounts(w.keySet)
+		} else {
+			for _, n := range w.nw.Nodes() {
+				if !n.Alive() {
+					continue
+				}
+				s.Alive++
+				if w.nw.Connected(n.ID) {
+					s.Connected++
+				}
+				if w.keySet[n.ID] {
+					s.KeyAlive++
+				}
 			}
 		}
 		w.led.Samples = append(w.led.Samples, s)

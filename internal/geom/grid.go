@@ -76,6 +76,17 @@ func clampCell(off, cell float64, n int) int {
 	return c
 }
 
+// AppendAll appends to dst the index of every indexed point in row-major
+// bucket order (ascending within a bucket). The walk is deterministic and
+// groups spatially adjacent points, which is what region partitioners
+// want when carving the point set into coherent contiguous runs.
+func (g *Grid) AppendAll(dst []int32) []int32 {
+	for _, b := range g.buckets {
+		dst = append(dst, b...)
+	}
+	return dst
+}
+
 // Candidates appends to dst the indices of every indexed point whose
 // cell intersects the axis-aligned square of half-width r around p —
 // a superset of the points within distance r. The margin widens the

@@ -92,6 +92,7 @@ type Campaign struct {
 	PendingGraceSec  float64        `json:"pending_grace_sec,omitempty"`
 	BenignFailRate   float64        `json:"benign_fail_rate,omitempty"`
 	Defense          defense.Config `json:"defense,omitempty"`
+	Shards           int            `json:"shards,omitempty"`
 }
 
 // Default returns the evaluation-default legit baseline at the given
@@ -191,6 +192,7 @@ func (s Spec) Config(probe obs.Probe, n int) (campaign.Config, error) {
 		PendingGraceSec:  c.PendingGraceSec,
 		BenignFailRate:   c.BenignFailRate,
 		Defense:          c.Defense,
+		Shards:           c.Shards,
 		Probe:            probe,
 	}
 	if s.Faults != nil {

@@ -1,0 +1,206 @@
+package wrsn
+
+import (
+	"math"
+	"sort"
+)
+
+// Incremental shortest-path-tree maintenance.
+//
+// Between two Recompute calls only the alive set can change (edge weights
+// are pure functions of position except under PolicyEnergyAware, which
+// always rebuilds fully). The invalidation rule:
+//
+//   - A node that left the alive set invalidates exactly its own SPT
+//     subtree: every other node's tree path avoids it, so removing it
+//     cannot change their distances — and cannot change their
+//     predecessors either, because the canonical tie-break (below) makes
+//     each predecessor a pure function of the final distances.
+//   - A node that joined the alive set invalidates only itself; any
+//     improvement it offers the rest of the graph propagates outward
+//     through ordinary relaxation from the re-run's frontier.
+//
+// The affected set A is therefore (removed nodes ∪ their descendants in
+// the previous tree) ∪ added nodes. Members of A are reset to
+// (+Inf, no-pred), seeded by relaxing every edge from a settled non-A
+// neighbor (and the sink) into them, and Dijkstra runs over that frontier,
+// relaxing all alive neighbors of each popped node so improvements may
+// spill out of A. Everything outside A keeps its settled distance.
+//
+// Exactness through ties is what makes this reproduce a full rebuild bit
+// for bit. The heap orders by the (distance, index) key, and relax applies
+// an equal-distance rule: a parent with the lexicographically smaller
+// (distance, index) key wins. At termination every node's predecessor is
+// the key-minimal element of its optimal-parent set — a local property of
+// the final distances, independent of relaxation order or of which subset
+// of the graph was re-run. The incremental oracle test pins this equality
+// (distances, predecessors, parents, children order, loads, drains)
+// against a from-scratch reference over randomized fail/repair/depletion
+// sequences.
+//
+// A full rebuild remains the fallback: when no valid tree exists, when the
+// policy is energy-aware, when incremental maintenance is toggled off, or
+// when A grows past half the network (patching would cost more than
+// rebuilding).
+
+// incrementalMaxAffectedFrac bounds the affected set; past this fraction
+// of the network a full rebuild is cheaper than patching.
+const incrementalMaxAffectedFrac = 0.5
+
+// SetIncrementalRouting toggles incremental tree maintenance (on by
+// default). Off forces every Recompute down the full-Dijkstra path. The
+// results are bit-identical either way; the toggle exists to benchmark
+// the full-rebuild baseline and as an operational escape hatch.
+func (nw *Network) SetIncrementalRouting(on bool) { nw.fullOnly = !on }
+
+// recomputeIncremental patches the shortest-path tree after an alive-set
+// change, assuming nw.live is fresh and a valid tree exists. It returns
+// false when the caller must run a full rebuild instead (the affected set
+// is too large). An unchanged alive set returns true immediately: the
+// tree, loads, and drains are already exact.
+func (nw *Network) recomputeIncremental() bool {
+	n := len(nw.nodes)
+	nw.inA.reset()
+	aff := nw.affected[:0]
+	stack := nw.stack[:0]
+
+	// Removed nodes (alive before, not now) seed the subtree walk; added
+	// nodes (alive now, not before) join the affected set directly.
+	removed := nw.prevLive.appendAndNot(stack, nw.live)
+	stack = removed
+	for _, v := range removed {
+		nw.inA.set(int(v))
+	}
+	aff = append(aff, removed...)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range nw.children[v] {
+			if !nw.inA.get(int(c)) {
+				nw.inA.set(int(c))
+				aff = append(aff, int32(c))
+				stack = append(stack, int32(c))
+			}
+		}
+	}
+	addedFrom := len(aff)
+	aff = nw.live.appendAndNot(aff, nw.prevLive)
+	for _, v := range aff[addedFrom:] {
+		nw.inA.set(int(v))
+	}
+
+	nw.affected = aff[:0]
+	nw.stack = stack[:0]
+	if len(aff) == 0 {
+		return true // alive set unchanged: the tree is already exact
+	}
+	if float64(len(aff)) > incrementalMaxAffectedFrac*float64(n) {
+		return false
+	}
+
+	// Invalidate the affected set, then seed it: every edge from a
+	// settled (finite-distance, non-affected, alive) neighbor — or from
+	// the sink — into an affected alive node is a candidate first hop.
+	for _, v := range aff {
+		nw.dist[v] = math.Inf(1)
+		nw.pred[v] = predNone
+	}
+	nw.pq = nw.pq[:0]
+	for _, v32 := range aff {
+		v := int(v32)
+		if !nw.live.get(v) {
+			continue
+		}
+		pv := nw.pos[v]
+		nw.cand = nw.grid.Candidates(nw.cand[:0], pv, nw.commRange)
+		for _, cu := range nw.cand {
+			u := int(cu)
+			if u == v || nw.inA.get(u) || !nw.live.get(u) {
+				continue
+			}
+			if math.IsInf(nw.dist[u], 1) || !nw.linked(pv, nw.pos[u]) {
+				continue
+			}
+			nw.relax(u, nw.dist[u], nw.pos[u], v)
+		}
+		if nw.linked(pv, nw.sink) {
+			nw.relax(n, 0, nw.sink, v)
+		}
+	}
+
+	// Dijkstra over the frontier. Popped nodes relax every alive
+	// neighbor, not just affected ones, so a path improvement introduced
+	// by a repaired node propagates beyond A; unaffected neighbors whose
+	// settled distance is already optimal reject the offer and the wave
+	// dies out at A's boundary. Any node the wave does improve has, by
+	// that fact, a changed distance — it joins the affected set so the
+	// derived-order splice sees every moved node, not just the invalidated
+	// ones.
+	for len(nw.pq) > 0 {
+		it := nw.pq.pop()
+		if it.d > nw.dist[it.idx] {
+			continue
+		}
+		u := it.idx
+		pu := nw.pos[u]
+		nw.cand = nw.grid.Candidates(nw.cand[:0], pu, nw.commRange)
+		for _, cv := range nw.cand {
+			v := int(cv)
+			if v == u || !nw.live.get(v) || !nw.linked(pu, nw.pos[v]) {
+				continue
+			}
+			if nw.relax(u, it.d, pu, v) && !nw.inA.get(v) {
+				nw.inA.set(v)
+				aff = append(aff, int32(v))
+			}
+		}
+	}
+
+	nw.deriveTree(aff)
+	nw.affected = aff[:0]
+	return true
+}
+
+// spliceOrder patches the persistent load-propagation order after an
+// incremental recompute. Only affected nodes can have entered, left, or
+// moved within the order (everything else kept its distance), so the new
+// order is the old one with affected entries removed, merged against the
+// affected nodes that are currently connected, sorted by the same
+// canonical key. The key is a strict total order, so this merge produces
+// exactly the permutation a from-scratch sort would.
+func (nw *Network) spliceOrder(aff []int32) {
+	newly := nw.newly[:0]
+	for _, v := range aff {
+		i := int(v)
+		if nw.parent[i] != ParentNone {
+			newly = append(newly, i)
+		}
+	}
+	nw.sorter.order = newly
+	nw.sorter.hop = nw.hopDist
+	sort.Sort(&nw.sorter)
+	nw.newly = newly
+
+	old := nw.order
+	out := nw.orderTmp[:0]
+	k := 0
+	for _, i := range old {
+		if nw.inA.get(i) {
+			continue // stale entry: removed or re-positioned below
+		}
+		for k < len(newly) && orderKeyLess(nw.hopDist, newly[k], i) {
+			out = append(out, newly[k])
+			k++
+		}
+		out = append(out, i)
+	}
+	out = append(out, newly[k:]...)
+	nw.orderTmp = nw.order[:0]
+	nw.order = out
+}
+
+// orderKeyLess is the load-propagation order's canonical key: descending
+// route distance, ascending ID.
+func orderKeyLess(hop []float64, a, b int) bool {
+	return hop[a] > hop[b] || (hop[a] == hop[b] && a < b)
+}

@@ -1,0 +1,320 @@
+package wrsn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/reprolab/wrsn-csa/internal/geom"
+)
+
+// bruteSPT is the specification oracle for the shortest-path tree: an
+// independent O(V²) Dijkstra over the brute-force adjacency, followed by
+// a from-scratch predecessor derivation that implements the canonical
+// tie-break directly — pred[v] is the (distance, index)-lexicographically
+// smallest alive neighbor u with dist[u] + w(u→v) == dist[v]. The
+// production code (full and incremental alike) must agree with this pure
+// characterization bit for bit; agreement proves the predecessor array is
+// a function of the final distances alone, which is exactly the property
+// incremental maintenance relies on.
+func bruteSPT(nw *Network) ([]float64, []int) {
+	n := len(nw.nodes)
+	adj := bruteAdjacency(nw)
+	dist := make([]float64, n+1)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[n] = 0
+	done := make([]bool, n+1)
+	for {
+		u := -1
+		for i := 0; i <= n; i++ {
+			if !done[i] && !math.IsInf(dist[i], 1) && (u < 0 || dist[i] < dist[u]) {
+				u = i
+			}
+		}
+		if u < 0 {
+			break
+		}
+		done[u] = true
+		from := nw.sink
+		if u < n {
+			from = nw.pos[u]
+		}
+		for _, v := range adj[u] {
+			if v == n {
+				continue // never route through the sink
+			}
+			if nd := dist[u] + nw.edgeWeight(from, v); nd < dist[v] {
+				dist[v] = nd
+			}
+		}
+	}
+	pred := make([]int, n+1)
+	for i := range pred {
+		pred[i] = predNone
+	}
+	for v := 0; v < n; v++ {
+		if math.IsInf(dist[v], 1) {
+			continue
+		}
+		best := predNone
+		for _, u := range adj[v] {
+			from := nw.sink
+			if u < n {
+				from = nw.pos[u]
+			}
+			if dist[u]+nw.edgeWeight(from, v) != dist[v] {
+				continue
+			}
+			if best == predNone || dist[u] < dist[best] || (dist[u] == dist[best] && u < best) {
+				best = u
+			}
+		}
+		pred[v] = best
+	}
+	return dist, pred
+}
+
+// checkAgainstOracles compares the network's live shortest-path and
+// derived state against (a) the bruteSPT specification and (b) a fresh
+// from-scratch rebuild of the same primary state, requiring exact
+// (bit-level) equality everywhere: distances, predecessors, parents,
+// children order, loads, and drains.
+func checkAgainstOracles(t *testing.T, nw *Network, tag string) {
+	t.Helper()
+	n := len(nw.nodes)
+	dist, pred := bruteSPT(nw)
+	for i := 0; i <= n; i++ {
+		if nw.dist[i] != dist[i] && !(math.IsInf(nw.dist[i], 1) && math.IsInf(dist[i], 1)) {
+			t.Fatalf("%s: dist[%d] = %v, want %v", tag, i, nw.dist[i], dist[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if nw.pred[i] != pred[i] {
+			t.Fatalf("%s: pred[%d] = %d, want %d (dist %v)", tag, i, nw.pred[i], pred[i], dist[i])
+		}
+	}
+	ref, err := FromState(nw.State())
+	if err != nil {
+		t.Fatalf("%s: rebuilding reference: %v", tag, err)
+	}
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		if nw.Parent(id) != ref.Parent(id) {
+			t.Fatalf("%s: parent[%d] = %d, want %d", tag, i, nw.Parent(id), ref.Parent(id))
+		}
+		if nw.hopDist[i] != ref.hopDist[i] && !(math.IsInf(nw.hopDist[i], 1) && math.IsInf(ref.hopDist[i], 1)) {
+			t.Fatalf("%s: hopDist[%d] = %v, want %v", tag, i, nw.hopDist[i], ref.hopDist[i])
+		}
+		if nw.Load(id) != ref.Load(id) {
+			t.Fatalf("%s: load[%d] = %+v, want %+v", tag, i, nw.Load(id), ref.Load(id))
+		}
+		if nw.DrainWatts(id) != ref.DrainWatts(id) {
+			t.Fatalf("%s: drain[%d] = %v, want %v", tag, i, nw.DrainWatts(id), ref.DrainWatts(id))
+		}
+		got, want := nw.Children(id), ref.Children(id)
+		if len(got) != len(want) {
+			t.Fatalf("%s: children[%d] = %v, want %v", tag, i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("%s: children[%d] = %v, want %v (order matters)", tag, i, got, want)
+			}
+		}
+	}
+	if len(nw.order) != len(ref.order) {
+		t.Fatalf("%s: load order has %d entries, want %d", tag, len(nw.order), len(ref.order))
+	}
+	for k := range ref.order {
+		if nw.order[k] != ref.order[k] {
+			t.Fatalf("%s: load order[%d] = %d, want %d", tag, k, nw.order[k], ref.order[k])
+		}
+	}
+}
+
+// mutate applies one random alive-set event to the network: hardware
+// fail/repair, battery depletion or refill, a batch kill (sometimes big
+// enough to force the full-rebuild fallback), or a plain energy advance.
+func mutate(rng *rand.Rand, nw *Network) {
+	n := len(nw.nodes)
+	id := rng.Intn(n)
+	switch rng.Intn(6) {
+	case 0:
+		nw.ptrs[id].Fail()
+	case 1:
+		nw.ptrs[id].Repair()
+	case 2:
+		nw.bats[id].SetLevel(0)
+	case 3:
+		nw.bats[id].SetLevel(nw.bats[id].Capacity() * rng.Float64())
+	case 4:
+		// Batch kill: usually a handful, occasionally most of the field
+		// (which must trip the affected-set bound into a full rebuild).
+		k := 1 + rng.Intn(4)
+		if rng.Intn(8) == 0 {
+			k = n/2 + rng.Intn(n/2)
+		}
+		for j := 0; j < k; j++ {
+			nw.bats[rng.Intn(n)].SetLevel(0)
+		}
+	case 5:
+		nw.AdvanceEnergy(600 + rng.Float64()*7200)
+	}
+}
+
+// TestIncrementalMatchesBruteDijkstra is the incremental-SPT oracle: over
+// random topologies and randomized fail/repair/deplete/revive sequences,
+// every Recompute — whichever path it takes — must equal both the
+// specification Dijkstra (dist, pred, tie-breaks) and a from-scratch
+// rebuild (parents, children order, loads, drains) exactly.
+func TestIncrementalMatchesBruteDijkstra(t *testing.T) {
+	policies := map[string]RoutingPolicy{
+		"distance":     PolicyShortestDistance,
+		"hopcount":     PolicyHopCount,
+		"energy-aware": PolicyEnergyAware,
+	}
+	for name, policy := range policies {
+		rng := rand.New(rand.NewSource(1000 + int64(policy)))
+		trials := 12
+		if testing.Short() {
+			trials = 3
+		}
+		for trial := 0; trial < trials; trial++ {
+			n := 30 + rng.Intn(120)
+			specs := make([]NodeSpec, n)
+			for i := range specs {
+				specs[i] = NodeSpec{
+					Pos:         geom.Point{X: rng.Float64() * 300, Y: rng.Float64() * 300},
+					InitialFrac: 0.3 + rng.Float64()*0.7,
+				}
+			}
+			nw, err := NewNetwork(specs, Config{
+				Sink:      geom.Point{X: 150, Y: 150},
+				CommRange: 35 + rng.Float64()*40,
+				Policy:    policy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for step := 0; step < 25; step++ {
+				mutate(rng, nw)
+				nw.Recompute()
+				checkAgainstOracles(t, nw, name)
+			}
+		}
+	}
+}
+
+// TestIncrementalExactTies drives the oracle on an exact integer lattice
+// where shortest-path distances tie pervasively (no jitter: every
+// orthogonal hop is exactly 30 m, so whole families of routes share
+// identical float sums). This is the adversarial case for tie-break
+// reproducibility: the canonical (distance, index) rule must make the
+// incremental tree land on exactly the tree a full rebuild picks.
+func TestIncrementalExactTies(t *testing.T) {
+	const side = 10
+	specs := make([]NodeSpec, 0, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			specs = append(specs, NodeSpec{Pos: geom.Point{X: float64(x) * 30, Y: float64(y) * 30}})
+		}
+	}
+	nw, err := NewNetwork(specs, Config{
+		Sink:      geom.Point{X: 135, Y: 135}, // between the four center nodes
+		CommRange: 45,                         // orthogonal (30) and diagonal (42.43) both in range
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracles(t, nw, "lattice initial")
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 60; step++ {
+		mutate(rng, nw)
+		nw.Recompute()
+		checkAgainstOracles(t, nw, "lattice")
+	}
+}
+
+// TestIncrementalToggleIdentical pins SetIncrementalRouting as a pure
+// performance toggle: two networks fed the identical event sequence, one
+// forced down the full-Dijkstra path, stay field-for-field identical.
+func TestIncrementalToggleIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	nw := randomNetwork(t, rng, 140, 55)
+	full, err := FromState(nw.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.SetIncrementalRouting(false)
+	for step := 0; step < 40; step++ {
+		id := rng.Intn(140)
+		switch rng.Intn(4) {
+		case 0:
+			nw.ptrs[id].Fail()
+			full.ptrs[id].Fail()
+		case 1:
+			nw.ptrs[id].Repair()
+			full.ptrs[id].Repair()
+		case 2:
+			nw.bats[id].SetLevel(0)
+			full.bats[id].SetLevel(0)
+		case 3:
+			lvl := nw.bats[id].Capacity() * rng.Float64()
+			nw.bats[id].SetLevel(lvl)
+			full.bats[id].SetLevel(lvl)
+		}
+		nw.Recompute()
+		full.Recompute()
+		for i := 0; i < 140; i++ {
+			id := NodeID(i)
+			if nw.Parent(id) != full.Parent(id) || nw.DrainWatts(id) != full.DrainWatts(id) || nw.Load(id) != full.Load(id) {
+				t.Fatalf("step %d: node %d diverged between incremental and full paths", step, i)
+			}
+		}
+	}
+}
+
+// TestRegionShardsPartition checks the spatial partitioner's contract:
+// every node appears in exactly one shard, IDs ascend within a shard,
+// shard sizes are balanced, and the partition is deterministic.
+func TestRegionShardsPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	nw := randomNetwork(t, rng, 137, 50)
+	for _, k := range []int{1, 2, 3, 4, 8, 137, 500} {
+		shards := nw.RegionShards(k)
+		seen := make(map[NodeID]bool)
+		for _, sh := range shards {
+			for j, id := range sh {
+				if seen[id] {
+					t.Fatalf("k=%d: node %d in two shards", k, id)
+				}
+				seen[id] = true
+				if j > 0 && sh[j-1] >= id {
+					t.Fatalf("k=%d: shard IDs not ascending: %v", k, sh)
+				}
+			}
+		}
+		if len(seen) != 137 {
+			t.Fatalf("k=%d: partition covers %d of 137 nodes", k, len(seen))
+		}
+		want := k
+		if want > 137 {
+			want = 137
+		}
+		if want > 1 && len(shards) < 2 {
+			t.Fatalf("k=%d: got %d shards", k, len(shards))
+		}
+		again := nw.RegionShards(k)
+		if len(again) != len(shards) {
+			t.Fatalf("k=%d: partition not deterministic", k)
+		}
+		for s := range shards {
+			for j := range shards[s] {
+				if shards[s][j] != again[s][j] {
+					t.Fatalf("k=%d: partition not deterministic", k)
+				}
+			}
+		}
+	}
+}

@@ -53,10 +53,9 @@ func (nw *Network) ForecastAt(id NodeID, now, requestFrac float64) (Forecast, er
 	if requestFrac <= 0 || requestFrac >= 1 {
 		requestFrac = DefaultRequestFraction
 	}
-	node := nw.nodes[id]
 	drain := nw.DrainWatts(id)
 	f := Forecast{ID: id, DrainWatts: drain}
-	if !node.Alive() {
+	if !nw.aliveIdx(int(id)) {
 		f.RequestAt, f.DeathAt = now, now
 		return f, nil
 	}
@@ -64,8 +63,8 @@ func (nw *Network) ForecastAt(id NodeID, now, requestFrac float64) (Forecast, er
 		f.RequestAt, f.DeathAt = math.Inf(1), math.Inf(1)
 		return f, nil
 	}
-	level := node.Battery.Level()
-	threshold := requestFrac * node.Battery.Capacity()
+	level := nw.bats[id].Level()
+	threshold := requestFrac * nw.bats[id].Capacity()
 	if level <= threshold {
 		f.RequestAt = now
 	} else {
@@ -99,13 +98,36 @@ func (nw *Network) AdvanceEnergy(dt float64) []NodeID {
 		return nil
 	}
 	var died []NodeID
-	for i, n := range nw.nodes {
-		if !n.Alive() {
+	for i := range nw.bats {
+		if !nw.aliveIdx(i) {
 			continue
 		}
-		n.Battery.Drain(nw.DrainWatts(NodeID(i)) * dt)
-		if n.Battery.Depleted() {
+		nw.bats[i].Drain(nw.drainW[i] * dt)
+		if nw.bats[i].Depleted() {
 			died = append(died, NodeID(i))
+		}
+	}
+	return died
+}
+
+// AdvanceEnergyIn is AdvanceEnergy restricted to the given node IDs,
+// appending deaths to died (in ids order) and returning it. It touches
+// only those nodes' dense slots and no shared scratch, so concurrent
+// calls over disjoint ID sets are race-free — the sharded world stepper
+// drains grid-region shards in parallel this way and merges the per-shard
+// death lists deterministically.
+func (nw *Network) AdvanceEnergyIn(ids []NodeID, dt float64, died []NodeID) []NodeID {
+	if dt <= 0 {
+		return died
+	}
+	for _, id := range ids {
+		i := int(id)
+		if !nw.aliveIdx(i) {
+			continue
+		}
+		nw.bats[i].Drain(nw.drainW[i] * dt)
+		if nw.bats[i].Depleted() {
+			died = append(died, id)
 		}
 	}
 	return died
@@ -113,21 +135,46 @@ func (nw *Network) AdvanceEnergy(dt float64) []NodeID {
 
 // NextDepletion returns the soonest projected death time among alive nodes
 // starting from now, and the node that dies then. When no node will die it
-// returns (+Inf, ParentNone).
+// returns (+Inf, ParentNone). Ties go to the lowest ID (strict < over an
+// ascending scan).
 func (nw *Network) NextDepletion(now float64) (float64, NodeID) {
 	best := math.Inf(1)
 	who := ParentNone
-	for i, n := range nw.nodes {
-		if !n.Alive() {
+	for i := range nw.bats {
+		if !nw.aliveIdx(i) {
 			continue
 		}
-		drain := nw.DrainWatts(NodeID(i))
+		drain := nw.drainW[i]
 		if drain <= 0 {
 			continue
 		}
-		t := now + n.Battery.Level()/drain
+		t := now + nw.bats[i].Level()/drain
 		if t < best {
 			best, who = t, NodeID(i)
+		}
+	}
+	return best, who
+}
+
+// NextDepletionIn is NextDepletion restricted to the given node IDs
+// (which must be ascending for the lowest-ID tie rule to match the full
+// scan). It performs only reads of the nodes' dense slots, so concurrent
+// calls over disjoint ID sets are race-free.
+func (nw *Network) NextDepletionIn(ids []NodeID, now float64) (float64, NodeID) {
+	best := math.Inf(1)
+	who := ParentNone
+	for _, id := range ids {
+		i := int(id)
+		if !nw.aliveIdx(i) {
+			continue
+		}
+		drain := nw.drainW[i]
+		if drain <= 0 {
+			continue
+		}
+		t := now + nw.bats[i].Level()/drain
+		if t < best {
+			best, who = t, id
 		}
 	}
 	return best, who

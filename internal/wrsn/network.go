@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/reprolab/wrsn-csa/internal/energy"
 	"github.com/reprolab/wrsn-csa/internal/geom"
@@ -18,6 +19,11 @@ const (
 	ParentNone NodeID = -2
 )
 
+// predNone marks "no predecessor" in the persisted Dijkstra predecessor
+// array. The sink's own graph index (len(nodes)) marks "sink is parent";
+// everything else is a node's graph index.
+const predNone = -1
+
 // ErrNoNodes is returned when a network is constructed without nodes.
 var ErrNoNodes = errors.New("wrsn: network requires at least one node")
 
@@ -25,11 +31,32 @@ var ErrNoNodes = errors.New("wrsn: network requires at least one node")
 // model, and a sink-rooted shortest-path routing tree with derived per-node
 // traffic loads.
 //
+// Primary node state is stored struct-of-arrays: positions, generation
+// rates, batteries, and the hardware-fault bits are dense parallel slices
+// indexed by NodeID, so the hot loops (adjacency builds, energy advance,
+// depletion scans) stream contiguous memory instead of chasing per-node
+// pointers. The Node type is a view layer over this storage; Nodes() and
+// Node(id) hand out pointer-stable handles with the pre-SoA API.
+//
 // The routing tree and loads are recomputed by Recompute; they reflect only
-// nodes that were alive at that call. Network is not safe for concurrent
+// nodes that were alive at that call. Recompute maintains the tree
+// incrementally across alive-set changes (see incremental.go) and falls
+// back to a full Dijkstra rebuild when that is cheaper or required; both
+// paths produce bit-identical results. Network is not safe for concurrent
 // mutation.
 type Network struct {
-	nodes     []*Node
+	// Struct-of-arrays primary state, all indexed by NodeID.
+	pos    []geom.Point
+	genBps []float64
+	bats   []energy.Battery
+	failed bitset
+
+	// nodes is the view layer: stable Node handles over the dense
+	// storage; ptrs caches &nodes[i] so the accessor API allocates
+	// nothing.
+	nodes []Node
+	ptrs  []*Node
+
 	sink      geom.Point
 	commRange float64
 	radio     energy.RadioModel
@@ -48,16 +75,33 @@ type Network struct {
 	// advance and depletion forecasting read it every step.
 	drainW []float64
 
+	// Shortest-path state persisted between Recompute calls for
+	// incremental maintenance: Dijkstra distances and predecessors (graph
+	// indices, sink = len(nodes)), the alive set the current tree was
+	// computed over, and whether a tree exists at all.
+	dist      []float64
+	pred      []int
+	prevLive  bitset
+	treeValid bool
+	fullOnly  bool
+
 	// Scratch buffers reused across Recompute calls so steady-state
-	// routing rebuilds stop allocating.
-	adj     [][]int
-	cand    []int32
-	dist    []float64
-	pred    []int
-	pq      distHeap
-	order   []int
-	relay   []float64
-	nearBuf []NodeID
+	// routing rebuilds stop allocating. All are sized at construction
+	// from the node count (see grow), so the first large-N recompute
+	// pays no reallocation churn either.
+	adj      [][]int
+	cand     []int32
+	pq       distHeap
+	order    []int
+	orderTmp []int
+	newly    []int
+	relay    []float64
+	nearBuf  []NodeID
+	live     bitset
+	inA      bitset
+	affected []int32
+	stack    []int32
+	sorter   loadSorter
 }
 
 // RoutingPolicy selects the edge-weight objective of the sink-rooted
@@ -128,26 +172,79 @@ func NewNetwork(specs []NodeSpec, cfg Config) (*Network, error) {
 		cfg.Policy = PolicyShortestDistance
 	}
 	nw := &Network{
-		nodes:     make([]*Node, len(specs)),
 		sink:      cfg.Sink,
 		commRange: cfg.CommRange,
 		radio:     cfg.Radio,
 		policy:    cfg.Policy,
 	}
+	nw.grow(len(specs))
 	for i, s := range specs {
-		n, err := newNode(NodeID(i), s)
-		if err != nil {
+		if err := nw.initNode(i, s); err != nil {
 			return nil, err
 		}
-		nw.nodes[i] = n
 	}
-	pts := make([]geom.Point, len(nw.nodes))
-	for i, n := range nw.nodes {
-		pts[i] = n.Pos
-	}
-	nw.grid = geom.NewGrid(pts, cfg.CommRange)
+	nw.grid = geom.NewGrid(nw.pos, cfg.CommRange)
 	nw.Recompute()
 	return nw, nil
+}
+
+// grow allocates the entire struct-of-arrays block — primary state,
+// derived state, persisted shortest-path state, and every scratch buffer
+// Recompute touches — from the node count, once. Capacity hints here are
+// what keep the first large-N recompute (and everything after it)
+// reallocation-free.
+func (nw *Network) grow(n int) {
+	nw.pos = make([]geom.Point, n)
+	nw.genBps = make([]float64, n)
+	nw.bats = make([]energy.Battery, n)
+	nw.failed = newBitset(n)
+	nw.nodes = make([]Node, n)
+	nw.ptrs = make([]*Node, n)
+	nw.parent = make([]NodeID, n)
+	nw.hopDist = make([]float64, n)
+	nw.loads = make([]energy.Load, n)
+	nw.children = make([][]NodeID, n)
+	nw.drainW = make([]float64, n)
+	nw.dist = make([]float64, n+1)
+	nw.pred = make([]int, n+1)
+	nw.prevLive = newBitset(n)
+	nw.live = newBitset(n)
+	nw.inA = newBitset(n)
+	nw.adj = make([][]int, n+1)
+	nw.pq = make(distHeap, 0, n+1)
+	nw.order = make([]int, 0, n)
+	nw.relay = make([]float64, n)
+	nw.orderTmp = make([]int, 0, n)
+	nw.newly = make([]int, 0, 64)
+	nw.affected = make([]int32, 0, 64)
+	nw.stack = make([]int32, 0, 64)
+}
+
+// initNode validates one spec and writes it into slot i of the dense
+// storage, wiring up the view handle.
+func (nw *Network) initNode(i int, spec NodeSpec) error {
+	capJ := spec.BatteryJ
+	if capJ <= 0 {
+		capJ = DefaultBatteryJ
+	}
+	frac := spec.InitialFrac
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	bat, err := energy.NewBattery(capJ, capJ*frac, DefaultMeterQuantumJ)
+	if err != nil {
+		return fmt.Errorf("node %d: %w", i, err)
+	}
+	gen := spec.GenBps
+	if gen <= 0 {
+		gen = DefaultGenBps
+	}
+	nw.bats[i] = *bat
+	nw.pos[i] = spec.Pos
+	nw.genBps[i] = gen
+	nw.nodes[i] = Node{ID: NodeID(i), Pos: spec.Pos, Battery: &nw.bats[i], GenBps: gen, net: nw}
+	nw.ptrs[i] = &nw.nodes[i]
+	return nil
 }
 
 // Len returns the number of nodes (alive or dead).
@@ -158,11 +255,11 @@ func (nw *Network) Node(id NodeID) (*Node, error) {
 	if int(id) < 0 || int(id) >= len(nw.nodes) {
 		return nil, fmt.Errorf("wrsn: node %d out of range [0,%d)", id, len(nw.nodes))
 	}
-	return nw.nodes[id], nil
+	return nw.ptrs[id], nil
 }
 
-// Nodes returns the node slice. Callers must not reorder it.
-func (nw *Network) Nodes() []*Node { return nw.nodes }
+// Nodes returns the node handles. Callers must not reorder the slice.
+func (nw *Network) Nodes() []*Node { return nw.ptrs }
 
 // Sink returns the base-station location.
 func (nw *Network) Sink() geom.Point { return nw.sink }
@@ -173,11 +270,30 @@ func (nw *Network) CommRange() float64 { return nw.commRange }
 // Radio returns the consumption model.
 func (nw *Network) Radio() energy.RadioModel { return nw.radio }
 
+// aliveIdx reports whether node i is in service, straight off the dense
+// storage.
+func (nw *Network) aliveIdx(i int) bool {
+	return !nw.failed.get(i) && !nw.bats[i].Depleted()
+}
+
+// refreshLive recomputes the alive bitset from the failed bits and
+// battery levels. Batteries mutate through shared pointers (drains,
+// charging sessions), so the set is re-derived wherever it is read rather
+// than maintained event-by-event.
+func (nw *Network) refreshLive() {
+	nw.live.reset()
+	for i := range nw.bats {
+		if nw.aliveIdx(i) {
+			nw.live.set(i)
+		}
+	}
+}
+
 // AliveCount returns the number of nodes with residual energy.
 func (nw *Network) AliveCount() int {
 	alive := 0
-	for _, n := range nw.nodes {
-		if n.Alive() {
+	for i := range nw.bats {
+		if nw.aliveIdx(i) {
 			alive++
 		}
 	}
@@ -197,18 +313,17 @@ func (nw *Network) linked(a, b geom.Point) bool {
 // identical to the original i<j pairwise scan.
 func (nw *Network) aliveAdjacency() [][]int {
 	n := len(nw.nodes)
-	if cap(nw.adj) < n+1 {
-		nw.adj = make([][]int, n+1)
-	}
+	nw.refreshLive()
 	adj := nw.adj[:n+1]
 	for i := range adj {
 		adj[i] = adj[i][:0]
 	}
-	for i, a := range nw.nodes {
-		if !a.Alive() {
+	for i := 0; i < n; i++ {
+		if !nw.live.get(i) {
 			continue
 		}
-		all := nw.grid.Candidates(nw.cand[:0], a.Pos, nw.commRange)
+		pi := nw.pos[i]
+		all := nw.grid.Candidates(nw.cand[:0], pi, nw.commRange)
 		nw.cand = all
 		keep := all[:0]
 		for _, cj := range all {
@@ -216,8 +331,7 @@ func (nw *Network) aliveAdjacency() [][]int {
 			if j <= i {
 				continue
 			}
-			b := nw.nodes[j]
-			if b.Alive() && nw.linked(a.Pos, b.Pos) {
+			if nw.live.get(j) && nw.linked(pi, nw.pos[j]) {
 				keep = append(keep, cj)
 			}
 		}
@@ -227,7 +341,7 @@ func (nw *Network) aliveAdjacency() [][]int {
 			adj[i] = append(adj[i], j)
 			adj[j] = append(adj[j], i)
 		}
-		if nw.linked(a.Pos, nw.sink) {
+		if nw.linked(pi, nw.sink) {
 			adj[i] = append(adj[i], n)
 			adj[n] = append(adj[n], i)
 		}
@@ -256,8 +370,8 @@ func (nw *Network) NodesNear(dst []*Node, pos geom.Point, rangeM float64) []*Nod
 	}
 	ids := nw.nearBuf[:0]
 	for _, ci := range nw.cand {
-		n := nw.nodes[ci]
-		if n.Alive() && pos.Dist(n.Pos) <= rangeM {
+		i := int(ci)
+		if nw.aliveIdx(i) && pos.Dist(nw.pos[i]) <= rangeM {
 			ids = append(ids, NodeID(ci))
 		}
 	}
@@ -268,7 +382,7 @@ func (nw *Network) NodesNear(dst []*Node, pos geom.Point, rangeM float64) []*Nod
 		}
 	}
 	for _, id := range ids {
-		dst = append(dst, nw.nodes[id])
+		dst = append(dst, nw.ptrs[id])
 	}
 	return dst
 }
@@ -277,37 +391,42 @@ func (nw *Network) NodesNear(dst []*Node, pos geom.Point, rangeM float64) []*Nod
 // alive nodes. Call it after node deaths or energy-state changes that
 // affect routing. Derived and scratch state is reused across calls, so
 // steady-state rebuilds allocate nothing.
+//
+// When a valid tree exists and the alive set changed by a few nodes,
+// Recompute repairs only the invalidated portion of the shortest-path
+// tree (see incremental.go); an unchanged alive set is a no-op. Both
+// shortcuts are exact: every field a full rebuild would produce —
+// distances, parents, tie-breaks, children order, loads, drains — comes
+// out bit-identical, which the incremental oracle test pins. Energy-aware
+// routing always rebuilds fully, because its edge weights depend on
+// battery levels, not just on the alive set.
 func (nw *Network) Recompute() {
-	n := len(nw.nodes)
-	if len(nw.parent) != n {
-		nw.parent = make([]NodeID, n)
-		nw.hopDist = make([]float64, n)
-		nw.loads = make([]energy.Load, n)
-		nw.children = make([][]NodeID, n)
-		nw.drainW = make([]float64, n)
-		nw.dist = make([]float64, n+1)
-		nw.pred = make([]int, n+1)
+	nw.refreshLive()
+	if nw.treeValid && !nw.fullOnly && nw.policy != PolicyEnergyAware && nw.recomputeIncremental() {
+		nw.prevLive.copyFrom(nw.live)
+		return
 	}
-	for i := range nw.children {
-		nw.children[i] = nw.children[i][:0]
-	}
-	adj := nw.aliveAdjacency()
+	nw.recomputeFull()
+	nw.prevLive.copyFrom(nw.live)
+	nw.treeValid = true
+}
 
-	// Dijkstra from the sink (index n) under the configured edge-weight
-	// policy. Each node's routing parent is its predecessor toward the
-	// sink.
-	const sinkIdx = -100 // internal marker in pred for "sink is parent"
+// recomputeFull runs Dijkstra from the sink (graph index n) under the
+// configured edge-weight policy over the whole alive topology.
+func (nw *Network) recomputeFull() {
+	n := len(nw.nodes)
+	adj := nw.aliveAdjacency()
 	dist := nw.dist
 	pred := nw.pred
 	for i := range dist {
 		dist[i] = math.Inf(1)
-		pred[i] = int(ParentNone)
+		pred[i] = predNone
 	}
 	dist[n] = 0
-	pq := nw.pq[:0]
-	pq.push(distItem{idx: n, d: 0})
-	for len(pq) > 0 {
-		it := pq.pop()
+	nw.pq = nw.pq[:0]
+	nw.pq.push(distItem{idx: n, d: 0})
+	for len(nw.pq) > 0 {
+		it := nw.pq.pop()
 		if it.d > dist[it.idx] {
 			continue
 		}
@@ -315,46 +434,91 @@ func (nw *Network) Recompute() {
 		if it.idx == n {
 			from = nw.sink
 		} else {
-			from = nw.nodes[it.idx].Pos
+			from = nw.pos[it.idx]
 		}
 		for _, next := range adj[it.idx] {
 			if next == n {
 				continue // never route through the sink
 			}
-			nd := it.d + nw.edgeWeight(from, next)
-			if nd < dist[next] {
-				dist[next] = nd
-				if it.idx == n {
-					pred[next] = sinkIdx
-				} else {
-					pred[next] = it.idx
-				}
-				pq.push(distItem{idx: next, d: nd})
-			}
+			nw.relax(it.idx, it.d, from, next)
 		}
 	}
-	nw.pq = pq[:0]
+	nw.deriveTree(nil)
+}
 
-	for i := range nw.nodes {
-		nw.hopDist[i] = dist[i]
+// relax offers node v the path through u (graph index; n means the sink)
+// at settled distance du, reporting whether v's distance strictly
+// improved. A strictly shorter path updates distance and predecessor and
+// enqueues v; an exactly equal path updates only the predecessor when u
+// orders before the incumbent under the canonical (distance, index) key.
+// The equal branch is what makes the final predecessor of every node a
+// pure function of the final distances — the lexicographically smallest
+// optimal parent — independent of relaxation order, so the incremental
+// rebuild reproduces the full rebuild's tree bit for bit even through
+// ties.
+func (nw *Network) relax(u int, du float64, from geom.Point, v int) bool {
+	nd := du + nw.edgeWeight(from, v)
+	switch {
+	case nd < nw.dist[v]:
+		nw.dist[v] = nd
+		nw.pred[v] = u
+		nw.pq.push(distItem{idx: v, d: nd})
+		return true
+	case nd == nw.dist[v] && nw.predLess(du, u, v):
+		nw.pred[v] = u
+	}
+	return false
+}
+
+// predLess reports whether candidate parent u (at distance du) orders
+// strictly before v's current predecessor under the (distance, index)
+// key.
+func (nw *Network) predLess(du float64, u, v int) bool {
+	p := nw.pred[v]
+	if p == predNone {
+		return true
+	}
+	dp := nw.dist[p]
+	return du < dp || (du == dp && u < p)
+}
+
+// deriveTree rebuilds parent, hopDist, children, loads, and drains from
+// the settled dist/pred arrays. Both the full and incremental recompute
+// paths end here, so every derived field is produced by the same code on
+// the same inputs — exactness of the incremental path reduces to
+// exactness of dist and pred. aff is the incremental path's affected set
+// (the only nodes whose distances may have changed, with membership
+// mirrored in nw.inA); nil means any distance may have changed and the
+// load-propagation order must be rebuilt from scratch.
+func (nw *Network) deriveTree(aff []int32) {
+	n := len(nw.nodes)
+	for i := range nw.children {
+		nw.children[i] = nw.children[i][:0]
+	}
+	for i := 0; i < n; i++ {
+		nw.hopDist[i] = nw.dist[i]
 		switch {
-		case !nw.nodes[i].Alive() || math.IsInf(dist[i], 1):
+		case !nw.live.get(i) || math.IsInf(nw.dist[i], 1):
 			nw.parent[i] = ParentNone
-		case pred[i] == sinkIdx:
+			// Clear rather than leave the load a node carried while it was
+			// last connected, so aged and freshly rebuilt networks hold
+			// identical state.
+			nw.loads[i] = energy.Load{}
+		case nw.pred[i] == n:
 			nw.parent[i] = ParentSink
 		default:
-			nw.parent[i] = NodeID(pred[i])
-			nw.children[pred[i]] = append(nw.children[pred[i]], NodeID(i))
+			nw.parent[i] = NodeID(nw.pred[i])
+			nw.children[nw.pred[i]] = append(nw.children[nw.pred[i]], NodeID(i))
 		}
 	}
-	nw.computeLoads()
+	nw.computeLoads(aff)
 }
 
 // edgeWeight prices traversing the edge from a point into node `to` under
 // the routing policy. Dijkstra requires non-negative weights; every branch
 // guarantees that.
 func (nw *Network) edgeWeight(from geom.Point, to int) float64 {
-	d := from.Dist(nw.nodes[to].Pos)
+	d := from.Dist(nw.pos[to])
 	switch nw.policy {
 	case PolicyHopCount:
 		// One hop dominates any distance within range; distance only
@@ -364,7 +528,7 @@ func (nw *Network) edgeWeight(from geom.Point, to int) float64 {
 		// Penalize relaying through drained nodes: a nearly-empty relay
 		// costs up to 4× its distance, pushing traffic to healthier paths
 		// when any exist.
-		frac := nw.nodes[to].Battery.Fraction()
+		frac := nw.bats[to].Fraction()
 		return d * (1 + 3*(1-frac))
 	default:
 		return d
@@ -376,49 +540,52 @@ func (nw *Network) Policy() RoutingPolicy { return nw.policy }
 
 // computeLoads derives per-node steady-state loads by aggregating subtree
 // traffic bottom-up over the routing tree, then refreshes the per-node
-// drain cache.
-func (nw *Network) computeLoads() {
-	// Topological order: process nodes by decreasing route distance so
-	// children precede parents.
-	if cap(nw.order) < len(nw.nodes) {
-		nw.order = make([]int, 0, len(nw.nodes))
-	}
-	order := nw.order[:0]
-	for i := range nw.nodes {
-		if nw.parent[i] != ParentNone {
-			order = append(order, i)
+// drain cache. The propagation order — by decreasing route distance so
+// children precede parents, (distance, ID) ties broken by ascending ID —
+// is a strict total order, so the sorted permutation is unique and every
+// way of producing it yields the same float accumulation order (which the
+// golden digests pin). The full path sorts from scratch; the incremental
+// path splices the affected nodes out of the previous sorted order and
+// merges them back, skipping the O(n log n) comparison pass whose
+// indirect loads would otherwise dominate small-patch recomputes.
+func (nw *Network) computeLoads(aff []int32) {
+	if aff == nil {
+		order := nw.order[:0]
+		for i := range nw.nodes {
+			if nw.parent[i] != ParentNone {
+				order = append(order, i)
+			}
 		}
+		// The comparator is the full (descending distance, ascending ID)
+		// key and the sorter is a reusable field, so the sort needs
+		// neither stability nor allocation. Element for element this is
+		// the order the previous stable insertion sort produced.
+		nw.sorter.order = order
+		nw.sorter.hop = nw.hopDist
+		sort.Sort(&nw.sorter)
+		nw.order = order
+	} else {
+		nw.spliceOrder(aff)
 	}
-	nw.order = order
-	// Insertion sort by descending hopDist; n is modest and this avoids an
-	// extra allocation-heavy sort.Slice in the hot path of Recompute.
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && nw.hopDist[order[j]] > nw.hopDist[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
-		}
-	}
-	if len(nw.relay) != len(nw.nodes) {
-		nw.relay = make([]float64, len(nw.nodes))
-	}
+	order := nw.order
 	relay := nw.relay
 	for i := range relay {
 		relay[i] = 0
 	}
 	for _, i := range order {
-		node := nw.nodes[i]
 		var hop float64
 		if nw.parent[i] == ParentSink {
-			hop = node.Pos.Dist(nw.sink)
+			hop = nw.pos[i].Dist(nw.sink)
 		} else {
-			hop = node.Pos.Dist(nw.nodes[nw.parent[i]].Pos)
+			hop = nw.pos[i].Dist(nw.pos[nw.parent[i]])
 		}
 		nw.loads[i] = energy.Load{
-			GenBps:      node.GenBps,
+			GenBps:      nw.genBps[i],
 			RelayBps:    relay[i],
 			NextHopDist: hop,
 		}
 		if p := nw.parent[i]; p >= 0 {
-			relay[p] += node.GenBps + relay[i]
+			relay[p] += nw.genBps[i] + relay[i]
 		}
 	}
 	// DrainWatts is a pure function of (parent, load, radio), all fixed
@@ -432,6 +599,24 @@ func (nw *Network) computeLoads() {
 		}
 	}
 }
+
+// loadSorter orders the load propagation by the canonical (descending
+// route distance, ascending ID) key. It lives on the Network so sorting
+// allocates nothing.
+type loadSorter struct {
+	order []int
+	hop   []float64
+}
+
+func (s *loadSorter) Len() int { return len(s.order) }
+
+func (s *loadSorter) Less(i, j int) bool {
+	a, b := s.order[i], s.order[j]
+	ha, hb := s.hop[a], s.hop[b]
+	return ha > hb || (ha == hb && a < b)
+}
+
+func (s *loadSorter) Swap(i, j int) { s.order[i], s.order[j] = s.order[j], s.order[i] }
 
 // Parent returns node id's routing parent: another node, ParentSink, or
 // ParentNone when the node is disconnected or dead.
@@ -463,14 +648,20 @@ func (nw *Network) ConnectedCount() int {
 }
 
 // distHeap is a min-heap for Dijkstra, stored by value and sifted
-// manually so pushes never box through an interface. The sift algorithms
-// are element-for-element identical to container/heap's up/down, so the
-// pop order — including ties, which Dijkstra's tree construction is
-// sensitive to — matches the previous heap.Interface implementation
-// exactly.
+// manually so pushes never box through an interface. Items order by the
+// canonical (distance, index) key: lexicographic ordering makes the pop
+// sequence — and therefore every tie-break the tree construction is
+// sensitive to — a pure function of the key set, independent of insertion
+// history, which the incremental rebuild relies on to reproduce the full
+// rebuild exactly.
 type distItem struct {
 	idx int
 	d   float64
+}
+
+// less orders heap items by (distance, index).
+func (a distItem) less(b distItem) bool {
+	return a.d < b.d || (a.d == b.d && a.idx < b.idx)
 }
 
 type distHeap []distItem
@@ -482,7 +673,7 @@ func (h *distHeap) push(it distItem) {
 	i := len(s) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !(s[i].d < s[parent].d) {
+		if !s[i].less(s[parent]) {
 			break
 		}
 		s[i], s[parent] = s[parent], s[i]
@@ -505,10 +696,10 @@ func (h *distHeap) pop() distItem {
 			break
 		}
 		j := left
-		if right := left + 1; right < n && s[right].d < s[left].d {
+		if right := left + 1; right < n && s[right].less(s[left]) {
 			j = right
 		}
-		if !(s[j].d < s[i].d) {
+		if !s[j].less(s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]

@@ -5,8 +5,6 @@
 package wrsn
 
 import (
-	"fmt"
-
 	"github.com/reprolab/wrsn-csa/internal/energy"
 	"github.com/reprolab/wrsn-csa/internal/geom"
 )
@@ -15,22 +13,28 @@ import (
 // assigned at construction.
 type NodeID int
 
-// Node is one rechargeable sensor node.
+// Node is the view over one rechargeable sensor node. The node's primary
+// state lives in the network's dense struct-of-arrays storage (positions,
+// batteries, generation rates, and the failed bitset are parallel slices
+// indexed by NodeID); Node is a stable handle over that storage carrying
+// the public per-node API, so callers keep the same contract they had
+// when nodes were freestanding structs. Handles are pointer-stable for
+// the life of the network and safe to copy.
 type Node struct {
 	// ID is the node's index within the network.
 	ID NodeID
 	// Pos is the deployment location in meters.
 	Pos geom.Point
-	// Battery is the node's energy store.
+	// Battery is the node's energy store; it points into the network's
+	// dense battery array.
 	Battery *energy.Battery
 	// GenBps is the node's locally generated (sensed) data rate in bits
 	// per second.
 	GenBps float64
 
-	// failed marks a hardware fault: the node is powered off — out of the
-	// routing tree and not draining — until repaired. Orthogonal to
-	// battery depletion.
-	failed bool
+	// net backs the hardware-fault bit, which lives in the network's
+	// failed bitset rather than in the view.
+	net *Network
 }
 
 // NodeSpec describes a node to be constructed by NewNetwork.
@@ -58,39 +62,19 @@ const (
 	DefaultMeterQuantumJ = 0.5
 )
 
-func newNode(id NodeID, spec NodeSpec) (*Node, error) {
-	cap := spec.BatteryJ
-	if cap <= 0 {
-		cap = DefaultBatteryJ
-	}
-	frac := spec.InitialFrac
-	if frac <= 0 || frac > 1 {
-		frac = 1
-	}
-	bat, err := energy.NewBattery(cap, cap*frac, DefaultMeterQuantumJ)
-	if err != nil {
-		return nil, fmt.Errorf("node %d: %w", id, err)
-	}
-	gen := spec.GenBps
-	if gen <= 0 {
-		gen = DefaultGenBps
-	}
-	return &Node{ID: id, Pos: spec.Pos, Battery: bat, GenBps: gen}, nil
-}
-
 // Alive reports whether the node is in service: not hardware-failed and
 // not battery-depleted. Routing, drain, and forecasting all key off
 // Alive, so a failed node drops out of the network exactly like a dead
 // one — but its battery is preserved and it returns on Repair.
-func (n *Node) Alive() bool { return !n.failed && !n.Battery.Depleted() }
+func (n *Node) Alive() bool { return !n.net.failed.get(int(n.ID)) && !n.Battery.Depleted() }
 
 // Fail powers the node off with a hardware fault. Idempotent.
-func (n *Node) Fail() { n.failed = true }
+func (n *Node) Fail() { n.net.failed.set(int(n.ID)) }
 
 // Repair clears a hardware fault; the node rejoins with whatever charge
 // its battery held when it failed. Idempotent.
-func (n *Node) Repair() { n.failed = false }
+func (n *Node) Repair() { n.net.failed.clear(int(n.ID)) }
 
 // Failed reports whether the node is hardware-failed (independent of
 // battery state).
-func (n *Node) Failed() bool { return n.failed }
+func (n *Node) Failed() bool { return n.net.failed.get(int(n.ID)) }

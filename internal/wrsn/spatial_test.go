@@ -98,8 +98,8 @@ func TestNodesNearMatchesBrute(t *testing.T) {
 		pos := geom.Point{X: rng.Float64()*350 - 50, Y: rng.Float64()*350 - 50}
 		r := rng.Float64() * 100
 		var want []*Node
-		for _, n := range nw.nodes {
-			if n.Alive() && pos.Dist(n.Pos) <= r {
+		for i := range nw.nodes {
+			if n := &nw.nodes[i]; n.Alive() && pos.Dist(n.Pos) <= r {
 				want = append(want, n)
 			}
 		}

@@ -22,7 +22,10 @@ type NodeState struct {
 // State is the serializable form of a Network. It carries only primary
 // state — node specs, sink, radio, policy — not the derived routing tree:
 // Recompute is deterministic, so FromState rebuilds routing, loads, and
-// drains bit-identically from the primary state alone.
+// drains bit-identically from the primary state alone. The wire format is
+// storage-layout agnostic: it reads per-node rows out of the dense
+// struct-of-arrays block and writes them back, so snapshots taken before
+// the SoA refactor decode into identical networks.
 type State struct {
 	Sink      geom.Point        `json:"sink"`
 	CommRange float64           `json:"comm_range"`
@@ -41,14 +44,14 @@ func (nw *Network) State() State {
 		Policy:    nw.policy,
 		Nodes:     make([]NodeState, len(nw.nodes)),
 	}
-	for i, n := range nw.nodes {
+	for i := range nw.nodes {
 		st.Nodes[i] = NodeState{
-			Pos:       n.Pos,
-			GenBps:    n.GenBps,
-			CapacityJ: n.Battery.Capacity(),
-			LevelJ:    n.Battery.Level(),
-			QuantumJ:  n.Battery.Quantum(),
-			Failed:    n.failed,
+			Pos:       nw.pos[i],
+			GenBps:    nw.genBps[i],
+			CapacityJ: nw.bats[i].Capacity(),
+			LevelJ:    nw.bats[i].Level(),
+			QuantumJ:  nw.bats[i].Quantum(),
+			Failed:    nw.failed.get(i),
 		}
 	}
 	return st
@@ -69,38 +72,40 @@ func FromState(st State) (*Network, error) {
 		return nil, err
 	}
 	nw := &Network{
-		nodes:     make([]*Node, len(st.Nodes)),
 		sink:      st.Sink,
 		commRange: st.CommRange,
 		radio:     st.Radio,
 		policy:    st.Policy,
 	}
-	pts := make([]geom.Point, len(st.Nodes))
+	nw.grow(len(st.Nodes))
 	for i, ns := range st.Nodes {
 		bat, err := energy.NewBattery(ns.CapacityJ, ns.LevelJ, ns.QuantumJ)
 		if err != nil {
 			return nil, fmt.Errorf("wrsn: node %d: %w", i, err)
 		}
-		nw.nodes[i] = &Node{
-			ID:      NodeID(i),
-			Pos:     ns.Pos,
-			Battery: bat,
-			GenBps:  ns.GenBps,
-			failed:  ns.Failed,
+		nw.bats[i] = *bat
+		nw.pos[i] = ns.Pos
+		nw.genBps[i] = ns.GenBps
+		if ns.Failed {
+			nw.failed.set(i)
 		}
-		pts[i] = ns.Pos
+		nw.nodes[i] = Node{ID: NodeID(i), Pos: ns.Pos, Battery: &nw.bats[i], GenBps: ns.GenBps, net: nw}
+		nw.ptrs[i] = &nw.nodes[i]
 	}
-	nw.grid = geom.NewGrid(pts, st.CommRange)
+	nw.grid = geom.NewGrid(nw.pos, st.CommRange)
 	nw.Recompute()
 	return nw, nil
 }
 
-// Fork returns an independent copy-on-write copy of the network: nodes and
-// batteries are deep-copied so the fork's energy dynamics never touch the
-// original, while the position grid — immutable after construction — is
-// shared. The derived routing state (parents, loads, children, drains) is
-// copied rather than recomputed, so forking skips the Dijkstra pass the
-// original already paid for.
+// Fork returns an independent copy-on-write copy of the network: the dense
+// primary state is block-copied (batteries are one memcpy instead of
+// per-node clones) so the fork's energy dynamics never touch the original,
+// while the position grid — immutable after construction — is shared. The
+// derived routing state and the persisted shortest-path state (distances,
+// predecessors, the alive set the tree was computed over) are copied
+// rather than recomputed, so forking skips the Dijkstra pass the original
+// already paid for and the fork's first Recompute can continue
+// incrementally.
 //
 // Fork performs only pure reads of the receiver, so many goroutines may
 // fork the same template network concurrently as long as none of them
@@ -108,38 +113,35 @@ func FromState(st State) (*Network, error) {
 func (nw *Network) Fork() *Network {
 	n := len(nw.nodes)
 	f := &Network{
-		nodes:     make([]*Node, n),
 		sink:      nw.sink,
 		commRange: nw.commRange,
 		radio:     nw.radio,
 		policy:    nw.policy,
 		grid:      nw.grid,
 	}
-	for i, src := range nw.nodes {
-		f.nodes[i] = &Node{
-			ID:      src.ID,
-			Pos:     src.Pos,
-			Battery: src.Battery.Clone(),
-			GenBps:  src.GenBps,
-			failed:  src.failed,
-		}
+	f.grow(n)
+	copy(f.pos, nw.pos)
+	copy(f.genBps, nw.genBps)
+	copy(f.bats, nw.bats)
+	f.failed.copyFrom(nw.failed)
+	for i := range f.nodes {
+		f.nodes[i] = Node{ID: NodeID(i), Pos: f.pos[i], Battery: &f.bats[i], GenBps: f.genBps[i], net: f}
+		f.ptrs[i] = &f.nodes[i]
 	}
-	if len(nw.parent) == n {
-		// Recompute allocates the whole derived+Dijkstra block together
-		// when len(parent) != n, so a fork that copies parent must also
-		// provide dist/pred at their invariant sizes.
-		f.parent = append([]NodeID(nil), nw.parent...)
-		f.hopDist = append([]float64(nil), nw.hopDist...)
-		f.loads = append([]energy.Load(nil), nw.loads...)
-		f.drainW = append([]float64(nil), nw.drainW...)
-		f.children = make([][]NodeID, n)
-		for i, c := range nw.children {
-			if len(c) > 0 {
-				f.children[i] = append([]NodeID(nil), c...)
-			}
+	copy(f.parent, nw.parent)
+	copy(f.hopDist, nw.hopDist)
+	copy(f.loads, nw.loads)
+	copy(f.drainW, nw.drainW)
+	copy(f.dist, nw.dist)
+	copy(f.pred, nw.pred)
+	f.prevLive.copyFrom(nw.prevLive)
+	f.treeValid = nw.treeValid
+	f.fullOnly = nw.fullOnly
+	f.order = append(f.order, nw.order...)
+	for i, c := range nw.children {
+		if len(c) > 0 {
+			f.children[i] = append([]NodeID(nil), c...)
 		}
-		f.dist = make([]float64, n+1)
-		f.pred = make([]int, n+1)
 	}
 	return f
 }
