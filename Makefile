@@ -3,13 +3,14 @@ GO ?= go
 # Benchmarks that gate in CI: the parallel engine's sweep throughput,
 # the end-to-end campaign hot path (including the death-heavy 10k scale
 # configs), the incremental routing recompute against its full-rebuild
-# twin, and the snapshot/fork seed sweep against its rebuild baseline
-# (BenchmarkSeedSweep matches both).
-GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep|BenchmarkRecomputeIncremental
+# twin, the snapshot/fork seed sweep against its rebuild baseline
+# (BenchmarkSeedSweep matches both), and the live-checkpoint capture
+# cost that bounds how aggressive -checkpoint-every can be.
+GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep|BenchmarkRecomputeIncremental|BenchmarkCheckpointCapture
 BENCH_PKGS = . ./internal/campaign ./internal/wrsn
 BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot verify-scale results clean
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot verify-checkpoint verify-scale results clean
 
 all: verify
 
@@ -102,6 +103,16 @@ verify-snapshot:
 	$(GO) test ./internal/campaign -run 'GoldenForked|GoldenDecodedFork|ForkSpecsCover' -count=1
 	$(GO) test -race -count=1 ./internal/snapshot/...
 	$(GO) test -count=1 ./internal/jobspec -run 'Snapshot'
+
+# verify-checkpoint is the kill-and-resume fence: EVERY golden flavor is
+# stopped at a deterministic pseudo-random barrier, serialized, decoded,
+# and resumed — and must reproduce its exact golden Outcome digest —
+# under the race detector; then the service-layer drill (daemon drain
+# parks jobs at checkpoints, a restarted daemon resumes them to the same
+# digest) runs the same way.
+verify-checkpoint:
+	WRSN_VERIFY_CHECKPOINT=1 $(GO) test -race -count=1 ./internal/campaign -run 'TestCheckpointResumeGolden|TestCheckpointResumeShardInvariance|TestCheckpointPeriodicCapture' -timeout 20m
+	$(GO) test -race -count=1 ./internal/service -run 'Checkpoint|Drain|Restart|Healthz'
 
 # verify-scale focuses the large-network contracts: the incremental
 # shortest-path-tree oracle (exact equality with a brute-force canonical

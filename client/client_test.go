@@ -142,7 +142,7 @@ func TestHTTPDeterminismMatchesLibrary(t *testing.T) {
 // *APIError, invalid spec → *APIError(400).
 func TestClientBackpressureAndErrors(t *testing.T) {
 	gate := make(chan struct{})
-	block := func(ctx context.Context, _ jobspec.Spec, _ obs.Probe) (*jobspec.Result, error) {
+	block := func(ctx context.Context, _ jobspec.Spec, _ jobspec.RunOptions) (*jobspec.Result, error) {
 		select {
 		case <-gate:
 			return nil, errors.New("unused")

@@ -14,15 +14,19 @@
 //
 // SIGTERM/SIGINT triggers a graceful drain: intake closes (503), queued
 // and in-flight jobs run to completion within -drain-timeout, then the
-// process exits. Results are deterministic: the same spec yields the
-// same Outcome digest as the in-process library path, at any worker
-// count (-smoke proves this end to end and exits).
+// process exits. With -persist-dir and -checkpoint-every set, jobs
+// still in flight when the drain budget expires are parked at live
+// checkpoints instead of canceled, and the next daemon on the same
+// persist dir resumes them mid-campaign. Results are deterministic: the
+// same spec yields the same Outcome digest as the in-process library
+// path, at any worker count and across any kill/resume cycle (-smoke
+// proves the HTTP path end to end and exits).
 //
 // Usage:
 //
 //	wrsncsad [-addr :8077] [-queue 64] [-workers 0] [-job-timeout 0]
 //	         [-job-retries 0] [-retry-after 1s] [-drain-timeout 30s]
-//	         [-max-results 0] [-persist-dir dir]
+//	         [-max-results 0] [-persist-dir dir] [-checkpoint-every 0]
 //	         [-metrics daemon.csv] [-events events.json] [-smoke]
 package main
 
@@ -64,6 +68,7 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before in-flight jobs are canceled")
 	maxResults := fs.Int("max-results", 0, "finished jobs to retain; older ones are evicted and answer 410 Gone (0 = unbounded)")
 	persistDir := fs.String("persist-dir", "", "directory for durable job specs; queued/running jobs are re-run after a restart (empty = no persistence)")
+	checkpointEvery := fs.Duration("checkpoint-every", 0, "live-checkpoint interval for running jobs (requires -persist-dir; 0 = off); checkpointed jobs survive kills and resume mid-campaign on restart")
 	smoke := fs.Bool("smoke", false, "self-test: serve on a loopback port, run jobs through the HTTP path, verify digests against the library path, drain, exit")
 	var tel cliexport.Telemetry
 	tel.Register(fs)
@@ -72,13 +77,17 @@ func run(args []string) error {
 	}
 
 	opts := service.Options{
-		QueueDepth: *queue,
-		Workers:    *workers,
-		Job:        engine.Options{Timeout: *jobTimeout, Retries: *jobRetries},
-		RetryAfter: *retryAfter,
-		MaxResults: *maxResults,
-		PersistDir: *persistDir,
-		Probe:      tel.Probe(),
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		Job:             engine.Options{Timeout: *jobTimeout, Retries: *jobRetries},
+		RetryAfter:      *retryAfter,
+		MaxResults:      *maxResults,
+		PersistDir:      *persistDir,
+		CheckpointEvery: *checkpointEvery,
+		Probe:           tel.Probe(),
+	}
+	if *checkpointEvery > 0 && *persistDir == "" {
+		return errors.New("-checkpoint-every needs -persist-dir: checkpoints must land somewhere durable")
 	}
 	if *smoke {
 		return runSmoke(opts, tel)
@@ -109,7 +118,11 @@ func run(args []string) error {
 	defer cancel()
 	drainErr := svc.Shutdown(drainCtx)
 	if errors.Is(drainErr, context.DeadlineExceeded) {
-		fmt.Println("wrsncsad: drain budget exhausted; in-flight jobs canceled")
+		if *checkpointEvery > 0 {
+			fmt.Println("wrsncsad: drain budget exhausted; in-flight jobs parked at live checkpoints (restart with the same -persist-dir to resume)")
+		} else {
+			fmt.Println("wrsncsad: drain budget exhausted; in-flight jobs canceled")
+		}
 		drainErr = nil
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,38 @@
+package attack
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// windowWire is Window's JSON form. Cover sites carry open service
+// windows whose deadline is +Inf, which encoding/json cannot represent,
+// so D rides as a pointer that is omitted when the deadline is infinite.
+type windowWire struct {
+	R float64  `json:"r"`
+	D *float64 `json:"d,omitempty"`
+}
+
+// MarshalJSON encodes the window with an omitted deadline meaning +Inf.
+func (w Window) MarshalJSON() ([]byte, error) {
+	ww := windowWire{R: w.R}
+	if !math.IsInf(w.D, 1) {
+		d := w.D
+		ww.D = &d
+	}
+	return json.Marshal(ww)
+}
+
+// UnmarshalJSON decodes the window, mapping an absent deadline to +Inf.
+func (w *Window) UnmarshalJSON(data []byte) error {
+	var ww windowWire
+	if err := json.Unmarshal(data, &ww); err != nil {
+		return err
+	}
+	w.R = ww.R
+	w.D = math.Inf(1)
+	if ww.D != nil {
+		w.D = *ww.D
+	}
+	return nil
+}

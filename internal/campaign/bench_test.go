@@ -2,9 +2,12 @@ package campaign
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
+	"github.com/reprolab/wrsn-csa/internal/campaign/policy"
 	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
@@ -78,6 +81,42 @@ func benchLargeCampaign(b *testing.B, n int, fullRebuild bool) {
 		b.StartTimer()
 	}
 	b.ReportMetric(float64(deaths)/float64(b.N), "deaths/op")
+}
+
+// BenchmarkCheckpointCapture measures one live-checkpoint capture — the
+// full barrier path a checkpointing daemon pays per interval: policy
+// phase capture, world/ledger/RNG state reads, and snapshot assembly —
+// at the evaluation scale and the 10k scale gate. Capture cost bounds
+// how aggressive -checkpoint-every can be, so it gates in CI.
+func BenchmarkCheckpointCapture(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sc := trace.DefaultScenario(42, n)
+			nw, _, err := sc.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			ch := mc.New(nw.Sink(), mc.DefaultParams())
+			cfg := Config{Seed: 42}
+			cfg.applyDefaults()
+			env, led, w := layers(context.Background(), nw, ch, cfg)
+			ck := &checkpointer{
+				plan: &CheckpointPlan{
+					Scenario: sc,
+					Sink:     func(*snapshot.Snapshot) error { return nil },
+				},
+				nw: nw, ch: ch, w: w, led: led, env: env,
+				pol: policy.NewLegit(), keys: nw.KeyNodes(), r: env.Rand,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ck.barrier(policy.Barrier{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCampaignScale100k is the headroom probe at two further orders

@@ -18,6 +18,7 @@ package campaign
 
 import (
 	"context"
+	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
@@ -135,6 +136,11 @@ type Config struct {
 	// Outcome is byte-identical at any value — sharding is purely a
 	// wall-clock knob for large networks.
 	Shards int
+	// Checkpoint arms live checkpointing: at handler-safe barriers the
+	// run captures a version-2 snapshot and hands it to the plan's Sink.
+	// Capture is pure reads — a checkpointed run's Outcome is
+	// byte-identical to an unhooked one. Nil disables checkpointing.
+	Checkpoint *CheckpointPlan
 }
 
 // Sample is one point of the lifetime time series.
@@ -266,17 +272,7 @@ func (o *Outcome) KeyExhaustRatio() float64 {
 // Env carries the run configuration into the policy driver.
 func layers(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config) (*policy.Env, *ledger.L, *world.W) {
 	led := ledger.New()
-	w := world.New(ctx, nw, led, world.Params{
-		PollSec:          cfg.PollSec,
-		RequestFrac:      cfg.RequestFrac,
-		SampleEverySec:   cfg.SampleEverySec,
-		AuditEverySec:    cfg.AuditEverySec,
-		MinAuditSessions: cfg.MinAuditSessions,
-		PendingGraceSec:  cfg.PendingGraceSec,
-		Detectors:        cfg.Detectors,
-		Faults:           cfg.Faults,
-		Shards:           cfg.Shards,
-	}, cfg.Probe)
+	w := world.New(ctx, nw, led, worldParams(cfg), cfg.Probe)
 	// The campaign stream must be split before any draw so solver and
 	// session randomness stay on the pre-refactor sequence.
 	r := rng.New(cfg.Seed).Split("campaign")
@@ -315,6 +311,13 @@ func run(ctx context.Context, nw *wrsn.Network, ch *mc.Charger, cfg Config, pol 
 	keys := nw.KeyNodes()
 	for _, k := range keys {
 		w.MarkKey(k.ID)
+	}
+	if cfg.Checkpoint != nil {
+		ck := &checkpointer{
+			plan: cfg.Checkpoint, nw: nw, ch: ch, w: w, led: led,
+			env: env, pol: pol, keys: keys, r: env.Rand, last: time.Now(),
+		}
+		env.Checkpoint = ck.barrier
 	}
 	if err := policy.Drive(env, pol); err != nil {
 		return nil, err

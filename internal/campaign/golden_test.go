@@ -50,103 +50,120 @@ func digestOf(t *testing.T, v any) string {
 	return d
 }
 
-// goldenCase runs one pinned campaign configuration. probe is attached to
-// both the charger and the campaign when non-nil; the digest must not
-// move either way — telemetry is strictly observational.
+// caseKind selects the campaign entry point a golden case exercises.
+type caseKind int
+
+const (
+	kindLegit caseKind = iota
+	kindAttack
+	kindFleet
+)
+
+// goldenCase is one pinned campaign configuration in data form — enough
+// for the digest harness to run it and for the checkpoint fence to run,
+// interrupt, and resume it. probe is attached to both the chargers and
+// the campaign when non-nil; the digest must not move either way —
+// telemetry is strictly observational.
 type goldenCase struct {
-	name string
-	run  func(t *testing.T, probe obs.Probe) any
+	name   string
+	kind   caseKind
+	seed   uint64
+	n      int
+	fleetK int
+	// spec, when non-nil, compiles a fresh fault plan per run (plans are
+	// single-use, so regen, probed re-runs, and resumes each build one).
+	spec   *faults.Spec
+	mutate func(*Config)
 }
 
-func attackCase(seed uint64, n int, mutate func(*Config)) func(t *testing.T, probe obs.Probe) any {
-	return func(t *testing.T, probe obs.Probe) any {
-		t.Helper()
-		nw, _, err := trace.DefaultScenario(seed, n).Build()
-		if err != nil {
-			t.Fatal(err)
-		}
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
-		if probe != nil {
-			ch.Instrument(probe)
-		}
-		cfg := Config{Seed: seed, Probe: probe}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		o, err := RunAttack(context.Background(), nw, ch, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return o
+// scenario is the case's pinned world recipe; it also rides along as
+// checkpoint provenance.
+func (gc goldenCase) scenario() trace.Scenario {
+	return trace.DefaultScenario(gc.seed, gc.n)
+}
+
+// config assembles the run Config, building a fresh fault plan when the
+// case has one.
+func (gc goldenCase) config(probe obs.Probe) Config {
+	cfg := Config{Seed: gc.seed, Probe: probe}
+	if gc.spec != nil {
+		cfg.Faults = faults.New(*gc.spec, gc.n)
 	}
-}
-
-func legitCase(seed uint64, n int, mutate func(*Config)) func(t *testing.T, probe obs.Probe) any {
-	return func(t *testing.T, probe obs.Probe) any {
-		t.Helper()
-		nw, _, err := trace.DefaultScenario(seed, n).Build()
-		if err != nil {
-			t.Fatal(err)
-		}
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
-		if probe != nil {
-			ch.Instrument(probe)
-		}
-		cfg := Config{Seed: seed, Probe: probe}
-		if mutate != nil {
-			mutate(&cfg)
-		}
-		o, err := RunLegit(context.Background(), nw, ch, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return o
+	if gc.mutate != nil {
+		gc.mutate(&cfg)
 	}
+	return cfg
 }
 
-// faultCase is attackCase with a fault plan compiled from spec. The plan
-// is built inside the run (plans are single-use) so regen and probed
-// re-runs each get a fresh one.
-func faultCase(seed uint64, n int, spec faults.Spec) func(t *testing.T, probe obs.Probe) any {
-	return func(t *testing.T, probe obs.Probe) any {
-		t.Helper()
-		nw, _, err := trace.DefaultScenario(seed, n).Build()
-		if err != nil {
-			t.Fatal(err)
-		}
-		ch := mc.New(nw.Sink(), mc.DefaultParams())
-		if probe != nil {
-			ch.Instrument(probe)
-		}
-		cfg := Config{Seed: seed, Probe: probe, Faults: faults.New(spec, nw.Len())}
-		o, err := RunAttack(context.Background(), nw, ch, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return o
+// runPlan executes the case once, optionally with a checkpoint plan
+// armed, and returns the raw outcome and error — the checkpoint fence
+// needs ErrStopped back, so nothing is t.Fatal'd here.
+func (gc goldenCase) runPlan(t *testing.T, probe obs.Probe, plan *CheckpointPlan) (any, error) {
+	t.Helper()
+	nw, _, err := gc.scenario().Build()
+	if err != nil {
+		t.Fatal(err)
 	}
-}
-
-func fleetCase(seed uint64, n, k int) func(t *testing.T, probe obs.Probe) any {
-	return func(t *testing.T, probe obs.Probe) any {
-		t.Helper()
-		nw, _, err := trace.DefaultScenario(seed, n).Build()
-		if err != nil {
-			t.Fatal(err)
-		}
-		chargers := make([]*mc.Charger, k)
+	cfg := gc.config(probe)
+	if plan != nil {
+		plan.Scenario = gc.scenario()
+		cfg.Checkpoint = plan
+	}
+	ctx := context.Background()
+	if gc.kind == kindFleet {
+		chargers := make([]*mc.Charger, gc.fleetK)
 		for i := range chargers {
 			chargers[i] = mc.New(nw.Sink(), mc.DefaultParams())
 			if probe != nil {
 				chargers[i].Instrument(probe)
 			}
 		}
-		o, err := RunLegitFleet(context.Background(), nw, chargers, Config{Seed: seed, Probe: probe})
-		if err != nil {
-			t.Fatal(err)
+		o, err := RunLegitFleet(ctx, nw, chargers, cfg)
+		if o == nil {
+			return nil, err // a typed nil inside `any` would defeat == nil checks
 		}
-		return o
+		return o, err
 	}
+	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	if probe != nil {
+		ch.Instrument(probe)
+	}
+	var o *Outcome
+	if gc.kind == kindLegit {
+		o, err = RunLegit(ctx, nw, ch, cfg)
+	} else {
+		o, err = RunAttack(ctx, nw, ch, cfg)
+	}
+	if o == nil {
+		return nil, err
+	}
+	return o, err
+}
+
+// run executes the case once and fails the test on error.
+func (gc goldenCase) run(t *testing.T, probe obs.Probe) any {
+	t.Helper()
+	o, err := gc.runPlan(t, probe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func attackCase(seed uint64, n int, mutate func(*Config)) goldenCase {
+	return goldenCase{kind: kindAttack, seed: seed, n: n, mutate: mutate}
+}
+
+func legitCase(seed uint64, n int, mutate func(*Config)) goldenCase {
+	return goldenCase{kind: kindLegit, seed: seed, n: n, mutate: mutate}
+}
+
+func faultCase(seed uint64, n int, spec faults.Spec) goldenCase {
+	return goldenCase{kind: kindAttack, seed: seed, n: n, spec: &spec}
+}
+
+func fleetCase(seed uint64, n, k int) goldenCase {
+	return goldenCase{kind: kindFleet, seed: seed, n: n, fleetK: k}
 }
 
 // goldenCases is the pinned behavioral surface: three seeds per solver
@@ -154,35 +171,39 @@ func fleetCase(seed uint64, n, k int) func(t *testing.T, probe obs.Probe) any {
 // path (impoundment + honest replacement, progressive recruiting,
 // countermeasures, lifetime sampling, the no-fill ablation, fleet).
 func goldenCases() []goldenCase {
+	named := func(name string, gc goldenCase) goldenCase {
+		gc.name = name
+		return gc
+	}
 	cases := []goldenCase{}
 	for _, seed := range []uint64{42, 1000, 8919} {
 		seed := seed
 		cases = append(cases,
-			goldenCase{fmt.Sprintf("legit/seed%d", seed), legitCase(seed, 120, nil)},
-			goldenCase{fmt.Sprintf("csa/seed%d", seed), attackCase(seed, 120, nil)},
-			goldenCase{fmt.Sprintf("greedy/seed%d", seed), attackCase(seed, 120, func(c *Config) { c.Solver = SolverGreedyNearest })},
+			named(fmt.Sprintf("legit/seed%d", seed), legitCase(seed, 120, nil)),
+			named(fmt.Sprintf("csa/seed%d", seed), attackCase(seed, 120, nil)),
+			named(fmt.Sprintf("greedy/seed%d", seed), attackCase(seed, 120, func(c *Config) { c.Solver = SolverGreedyNearest })),
 		)
 	}
 	cases = append(cases,
-		goldenCase{"random/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverRandom })},
-		goldenCase{"polished/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverCSAPolished })},
-		goldenCase{"direct-nofill/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverDirect; c.NoFill = true })},
-		goldenCase{"progressive/seed42", attackCase(42, 150, func(c *Config) { c.Progressive = true })},
-		goldenCase{"defense-verify/seed100", attackCase(100, 120, func(c *Config) { c.Defense = defense.Config{VerifyProb: 0.5} })},
-		goldenCase{"defense-witness/seed42", attackCase(42, 120, func(c *Config) { c.Defense = defense.Config{WitnessDutyCycle: 1} })},
-		goldenCase{"sampled/seed42", attackCase(42, 100, func(c *Config) { c.SampleEverySec = 6 * 3600 })},
-		goldenCase{"legit-edf/seed42", legitCase(42, 120, func(c *Config) { c.Scheduler = charging.EDF{} })},
-		goldenCase{"fleet2/seed42", fleetCase(42, 150, 2)},
-		goldenCase{"fleet3/seed11", fleetCase(11, 150, 3)},
+		named("random/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverRandom })),
+		named("polished/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverCSAPolished })),
+		named("direct-nofill/seed42", attackCase(42, 120, func(c *Config) { c.Solver = SolverDirect; c.NoFill = true })),
+		named("progressive/seed42", attackCase(42, 150, func(c *Config) { c.Progressive = true })),
+		named("defense-verify/seed100", attackCase(100, 120, func(c *Config) { c.Defense = defense.Config{VerifyProb: 0.5} })),
+		named("defense-witness/seed42", attackCase(42, 120, func(c *Config) { c.Defense = defense.Config{WitnessDutyCycle: 1} })),
+		named("sampled/seed42", attackCase(42, 100, func(c *Config) { c.SampleEverySec = 6 * 3600 })),
+		named("legit-edf/seed42", legitCase(42, 120, func(c *Config) { c.Scheduler = charging.EDF{} })),
+		named("fleet2/seed42", fleetCase(42, 150, 2)),
+		named("fleet3/seed11", fleetCase(11, 150, 3)),
 		// Fault-injection flavors, one per fault family, pinned at the
 		// default horizon. Each isolates its family so a digest drift
 		// points at the responsible mechanism.
-		goldenCase{"faults-node/seed42", faultCase(42, 120, faults.Spec{
-			Seed: 42, HorizonSec: attack.DefaultHorizonSec, NodeFailures: 5})},
-		goldenCase{"faults-loss/seed42", faultCase(42, 120, faults.Spec{
-			Seed: 42, HorizonSec: attack.DefaultHorizonSec, RequestLossProb: 0.3})},
-		goldenCase{"faults-breakdown/seed42", faultCase(42, 120, faults.Spec{
-			Seed: 42, HorizonSec: attack.DefaultHorizonSec, ChargerBreakdowns: 3})},
+		named("faults-node/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, NodeFailures: 5})),
+		named("faults-loss/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, RequestLossProb: 0.3})),
+		named("faults-breakdown/seed42", faultCase(42, 120, faults.Spec{
+			Seed: 42, HorizonSec: attack.DefaultHorizonSec, ChargerBreakdowns: 3})),
 	)
 	return cases
 }

@@ -1,0 +1,96 @@
+package ledger
+
+import (
+	"math"
+
+	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/defense"
+	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/faults"
+)
+
+// State is the ledger's serializable checkpoint form. Fields mirror L
+// one-for-one except FirstDeath, which rides as a pointer so the +Inf
+// "nobody has died yet" sentinel survives JSON (absent on the wire means
+// +Inf).
+type State struct {
+	Sessions       []charging.Session `json:"sessions,omitempty"`
+	Audit          detect.Audit       `json:"audit"`
+	Issued         int                `json:"issued,omitempty"`
+	Served         int                `json:"served,omitempty"`
+	Samples        []Sample           `json:"samples,omitempty"`
+	Exposures      []defense.Exposure `json:"exposures,omitempty"`
+	FalseAlarms    int                `json:"false_alarms,omitempty"`
+	WitnessSamples int                `json:"witness_samples,omitempty"`
+	ExtraTargets   int                `json:"extra_targets,omitempty"`
+	WaitSum        float64            `json:"wait_sum,omitempty"`
+	WaitN          int                `json:"wait_n,omitempty"`
+	Faults         faults.Report      `json:"faults"`
+	FirstDeath     *float64           `json:"first_death,omitempty"`
+	Caught         bool               `json:"caught,omitempty"`
+	CaughtAt       float64            `json:"caught_at,omitempty"`
+	CaughtBy       string             `json:"caught_by,omitempty"`
+}
+
+// StateOf captures the ledger. All slices are deep-copied, so the state
+// is immutable with respect to the continuing run.
+func StateOf(l *L) State {
+	st := State{
+		Sessions: append([]charging.Session(nil), l.Sessions...),
+		Audit: detect.Audit{
+			Sessions: append([]detect.SessionObs(nil), l.Audit.Sessions...),
+			Deaths:   append([]detect.DeathObs(nil), l.Audit.Deaths...),
+			Unserved: append([]detect.RequestObs(nil), l.Audit.Unserved...),
+		},
+		Issued:         l.Issued,
+		Served:         l.Served,
+		Samples:        append([]Sample(nil), l.Samples...),
+		Exposures:      append([]defense.Exposure(nil), l.Exposures...),
+		FalseAlarms:    l.FalseAlarms,
+		WitnessSamples: l.WitnessSamples,
+		ExtraTargets:   l.ExtraTargets,
+		WaitSum:        l.WaitSum,
+		WaitN:          l.WaitN,
+		Faults:         l.Faults,
+		Caught:         l.Caught,
+		CaughtAt:       l.CaughtAt,
+		CaughtBy:       l.CaughtBy,
+	}
+	st.Faults.SinkWindows = append([]faults.Window(nil), l.Faults.SinkWindows...)
+	if !math.IsInf(l.FirstDeath, 1) {
+		fd := l.FirstDeath
+		st.FirstDeath = &fd
+	}
+	return st
+}
+
+// FromState reconstructs a ledger from a captured state.
+func FromState(st State) *L {
+	l := &L{
+		Sessions: append([]charging.Session(nil), st.Sessions...),
+		Audit: detect.Audit{
+			Sessions: append([]detect.SessionObs(nil), st.Audit.Sessions...),
+			Deaths:   append([]detect.DeathObs(nil), st.Audit.Deaths...),
+			Unserved: append([]detect.RequestObs(nil), st.Audit.Unserved...),
+		},
+		Issued:         st.Issued,
+		Served:         st.Served,
+		Samples:        append([]Sample(nil), st.Samples...),
+		Exposures:      append([]defense.Exposure(nil), st.Exposures...),
+		FalseAlarms:    st.FalseAlarms,
+		WitnessSamples: st.WitnessSamples,
+		ExtraTargets:   st.ExtraTargets,
+		WaitSum:        st.WaitSum,
+		WaitN:          st.WaitN,
+		Faults:         st.Faults,
+		FirstDeath:     math.Inf(1),
+		Caught:         st.Caught,
+		CaughtAt:       st.CaughtAt,
+		CaughtBy:       st.CaughtBy,
+	}
+	l.Faults.SinkWindows = append([]faults.Window(nil), st.Faults.SinkWindows...)
+	if st.FirstDeath != nil {
+		l.FirstDeath = *st.FirstDeath
+	}
+	return l
+}

@@ -98,6 +98,56 @@ type Env struct {
 	// irrecoverably missed.
 	Targets map[wrsn.NodeID]bool
 	Blocked map[wrsn.NodeID]bool
+
+	// Checkpoint, when set, is invoked at every handler-safe barrier of
+	// the drive loop — the top of each action-loop iteration and after
+	// each world step inside Wait advances (including the trailing
+	// advance to the horizon). The hook must only read; a non-nil error
+	// aborts the drive and propagates out of Drive/DriveResume. Nil
+	// disables barriers with zero overhead on the action path.
+	Checkpoint func(Barrier) error
+}
+
+// Barrier describes where in the drive loop a checkpoint hook fires, and
+// carries exactly the loop position needed to resume there: the pending
+// action result (loop barriers), the wait target (mid-wait barriers), or
+// the final-advance flag.
+type Barrier struct {
+	// Prev is the Result that feeds the next NextAction call.
+	Prev Result
+	// InWait marks a barrier inside a hooked Wait advance; WaitUntil is
+	// the advance target.
+	InWait    bool
+	WaitUntil float64
+	// Final marks a barrier inside the trailing advance to the horizon.
+	Final bool
+}
+
+// Stage names for ResumePoint (the serialized form of a Barrier position).
+const (
+	StageLoop  = "loop"
+	StageWait  = "wait"
+	StageFinal = "final"
+)
+
+// Stage returns the barrier's resume-stage name.
+func (b Barrier) Stage() string {
+	switch {
+	case b.Final:
+		return StageFinal
+	case b.InWait:
+		return StageWait
+	default:
+		return StageLoop
+	}
+}
+
+// ResumePoint is the drive-loop position a checkpoint captured; it tells
+// DriveResume where to re-enter.
+type ResumePoint struct {
+	Stage     string
+	Prev      Result
+	WaitUntil float64
 }
 
 // breakdownWait parks the charger through an open breakdown window: the
@@ -319,14 +369,59 @@ func fillOne(e *Env, deadline float64, returnPos geom.Point) bool {
 // scan and sample, then the action loop until Done, an error, or
 // cancellation, then the trailing advance to the horizon. The caller
 // checks ctx.Err() afterwards and assembles the Outcome from the ledger.
+//
+// With Env.Checkpoint set, the loop additionally fires the hook at every
+// barrier; a nil-returning hook leaves the executed action and event
+// sequence identical to an unhooked drive, so checkpointing can never
+// move a digest.
 func Drive(e *Env, pol Policy) error {
 	if err := pol.Bootstrap(e); err != nil {
 		return err
 	}
 	e.W.ScanRequests()
 	e.W.Sample()
-	prev := OK
+	if err := driveLoop(e, pol, OK); err != nil {
+		return err
+	}
+	return finalAdvance(e)
+}
+
+// DriveResume re-enters the drive loop of a restored run at the captured
+// barrier: mid-final-advance runs only the trailing advance; mid-wait
+// finishes the interrupted Wait then continues the loop; a loop barrier
+// continues the loop with the captured pending result. Bootstrap and the
+// initial scan/sample are never re-run — their effects are part of the
+// restored state.
+func DriveResume(e *Env, pol Policy, rp ResumePoint) error {
+	switch rp.Stage {
+	case StageFinal:
+		return finalAdvance(e)
+	case StageWait:
+		if err := advanceHooked(e, rp.WaitUntil, rp.Prev); err != nil {
+			return err
+		}
+		if err := driveLoop(e, pol, OK); err != nil {
+			return err
+		}
+		return finalAdvance(e)
+	case StageLoop:
+		if err := driveLoop(e, pol, rp.Prev); err != nil {
+			return err
+		}
+		return finalAdvance(e)
+	default:
+		return fmt.Errorf("policy: unknown resume stage %q", rp.Stage)
+	}
+}
+
+// driveLoop is the action loop shared by Drive and DriveResume.
+func driveLoop(e *Env, pol Policy, prev Result) error {
 	for !e.W.Canceled() {
+		if e.Checkpoint != nil {
+			if err := e.Checkpoint(Barrier{Prev: prev}); err != nil {
+				return err
+			}
+		}
 		act, err := pol.NextAction(e, prev)
 		if err != nil {
 			return err
@@ -334,13 +429,47 @@ func Drive(e *Env, pol Policy) error {
 		if _, done := act.(Done); done {
 			break
 		}
+		if wait, ok := act.(Wait); ok && e.Checkpoint != nil {
+			// Hook the wait's world steps so multi-hour idle advances
+			// stay checkpointable; Wait.Exec always returns OK.
+			if err := advanceHooked(e, wait.Until, prev); err != nil {
+				return err
+			}
+			prev = OK
+			continue
+		}
 		prev, err = act.Exec(e, pol)
 		if err != nil {
 			return err
 		}
 	}
-	e.W.AdvanceTo(e.Horizon)
 	return nil
+}
+
+// advanceHooked advances the world to until, firing mid-wait barriers
+// after each world step. prev is the result the interrupted loop will
+// resume NextAction with — it rides in the barrier so a checkpoint taken
+// here can re-enter exactly.
+func advanceHooked(e *Env, until float64, prev Result) error {
+	if e.Checkpoint == nil {
+		e.W.AdvanceTo(until)
+		return nil
+	}
+	return e.W.AdvanceToHook(until, func() error {
+		return e.Checkpoint(Barrier{Prev: prev, InWait: true, WaitUntil: until})
+	})
+}
+
+// finalAdvance runs the trailing advance to the horizon, hooked when a
+// checkpoint hook is armed.
+func finalAdvance(e *Env) error {
+	if e.Checkpoint == nil {
+		e.W.AdvanceTo(e.Horizon)
+		return nil
+	}
+	return e.W.AdvanceToHook(e.Horizon, func() error {
+		return e.Checkpoint(Barrier{Final: true})
+	})
 }
 
 // BootstrapAttack is the shared planning step of both attack policies:

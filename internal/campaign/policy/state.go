@@ -1,0 +1,120 @@
+package policy
+
+import (
+	"fmt"
+	"slices"
+
+	"github.com/reprolab/wrsn-csa/internal/attack"
+	"github.com/reprolab/wrsn-csa/internal/wrsn"
+)
+
+// State is a policy's serializable checkpoint form: the phase-machine
+// fields of the concrete policy, the Env's shared target bookkeeping
+// (sorted, so capture order never depends on map iteration), and the
+// drive-loop position the barrier carried. The legit policy is stateless
+// and contributes only its name and the loop position.
+type State struct {
+	// Policy is "legit" or the attack solver name.
+	Policy string `json:"policy"`
+	// Stage/Prev/WaitUntil record the drive-loop barrier (see ResumePoint).
+	Stage     string  `json:"stage"`
+	Prev      int     `json:"prev,omitempty"`
+	WaitUntil float64 `json:"wait_until,omitempty"`
+
+	// Attacker phase machine; zero for legit.
+	Phase    int              `json:"phase,omitempty"`
+	Honest   bool             `json:"honest,omitempty"`
+	Idx      int              `json:"idx,omitempty"`
+	Pending  []attack.Site    `json:"pending,omitempty"`
+	Engaged  []wrsn.NodeID    `json:"engaged,omitempty"`
+	Instance *attack.Instance `json:"instance,omitempty"`
+	Result   *attack.Result   `json:"result,omitempty"`
+
+	// Env bookkeeping.
+	Targets []wrsn.NodeID `json:"targets,omitempty"`
+	Blocked []wrsn.NodeID `json:"blocked,omitempty"`
+}
+
+// sortedIDs flattens a node-ID set deterministically.
+func sortedIDs(set map[wrsn.NodeID]bool) []wrsn.NodeID {
+	if len(set) == 0 {
+		return nil
+	}
+	ids := make([]wrsn.NodeID, 0, len(set))
+	for id := range set {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
+}
+
+// CaptureState snapshots the policy's phase machine, the Env's target
+// sets, and the barrier's loop position. Slices are copied; the Instance
+// and Result pointers are shared, which is safe because both are
+// immutable after Bootstrap.
+func CaptureState(pol Policy, e *Env, b Barrier) (*State, error) {
+	st := &State{
+		Policy:    pol.Name(),
+		Stage:     b.Stage(),
+		Prev:      int(b.Prev),
+		WaitUntil: b.WaitUntil,
+		Targets:   sortedIDs(e.Targets),
+		Blocked:   sortedIDs(e.Blocked),
+	}
+	switch p := pol.(type) {
+	case *Legit:
+	case *Attacker:
+		st.Phase = int(p.phase)
+		st.Honest = p.honest
+		st.Idx = p.idx
+		st.Pending = append([]attack.Site(nil), p.pending...)
+		st.Engaged = sortedIDs(p.engaged)
+		st.Instance = p.in
+		res := p.res
+		st.Result = &res
+	default:
+		return nil, fmt.Errorf("policy: %T does not support checkpointing", pol)
+	}
+	return st, nil
+}
+
+// FromState rebuilds the policy and refills the Env's target sets. It
+// returns the restored policy and the drive-loop resume point.
+func FromState(st *State, e *Env) (Policy, ResumePoint, error) {
+	rp := ResumePoint{Stage: st.Stage, Prev: Result(st.Prev), WaitUntil: st.WaitUntil}
+	switch rp.Stage {
+	case StageLoop, StageWait, StageFinal:
+	default:
+		return nil, rp, fmt.Errorf("policy: state has unknown stage %q", st.Stage)
+	}
+	for _, id := range st.Targets {
+		e.Targets[id] = true
+	}
+	for _, id := range st.Blocked {
+		e.Blocked[id] = true
+	}
+	if st.Policy == "legit" {
+		return NewLegit(), rp, nil
+	}
+	switch st.Policy {
+	case SolverCSA, SolverCSAPolished, SolverRandom, SolverGreedyNearest, SolverDirect:
+	default:
+		return nil, rp, fmt.Errorf("%w: %q in checkpoint state", ErrUnknownSolver, st.Policy)
+	}
+	p := NewAttacker(st.Policy)
+	p.phase = phase(st.Phase)
+	p.honest = st.Honest
+	p.idx = st.Idx
+	p.pending = append([]attack.Site(nil), st.Pending...)
+	if st.Engaged != nil || p.windowAware {
+		p.engaged = make(map[wrsn.NodeID]bool, len(st.Engaged))
+		for _, id := range st.Engaged {
+			p.engaged[id] = true
+		}
+	}
+	p.in = st.Instance
+	if st.Result != nil {
+		p.res = *st.Result
+	}
+	return p, rp, nil
+}

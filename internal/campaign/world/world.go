@@ -86,10 +86,9 @@ type W struct {
 	nextAudit  float64
 	auditing   bool
 
-	// stepFn is the single engine handler bound at construction; the
-	// self-rescheduling step chain re-enqueues this one closure with the
-	// current stepTarget instead of allocating a fresh closure per step.
-	stepFn     sim.Handler
+	// stepTarget is where the in-flight step chain is headed; the chain's
+	// single keyed handler (bound under stepKind at construction) re-reads
+	// it on every event, so re-targeting is a field write.
 	stepTarget float64
 
 	// Fault state. plan is nil on fault-free runs; every field below then
@@ -125,17 +124,7 @@ func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe o
 		keySet: make([]bool, n),
 	}
 	w.sh = newShardRunner(nw, p.Shards)
-	w.stepFn = func(e *sim.Engine) {
-		// CatchUp, not a bare step: a same-pump fault handler may already
-		// have advanced the world past this event's boundary (its Sync
-		// hook calls CatchUp), and after any such re-entrancy the world
-		// clock must land exactly on engine-now before rescheduling, or
-		// the next At would be in the past and kill the chain. With no
-		// faults w.now is exactly one step behind e.Now() and CatchUp
-		// performs the identical single step.
-		w.CatchUp(e.Now())
-		w.scheduleStep(w.stepTarget)
-	}
+	w.bindStep()
 	if !p.Faults.Empty() {
 		w.plan = p.Faults
 		w.retxAttempt = make([]int, n)
@@ -153,6 +142,25 @@ func New(ctx context.Context, nw *wrsn.Network, led *ledger.L, p Params, probe o
 		})
 	}
 	return w
+}
+
+// stepKind is the keyed-event kind of the world's step chain. Keyed
+// scheduling makes a pending step serializable into a live snapshot and
+// re-bindable on resume.
+const stepKind = "world.step"
+
+// bindStep registers the step-chain handler. CatchUp, not a bare step: a
+// same-pump fault handler may already have advanced the world past this
+// event's boundary (its Sync hook calls CatchUp), and after any such
+// re-entrancy the world clock must land exactly on engine-now before
+// rescheduling, or the next At would be in the past and kill the chain.
+// With no faults w.now is exactly one step behind e.Now() and CatchUp
+// performs the identical single step.
+func (w *W) bindStep() {
+	w.eng.Bind(stepKind, func(e *sim.Engine, _ int) {
+		w.CatchUp(e.Now())
+		w.scheduleStep(w.stepTarget)
+	})
 }
 
 // Now returns the world clock in seconds.
@@ -246,8 +254,39 @@ func (w *W) AdvanceTo(t float64) {
 	if t <= w.now {
 		return
 	}
-	w.scheduleStep(t)
+	w.armStep(t)
 	_ = w.eng.RunUntil(t, 0)
+}
+
+// AdvanceToHook is AdvanceTo with a checkpoint hook invoked after every
+// executed world-step event — the points where no handler is mid-flight
+// and the world clock equals the engine clock. A non-nil hook error
+// aborts the advance and is returned; with a nil-returning hook the
+// executed event sequence is identical to AdvanceTo.
+func (w *W) AdvanceToHook(t float64, hook func() error) error {
+	if t <= w.now {
+		return nil
+	}
+	w.armStep(t)
+	return w.eng.RunUntilHook(t, 0, func(kind, _ string) error {
+		if kind != stepKind {
+			return nil
+		}
+		return hook()
+	})
+}
+
+// armStep points the step chain at target. On a fresh advance no chain
+// event is pending and one is scheduled; on the first advance after a
+// resume the restored queue already carries the chain's next event, so
+// only the target field needs to move (scheduling a second event would
+// fork a duplicate chain and diverge later snapshots).
+func (w *W) armStep(target float64) {
+	if w.eng.HasPendingKind(stepKind) {
+		w.stepTarget = target
+		return
+	}
+	w.scheduleStep(target)
 }
 
 // scheduleStep queues the next step boundary toward target, and
@@ -264,7 +303,7 @@ func (w *W) scheduleStep(target float64) {
 	// AdvanceTo cannot be called from inside a handler, so at most one
 	// step chain is in flight and a single target field suffices.
 	w.stepTarget = target
-	if err := w.eng.At(next, "world.step", w.stepFn); err != nil {
+	if err := w.eng.AtKeyed(next, stepKind, 0, stepKind); err != nil {
 		// The engine clock can sit past w.now only after a canceled run's
 		// drained RunUntil; stepping is over either way.
 		return

@@ -289,7 +289,58 @@ type Hooks struct {
 	SinkUp      func()
 }
 
-// Compile schedules every event of the plan onto the engine. Events
+// EventKind is the keyed-event kind fault events schedule under; the
+// event argument is the index into Plan.Events.
+const EventKind = "fault"
+
+// Bind registers the plan's dispatch handler on the engine without
+// scheduling anything. Compile calls it before scheduling; the resume
+// path calls it alone and restores the recorded pending events instead.
+// A nil plan binds nothing.
+func Bind(p *Plan, eng *sim.Engine, h Hooks) {
+	if p == nil {
+		return
+	}
+	eng.Bind(EventKind, func(e *sim.Engine, arg int) {
+		if arg < 0 || arg >= len(p.Events) {
+			return
+		}
+		ev := p.Events[arg]
+		if h.Sync != nil {
+			h.Sync(e.Now())
+		}
+		switch ev.Kind {
+		case NodeDown:
+			if h.NodeDown != nil {
+				h.NodeDown(ev.Node)
+			}
+		case NodeUp:
+			if h.NodeUp != nil {
+				h.NodeUp(ev.Node)
+			}
+		case ChargerDown:
+			if h.ChargerDown != nil {
+				h.ChargerDown(ev.Until)
+			}
+		case ChargerUp:
+			if h.ChargerUp != nil {
+				h.ChargerUp()
+			}
+		case SinkDown:
+			if h.SinkDown != nil {
+				h.SinkDown(ev.Until)
+			}
+		case SinkUp:
+			if h.SinkUp != nil {
+				h.SinkUp()
+			}
+		}
+	})
+}
+
+// Compile schedules every event of the plan onto the engine as keyed
+// events (kind EventKind, arg = event index), so an in-flight plan
+// serializes into a live snapshot and re-binds on resume. Events
 // interleave with the world's own stepping in timestamp order (ties
 // break by scheduling sequence, so faults compiled at construction run
 // before same-instant world steps). A nil or empty plan compiles to
@@ -298,44 +349,32 @@ func Compile(p *Plan, eng *sim.Engine, h Hooks) error {
 	if p == nil {
 		return nil
 	}
-	for _, ev := range p.Events {
-		ev := ev
-		err := eng.At(ev.T, "fault."+ev.Kind.String(), func(e *sim.Engine) {
-			if h.Sync != nil {
-				h.Sync(e.Now())
-			}
-			switch ev.Kind {
-			case NodeDown:
-				if h.NodeDown != nil {
-					h.NodeDown(ev.Node)
-				}
-			case NodeUp:
-				if h.NodeUp != nil {
-					h.NodeUp(ev.Node)
-				}
-			case ChargerDown:
-				if h.ChargerDown != nil {
-					h.ChargerDown(ev.Until)
-				}
-			case ChargerUp:
-				if h.ChargerUp != nil {
-					h.ChargerUp()
-				}
-			case SinkDown:
-				if h.SinkDown != nil {
-					h.SinkDown(ev.Until)
-				}
-			case SinkUp:
-				if h.SinkUp != nil {
-					h.SinkUp()
-				}
-			}
-		})
-		if err != nil {
+	Bind(p, eng, h)
+	for i, ev := range p.Events {
+		if err := eng.AtKeyed(ev.T, EventKind, i, "fault."+ev.Kind.String()); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// LossState returns the message-loss stream's generator position, or nil
+// when the plan draws no loss randomness. The captured state feeds
+// RestoreLoss on resume so loss draws continue the original sequence.
+func (p *Plan) LossState() *[4]uint64 {
+	if p == nil || p.loss == nil {
+		return nil
+	}
+	st := p.loss.State()
+	return &st
+}
+
+// RestoreLoss positions the message-loss stream at a captured state.
+func (p *Plan) RestoreLoss(st [4]uint64) {
+	if p == nil {
+		return
+	}
+	p.loss = rng.FromState(st)
 }
 
 // Window is one closed downtime interval of the sink.

@@ -65,6 +65,14 @@ type Spec struct {
 	// byte-identically (the snapshot barrier precedes all campaign
 	// randomness), so carrying a snapshot changes cost, never results.
 	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	// ResumeFrom, when non-empty, is an encoded live checkpoint (snapshot
+	// wire version 2): instead of starting the campaign, the run resumes
+	// it mid-flight from the captured state and produces the exact Result
+	// the uninterrupted run would have. The rest of the Spec must carry
+	// the original job's parameters — the daemon pairs a persisted spec
+	// with its latest checkpoint on restart. ResumeFrom supersedes
+	// Snapshot (a live checkpoint embeds its own world).
+	ResumeFrom json.RawMessage `json:"resume_from,omitempty"`
 }
 
 // Campaign is the serializable mirror of campaign.Config: identical
@@ -131,7 +139,18 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("jobspec: unknown kind %q (want %q, %q or %q)", s.Kind, KindAttack, KindLegit, KindFleet)
 	}
-	if len(s.Snapshot) > 0 {
+	if len(s.ResumeFrom) > 0 {
+		snap, err := snapshot.Decode(s.ResumeFrom)
+		if err != nil {
+			return fmt.Errorf("jobspec: resume_from: %w", err)
+		}
+		if !snap.Live() {
+			return fmt.Errorf("jobspec: resume_from holds a version-%d template, not a live checkpoint", snapshot.Version)
+		}
+		if fleet := snap.Campaign().Fleet != nil; fleet != (s.Kind == KindFleet) {
+			return fmt.Errorf("jobspec: resume_from checkpoint does not match kind %q", s.Kind)
+		}
+	} else if len(s.Snapshot) > 0 {
 		if _, err := snapshot.Decode(s.Snapshot); err != nil {
 			return fmt.Errorf("jobspec: %w", err)
 		}
@@ -266,6 +285,18 @@ func (s Spec) world() (*wrsn.Network, *mc.Charger, error) {
 	return nw, mc.New(nw.Sink(), mc.DefaultParams()), nil
 }
 
+// RunOptions carries the per-execution (non-wire) knobs of a run: the
+// telemetry probe and, for crash-safe executions, a live checkpoint
+// plan. The zero value runs unobserved and uncheckpointed.
+type RunOptions struct {
+	// Probe receives run telemetry; nil gets the no-op probe.
+	Probe obs.Probe
+	// Checkpoint, when non-nil, arms live checkpointing (the plan's
+	// Scenario is filled from the Spec if left zero). The run may then
+	// end with campaign.ErrStopped if the plan's Stop fires.
+	Checkpoint *campaign.CheckpointPlan
+}
+
 // Run executes the Spec: materialize the world (scenario build, or
 // snapshot fork when the spec carries one), park the charger(s) at the
 // sink, compile the fault plan, run the campaign. All randomness derives
@@ -273,10 +304,50 @@ func (s Spec) world() (*wrsn.Network, *mc.Charger, error) {
 // in-process or behind a daemon, at any concurrency, with or without a
 // snapshot.
 func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
+	return RunOpts(ctx, s, RunOptions{Probe: probe})
+}
+
+// RunOpts is Run with execution options. A Spec carrying ResumeFrom
+// continues the checkpointed campaign instead of starting it; either way
+// the Result is byte-identical to an uninterrupted, unobserved run.
+func RunOpts(ctx context.Context, s Spec, opts RunOptions) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	probe = obs.Or(probe)
+	probe := obs.Or(opts.Probe)
+	arm := func(cfg *campaign.Config, sc trace.Scenario) {
+		if opts.Checkpoint == nil {
+			return
+		}
+		plan := *opts.Checkpoint
+		if plan.Scenario == (trace.Scenario{}) {
+			plan.Scenario = sc
+		}
+		cfg.Checkpoint = &plan
+	}
+	if len(s.ResumeFrom) > 0 {
+		snap, err := snapshot.Decode(s.ResumeFrom)
+		if err != nil {
+			return nil, fmt.Errorf("jobspec: resume_from: %w", err)
+		}
+		cfg, err := s.Config(probe, snap.NodeCount())
+		if err != nil {
+			return nil, err
+		}
+		arm(&cfg, snap.Scenario())
+		if s.Kind == KindFleet {
+			fo, err := campaign.ResumeFleet(ctx, snap, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Fleet: fo}, nil
+		}
+		o, err := campaign.Resume(ctx, snap, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Outcome: o}, nil
+	}
 	nw, ch, err := s.world()
 	if err != nil {
 		return nil, err
@@ -285,6 +356,7 @@ func Run(ctx context.Context, s Spec, probe obs.Probe) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	arm(&cfg, s.Scenario)
 	ch.Instrument(probe)
 	switch s.Kind {
 	case KindFleet:

@@ -48,6 +48,14 @@ type Health struct {
 	QueueLen   int           `json:"queue_len"`
 	QueueDepth int           `json:"queue_depth"`
 	Jobs       map[State]int `json:"jobs"`
+	// Checkpointing reports whether live checkpoints are armed
+	// (PersistDir set and a positive -checkpoint-every).
+	Checkpointing bool `json:"checkpointing,omitempty"`
+	// OldestCheckpointAgeSec, when jobs are running, is the worst-case
+	// replay window: how long ago the most at-risk running job last hit
+	// a durable safe point (its latest checkpoint, or its start). An
+	// operator alerting on this catches a wedged checkpoint sink.
+	OldestCheckpointAgeSec *float64 `json:"oldest_checkpoint_age_sec,omitempty"`
 }
 
 // Handler returns the service's HTTP API.
@@ -69,13 +77,18 @@ func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	if s.Draining() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, Health{
-		Status:     status,
-		Workers:    s.Workers(),
-		QueueLen:   s.QueueLen(),
-		QueueDepth: s.QueueDepth(),
-		Jobs:       s.Counts(),
-	})
+	h := Health{
+		Status:        status,
+		Workers:       s.Workers(),
+		QueueLen:      s.QueueLen(),
+		QueueDepth:    s.QueueDepth(),
+		Jobs:          s.Counts(),
+		Checkpointing: s.opts.checkpointing(),
+	}
+	if age, ok := s.CheckpointAge(); ok {
+		h.OldestCheckpointAgeSec = &age
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {

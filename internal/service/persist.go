@@ -3,12 +3,15 @@
 // restarted daemon re-enqueues whatever specs remain. The unit of
 // persistence is the spec — not the half-finished campaign — because
 // jobs are deterministic: re-running a spec from scratch reproduces the
-// exact result the dead daemon would have served. Specs that carry world
-// snapshots resume cheaply on top of that: the snapshot is part of the
-// spec file, so the re-run forks instead of re-paying scenario warm-up.
+// exact result the dead daemon would have served. With checkpointing on,
+// a sibling <id>.ckpt file holds the job's latest live snapshot; the
+// restarted daemon attaches it as the spec's ResumeFrom so the re-run
+// picks up mid-campaign instead of replaying from the start — and still
+// lands on the identical outcome digest.
 package service
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"sort"
@@ -18,6 +21,7 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 )
 
 // specPath returns the durable spec file for a job ID.
@@ -25,28 +29,59 @@ func (s *Service) specPath(id string) string {
 	return filepath.Join(s.opts.PersistDir, id+".json")
 }
 
-// persistLocked writes j's spec durably (atomically, via rename).
-// Persistence is best-effort: a write failure is counted, not fatal —
-// the job still runs, it just loses restart protection. Callers hold
-// s.mu.
+// ckptPath returns the durable checkpoint file for a job ID.
+func (s *Service) ckptPath(id string) string {
+	return filepath.Join(s.opts.PersistDir, id+".ckpt")
+}
+
+// atomicWrite writes b to path so a crash at any instant leaves either
+// the old content or the new — never a torn file: write to a sibling
+// tmp, fsync the file, rename over the target, then fsync the directory
+// so the rename itself survives power loss.
+func atomicWrite(path string, b []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err = f.Write(b); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// persistLocked writes j's spec durably. Persistence is best-effort: a
+// write failure is counted, not fatal — the job still runs, it just
+// loses restart protection. Callers hold s.mu.
 func (s *Service) persistLocked(j *job) {
 	if s.opts.PersistDir == "" {
 		return
 	}
 	b, err := j.spec.Encode()
 	if err == nil {
-		tmp := s.specPath(j.id) + ".tmp"
-		if err = os.WriteFile(tmp, b, 0o644); err == nil {
-			err = os.Rename(tmp, s.specPath(j.id))
-		}
+		err = atomicWrite(s.specPath(j.id), b)
 	}
 	if err != nil {
 		s.probeAdd("service.persist_errors", 1)
 	}
 }
 
-// unpersistLocked removes j's durable spec once the job is terminal.
-// Callers hold s.mu.
+// unpersistLocked removes j's durable spec and checkpoint once the job
+// is terminal. Callers hold s.mu.
 func (s *Service) unpersistLocked(j *job) {
 	if s.opts.PersistDir == "" {
 		return
@@ -54,15 +89,22 @@ func (s *Service) unpersistLocked(j *job) {
 	if err := os.Remove(s.specPath(j.id)); err != nil && !os.IsNotExist(err) {
 		s.probeAdd("service.persist_errors", 1)
 	}
+	if err := os.Remove(s.ckptPath(j.id)); err != nil && !os.IsNotExist(err) {
+		s.probeAdd("service.persist_errors", 1)
+	}
 }
 
 // loadPersisted scans PersistDir for specs a previous daemon left behind
 // and rebuilds queued job records for them, in submission (ID) order and
 // keeping their IDs; s.seq advances past the highest resumed ID so new
-// submissions never collide. Unreadable or invalid spec files are set
-// aside with a .bad suffix rather than deleted or retried forever.
-// Called from New before the worker pool starts, so no locking applies
-// yet.
+// submissions never collide. When a job also left a checkpoint, its
+// bytes are attached as the spec's ResumeFrom so the run continues
+// mid-campaign. Unreadable or invalid spec files — and checkpoints that
+// fail to decode or to validate against their spec — are set aside with
+// a .bad suffix rather than deleted or retried forever; a quarantined
+// checkpoint only costs the resume shortcut, the spec still re-runs from
+// scratch to the same digest. Called from New before the worker pool
+// starts, so no locking applies yet.
 func (s *Service) loadPersisted() []*job {
 	if s.opts.PersistDir == "" {
 		return nil
@@ -117,6 +159,7 @@ func (s *Service) loadPersisted() []*job {
 			s.probeAdd("service.resume_errors", 1)
 			continue
 		}
+		fromCkpt := s.attachCheckpoint(&spec, c.id)
 		resumed = append(resumed, &job{
 			id:        c.id,
 			spec:      spec,
@@ -124,10 +167,39 @@ func (s *Service) loadPersisted() []*job {
 			state:     StateQueued,
 			submitted: time.Now(),
 			done:      make(chan struct{}),
+			resumed:   fromCkpt,
 		})
 	}
 	if len(resumed) > 0 {
 		s.probeAdd("service.resumed", float64(len(resumed)))
 	}
 	return resumed
+}
+
+// attachCheckpoint loads the job's <id>.ckpt, if any, and grafts it onto
+// spec.ResumeFrom. Reports whether a checkpoint was attached. A corrupt
+// or mismatched checkpoint is quarantined as <id>.ckpt.bad and the spec
+// left to re-run from scratch.
+func (s *Service) attachCheckpoint(spec *jobspec.Spec, id string) bool {
+	path := s.ckptPath(id)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return false // no checkpoint (the common case) or unreadable
+	}
+	snap, err := snapshot.Decode(b)
+	if err == nil && !snap.Live() {
+		err = errors.New("checkpoint file holds a template snapshot, not live state")
+	}
+	if err == nil {
+		trial := *spec
+		trial.ResumeFrom = b
+		err = trial.Validate()
+	}
+	if err != nil {
+		_ = os.Rename(path, path+".bad")
+		s.probeAdd("service.resume_errors", 1)
+		return false
+	}
+	spec.ResumeFrom = b
+	return true
 }

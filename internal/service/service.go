@@ -22,11 +22,14 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/experiments/engine"
 	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/obs"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 )
 
 // Sentinel errors Submit can return; the HTTP layer maps them to status
@@ -43,19 +46,23 @@ var (
 // State is a job's lifecycle phase.
 type State string
 
-// Job lifecycle: queued → running → done | failed | canceled. Canceled
-// can also strike while queued.
+// Job lifecycle: queued → running → done | failed | canceled |
+// checkpointed. Canceled can also strike while queued. Checkpointed is
+// terminal for THIS process only: the job parked at a live checkpoint
+// during drain, its spec and checkpoint stay on disk, and a daemon
+// restarted with the same -persist-dir resumes it mid-flight.
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued       State = "queued"
+	StateRunning      State = "running"
+	StateDone         State = "done"
+	StateFailed       State = "failed"
+	StateCanceled     State = "canceled"
+	StateCheckpointed State = "checkpointed"
 )
 
-// Terminal reports whether the state is final.
+// Terminal reports whether the state is final for this process.
 func (s State) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateCheckpointed
 }
 
 // ErrorInfo is a structured job error: a machine-readable kind plus the
@@ -98,11 +105,19 @@ type JobStatus struct {
 	// is directly comparable with an in-process one.
 	Digest  string   `json:"digest,omitempty"`
 	Summary *Summary `json:"summary,omitempty"`
+	// Resumed marks a job continued from a live checkpoint left by a
+	// previous daemon rather than started from scratch.
+	Resumed bool `json:"resumed,omitempty"`
+	// CheckpointAt / CheckpointClockSec describe the job's latest durable
+	// checkpoint: when it was written and how deep into the simulated
+	// horizon the run was.
+	CheckpointAt       *time.Time `json:"checkpoint_at,omitempty"`
+	CheckpointClockSec float64    `json:"checkpoint_clock_sec,omitempty"`
 }
 
-// Runner executes one job's spec. The default is jobspec.Run; tests
+// Runner executes one job's spec. The default is jobspec.RunOpts; tests
 // inject blocking or panicking runners to exercise the hardening paths.
-type Runner func(ctx context.Context, spec jobspec.Spec, probe obs.Probe) (*jobspec.Result, error)
+type Runner func(ctx context.Context, spec jobspec.Spec, opts jobspec.RunOptions) (*jobspec.Result, error)
 
 // Options configures a Service. The zero value serves: 64-deep queue,
 // GOMAXPROCS workers, no per-job timeout or retries.
@@ -139,6 +154,20 @@ type Options struct {
 	// it died. Specs carrying world snapshots resume without re-paying
 	// the warm-up prefix — the snapshot rides inside the spec file.
 	PersistDir string
+	// CheckpointEvery, with PersistDir set, checkpoints each in-flight
+	// job's live campaign state to PersistDir at this wall-clock cadence
+	// (atomic tmp+rename, fsync'd). A restarted daemon resumes each job
+	// mid-flight from its latest checkpoint — producing the exact result
+	// an uninterrupted run would have — instead of starting over.
+	// Non-positive disables live checkpointing (specs still persist, and
+	// a restart re-runs from scratch, which is equally deterministic but
+	// re-pays the completed prefix).
+	CheckpointEvery time.Duration
+	// DrainGrace bounds how long a deadline-expired Shutdown waits for
+	// in-flight jobs to park at a live checkpoint before falling back to
+	// cancellation. Only meaningful with checkpointing armed.
+	// Non-positive gets 5s.
+	DrainGrace time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -153,9 +182,17 @@ func (o *Options) applyDefaults() {
 	}
 	o.Probe = obs.Or(o.Probe)
 	if o.Runner == nil {
-		o.Runner = jobspec.Run
+		o.Runner = jobspec.RunOpts
+	}
+	if o.DrainGrace <= 0 {
+		o.DrainGrace = 5 * time.Second
 	}
 	o.Job.KeepGoing = false
+}
+
+// checkpointing reports whether live job checkpointing is armed.
+func (o *Options) checkpointing() bool {
+	return o.PersistDir != "" && o.CheckpointEvery > 0
 }
 
 // job is the service-side record of one submission.
@@ -176,6 +213,9 @@ type job struct {
 	cancel     context.CancelFunc // non-nil while running
 	cancelWant bool               // client asked for cancellation
 	done       chan struct{}      // closed on terminal state
+	resumed    bool               // continued from a previous daemon's checkpoint
+	ckptAt     time.Time          // latest durable checkpoint write (zero: none yet)
+	ckptClock  float64            // sim clock of that checkpoint
 }
 
 // Service is the job engine: bounded queue in, worker pool through,
@@ -199,6 +239,9 @@ type Service struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	workers    sync.WaitGroup
+	// stopJobs, once set, tells every in-flight checkpoint plan's Stop
+	// hook to park the job at its next barrier (drain-to-checkpoint).
+	stopJobs atomic.Bool
 }
 
 // New starts a Service with its worker pool running. With
@@ -413,9 +456,14 @@ func (s *Service) QueueLen() int { return len(s.queue) }
 
 // Shutdown drains gracefully: intake stops (Submit returns ErrDraining),
 // queued and in-flight jobs run to completion, workers exit. If ctx
-// expires first, in-flight jobs are canceled (they finish as structured
-// "canceled" failures) and Shutdown returns ctx.Err(). Shutdown is
-// idempotent; concurrent calls all wait for the same drain.
+// expires first and checkpointing is armed, in-flight jobs are told to
+// park at their next checkpoint barrier (they finish as "checkpointed",
+// with spec and checkpoint left on disk for the next daemon to resume);
+// jobs that still haven't parked after Options.DrainGrace — and all
+// in-flight jobs when checkpointing is off — are canceled the hard way
+// and finish as structured "canceled" failures. Shutdown returns
+// ctx.Err() whenever the deadline fired. Shutdown is idempotent;
+// concurrent calls all wait for the same drain.
 func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	first := !s.drain
@@ -433,10 +481,68 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		s.baseCancel()
-		<-done
+		s.stopJobs.Store(true)
+		grace := time.Duration(0)
+		if s.opts.checkpointing() {
+			grace = s.opts.DrainGrace
+		}
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-done:
+		case <-t.C:
+			s.baseCancel()
+			<-done
+		}
 		return ctx.Err()
 	}
+}
+
+// checkpointSink durably writes one job checkpoint. Best-effort like
+// spec persistence: a write failure is counted, not fatal — the run
+// continues, falling back to its previous checkpoint (or a from-scratch
+// re-run) on restart, either of which reproduces the same result.
+func (s *Service) checkpointSink(j *job, snap *snapshot.Snapshot) error {
+	b, err := snap.Encode()
+	if err == nil {
+		err = atomicWrite(s.ckptPath(j.id), b)
+	}
+	if err != nil {
+		s.probeAdd("service.persist_errors", 1)
+		return nil
+	}
+	s.mu.Lock()
+	j.ckptAt = time.Now()
+	j.ckptClock = snap.ClockSec()
+	s.mu.Unlock()
+	s.probeAdd("service.checkpoints", 1)
+	return nil
+}
+
+// CheckpointAge reports how long ago the most at-risk running job last
+// reached a durable safe point — its latest checkpoint, or its start
+// when it has none yet. ok is false when nothing is running.
+func (s *Service) CheckpointAge() (sec float64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	for _, j := range s.jobs {
+		if j.state != StateRunning {
+			continue
+		}
+		base := j.started
+		if j.ckptAt.After(base) {
+			base = j.ckptAt
+		}
+		if !ok || base.Before(oldest) {
+			oldest = base
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, false
+	}
+	return time.Since(oldest).Seconds(), true
 }
 
 func (s *Service) lookup(id string) (*job, error) {
@@ -474,12 +580,37 @@ func (s *Service) runJob(j *job) {
 	s.mu.Unlock()
 	defer cancel()
 
+	ropts := jobspec.RunOptions{Probe: j.rec}
+	if s.opts.checkpointing() {
+		ropts.Checkpoint = &campaign.CheckpointPlan{
+			Every: s.opts.CheckpointEvery,
+			Sink:  func(snap *snapshot.Snapshot) error { return s.checkpointSink(j, snap) },
+			Stop:  s.stopJobs.Load,
+		}
+	}
+	// ErrStopped is a drain parking, not a failure: intercept it inside
+	// the attempt so the engine's retry machinery never re-runs a job
+	// that just checkpointed (a retry would start over and overwrite the
+	// checkpoint with a barrier-1 capture).
+	var stopped atomic.Bool
 	results, err := engine.MapTimedOpts(ctx, 1, 1, s.opts.Probe, s.opts.Job, func(ctx context.Context, _ int) (*jobspec.Result, error) {
-		return s.opts.Runner(ctx, j.spec, j.rec)
+		res, rerr := s.opts.Runner(ctx, j.spec, ropts)
+		if errors.Is(rerr, campaign.ErrStopped) {
+			stopped.Store(true)
+			return nil, nil
+		}
+		return res, rerr
 	})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if stopped.Load() {
+		s.finishLocked(j, StateCheckpointed, &ErrorInfo{
+			Kind:    "checkpointed",
+			Message: "parked at a live checkpoint during drain; a daemon restarted with the same persist dir resumes it",
+		})
+		return
+	}
 	if err != nil {
 		s.finishLocked(j, failState(err), classify(err))
 		return
@@ -498,21 +629,27 @@ func (s *Service) runJob(j *job) {
 	s.finishLocked(j, StateDone, nil)
 }
 
-// finishLocked moves a job to a terminal state, drops its durable spec
-// (it no longer needs restart protection), and applies result eviction.
+// finishLocked moves a job to a terminal state and applies result
+// eviction. Most terminal states drop the job's durable files (no more
+// restart protection needed); StateCheckpointed deliberately keeps both
+// the spec and the checkpoint on disk — they ARE the restart handoff.
 // Callers hold s.mu.
 func (s *Service) finishLocked(j *job, st State, e *ErrorInfo) {
 	j.state = st
 	j.err = e
 	j.finished = time.Now()
 	close(j.done)
-	s.unpersistLocked(j)
+	if st != StateCheckpointed {
+		s.unpersistLocked(j)
+	}
 	s.finished++
 	switch st {
 	case StateDone:
 		s.probeAdd("service.done", 1)
 	case StateCanceled:
 		s.probeAdd("service.canceled", 1)
+	case StateCheckpointed:
+		s.probeAdd("service.checkpointed", 1)
 	default:
 		s.probeAdd("service.failed", 1)
 	}
@@ -604,6 +741,12 @@ func (s *Service) statusLocked(j *job) JobStatus {
 		Error:       j.err,
 		Digest:      j.digest,
 		Summary:     j.summary,
+		Resumed:     j.resumed,
+	}
+	if !j.ckptAt.IsZero() {
+		t := j.ckptAt
+		st.CheckpointAt = &t
+		st.CheckpointClockSec = j.ckptClock
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -16,7 +16,7 @@ import (
 // gateRunner returns a runner that parks every job on a gate channel
 // (close to release) and counts entries on started.
 func gateRunner(started chan<- string, gate <-chan struct{}) Runner {
-	return func(ctx context.Context, spec jobspec.Spec, _ obs.Probe) (*jobspec.Result, error) {
+	return func(ctx context.Context, spec jobspec.Spec, _ jobspec.RunOptions) (*jobspec.Result, error) {
 		if started != nil {
 			started <- spec.Kind // kind doubles as a job tag in tests
 		}
@@ -37,7 +37,7 @@ func okRunner(t *testing.T) Runner {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return func(ctx context.Context, _ jobspec.Spec, _ obs.Probe) (*jobspec.Result, error) {
+	return func(ctx context.Context, _ jobspec.Spec, _ jobspec.RunOptions) (*jobspec.Result, error) {
 		return res, nil
 	}
 }
@@ -91,7 +91,7 @@ func TestBackpressureQueueFull(t *testing.T) {
 func TestGracefulDrainFinishesInFlight(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan string, 8)
-	s := New(Options{QueueDepth: 8, Workers: 2, Runner: func(ctx context.Context, spec jobspec.Spec, _ obs.Probe) (*jobspec.Result, error) {
+	s := New(Options{QueueDepth: 8, Workers: 2, Runner: func(ctx context.Context, spec jobspec.Spec, _ jobspec.RunOptions) (*jobspec.Result, error) {
 		started <- spec.Kind
 		select {
 		case <-gate:
@@ -223,7 +223,7 @@ func TestCancelQueuedAndRunning(t *testing.T) {
 }
 
 func TestPanicSurfacesAsStructuredError(t *testing.T) {
-	s := New(Options{QueueDepth: 2, Workers: 1, Runner: func(context.Context, jobspec.Spec, obs.Probe) (*jobspec.Result, error) {
+	s := New(Options{QueueDepth: 2, Workers: 1, Runner: func(context.Context, jobspec.Spec, jobspec.RunOptions) (*jobspec.Result, error) {
 		panic("campaign exploded")
 	}})
 	defer shutdownOrFail(t, s, 10*time.Second)

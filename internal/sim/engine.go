@@ -20,6 +20,14 @@ var ErrPast = errors.New("sim: event scheduled in the past")
 // event's timestamp and may schedule further events.
 type Handler func(e *Engine)
 
+// KeyedHandler is the registry-bound form of Handler: the event carries a
+// kind (resolved through the engine's handler registry at execution time)
+// and an integer argument instead of a closure. Keyed events are the unit
+// of live checkpointing — (t, seq, kind, arg, name) serializes, a closure
+// does not — and late binding means a restored engine re-binds handlers
+// once and the restored queue finds them.
+type KeyedHandler func(e *Engine, arg int)
+
 // Engine drives a single-threaded discrete-event simulation. It is not
 // safe for concurrent use; all handlers run on the caller's goroutine.
 type Engine struct {
@@ -32,6 +40,10 @@ type Engine struct {
 	// per-handler timing); nil means disabled. Telemetry never feeds back
 	// into scheduling, so instrumented runs replay identically.
 	probe obs.Probe
+	// handlers is the keyed-event registry: kind → handler. Binding is
+	// late — the handler is looked up when the event pops, so a restored
+	// queue executes against freshly bound handlers.
+	handlers map[string]KeyedHandler
 }
 
 // New returns an engine with the clock at zero.
@@ -82,6 +94,98 @@ func (e *Engine) After(dt float64, name string, fn Handler) error {
 	return e.At(e.now+dt, name, fn)
 }
 
+// Bind registers the handler for a keyed-event kind. Rebinding a kind
+// replaces the previous handler; queued events of that kind execute the
+// new one (late binding). There is no unbind: a bound kind stays valid
+// for the life of the engine, so queued keyed events can always execute.
+func (e *Engine) Bind(kind string, fn KeyedHandler) {
+	if kind == "" || fn == nil {
+		panic("sim: Bind requires a non-empty kind and a non-nil handler")
+	}
+	if e.handlers == nil {
+		e.handlers = make(map[string]KeyedHandler)
+	}
+	e.handlers[kind] = fn
+}
+
+// AtKeyed schedules a keyed event at absolute time t: kind selects the
+// bound handler, arg is its integer payload, and name is the display
+// label probes and PendingEvents report. The kind must already be bound.
+func (e *Engine) AtKeyed(t float64, kind string, arg int, name string) error {
+	if _, ok := e.handlers[kind]; !ok {
+		return fmt.Errorf("sim: AtKeyed: kind %q not bound (event %q)", kind, name)
+	}
+	if t < e.now {
+		return fmt.Errorf("%w: t=%v now=%v (%s)", ErrPast, t, e.now, name)
+	}
+	if math.IsNaN(t) {
+		return fmt.Errorf("sim: NaN timestamp for event %q", name)
+	}
+	e.seq++
+	e.queue.push(event{t: t, seq: e.seq, name: name, fn: nil, kind: kind, arg: arg})
+	return nil
+}
+
+// AfterKeyed schedules a keyed event dt seconds from now.
+func (e *Engine) AfterKeyed(dt float64, kind string, arg int, name string) error {
+	return e.AtKeyed(e.now+dt, kind, arg, name)
+}
+
+// Serializable reports whether every queued event is keyed — i.e. the
+// pending queue round-trips through PendingEvents/RestorePending without
+// losing work. Closure-scheduled events (At/After) are not serializable.
+func (e *Engine) Serializable() bool {
+	for i := range e.queue {
+		if e.queue[i].kind == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPendingKind reports whether any queued event has the given kind.
+// The scan is linear; campaign queues stay small (one step-chain event,
+// a handful of fault and fleet events).
+func (e *Engine) HasPendingKind(kind string) bool {
+	for i := range e.queue {
+		if e.queue[i].kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// ResumeAt sets the clock of an empty engine to a captured time, the
+// first half of restoring a snapshot (RestorePending is the second).
+func (e *Engine) ResumeAt(t float64) error {
+	if len(e.queue) != 0 {
+		return fmt.Errorf("sim: ResumeAt requires an empty queue, have %d pending", len(e.queue))
+	}
+	if math.IsNaN(t) || t < e.now {
+		return fmt.Errorf("sim: ResumeAt(%v) before current clock %v", t, e.now)
+	}
+	e.now = t
+	return nil
+}
+
+// RestorePending re-schedules a captured pending queue. Events are
+// inserted in (T, Seq) order with fresh sequence numbers, so relative
+// tie-break order — and therefore execution order — is preserved exactly.
+// Every event must be keyed and its kind already bound.
+func (e *Engine) RestorePending(evs []PendingEvent) error {
+	sorted := append([]PendingEvent(nil), evs...)
+	slices.SortFunc(sorted, comparePending)
+	for _, ev := range sorted {
+		if ev.Kind == "" {
+			return fmt.Errorf("sim: restore: event %q at t=%v is not keyed", ev.Name, ev.T)
+		}
+		if err := e.AtKeyed(ev.T, ev.Kind, ev.Arg, ev.Name); err != nil {
+			return fmt.Errorf("sim: restore: %w", err)
+		}
+	}
+	return nil
+}
+
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return len(e.queue) }
 
@@ -95,13 +199,35 @@ func (e *Engine) PeekTime() float64 {
 }
 
 // PendingEvent describes one queued event: its timestamp, scheduling
-// sequence number, and name. Handlers are closures and cannot be
-// serialized, so snapshot code uses PendingEvents to see — and refuse —
-// in-flight work rather than to capture it.
+// sequence number, display name, and — for keyed events — the registry
+// kind and integer argument. A keyed event (Kind != "") round-trips
+// through a snapshot: RestorePending re-schedules it against the same
+// kind on a freshly bound engine. A closure event (Kind == "") cannot be
+// serialized; snapshot code uses PendingEvents to see — and refuse —
+// such in-flight work rather than to capture it.
 type PendingEvent struct {
 	T    float64 `json:"t"`
 	Seq  uint64  `json:"seq"`
 	Name string  `json:"name"`
+	Kind string  `json:"kind,omitempty"`
+	Arg  int     `json:"arg,omitempty"`
+}
+
+// comparePending orders events by (T, Seq) — execution order.
+func comparePending(a, b PendingEvent) int {
+	if a.T != b.T {
+		if a.T < b.T {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.Seq < b.Seq:
+		return -1
+	case a.Seq > b.Seq:
+		return 1
+	}
+	return 0
 }
 
 // PendingEvents returns descriptions of all queued events in execution
@@ -113,23 +239,9 @@ func (e *Engine) PendingEvents() []PendingEvent {
 	}
 	evs := make([]PendingEvent, len(e.queue))
 	for i, ev := range e.queue {
-		evs[i] = PendingEvent{T: ev.t, Seq: ev.seq, Name: ev.name}
+		evs[i] = PendingEvent{T: ev.t, Seq: ev.seq, Name: ev.name, Kind: ev.kind, Arg: ev.arg}
 	}
-	slices.SortFunc(evs, func(a, b PendingEvent) int {
-		if a.T != b.T {
-			if a.T < b.T {
-				return -1
-			}
-			return 1
-		}
-		switch {
-		case a.Seq < b.Seq:
-			return -1
-		case a.Seq > b.Seq:
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(evs, comparePending)
 	return evs
 }
 
@@ -143,14 +255,25 @@ func (e *Engine) Step() bool {
 	e.processed++
 	if p := e.probe; p != nil {
 		start := time.Now()
-		ev.fn(e)
+		e.exec(ev)
 		p.Observe("sim.handler_sec."+ev.name, time.Since(start).Seconds())
 		p.Add("sim.events", 1)
 		p.Set("sim.queue_depth", float64(len(e.queue)))
 		return true
 	}
-	ev.fn(e)
+	e.exec(ev)
 	return true
+}
+
+// exec dispatches one popped event: keyed events resolve through the
+// registry (AtKeyed guarantees the kind is bound and Bind never removes
+// entries), closure events call their captured handler.
+func (e *Engine) exec(ev event) {
+	if ev.kind != "" {
+		e.handlers[ev.kind](e, ev.arg)
+		return
+	}
+	ev.fn(e)
 }
 
 // RunUntil executes events until the clock would pass deadline or the
@@ -172,6 +295,33 @@ func (e *Engine) RunUntil(deadline float64, maxEvents uint64) error {
 	return nil
 }
 
+// RunUntilHook is RunUntil with a checkpoint hook: after each executed
+// event the hook is called with the event's kind and name. The clock sits
+// at the event's timestamp and no handler is mid-flight, so the hook sees
+// a consistent world — this is the fleet-path checkpoint barrier. A
+// non-nil hook error aborts the pump immediately and is returned; queued
+// events remain queued and the clock is not advanced to the deadline.
+func (e *Engine) RunUntilHook(deadline float64, maxEvents uint64, hook func(kind, name string) error) error {
+	if hook == nil {
+		return e.RunUntil(deadline, maxEvents)
+	}
+	start := e.processed
+	for len(e.queue) > 0 && e.queue[0].t <= deadline {
+		if maxEvents > 0 && e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events before deadline %v (now %v)", maxEvents, deadline, e.now)
+		}
+		kind, name := e.queue[0].kind, e.queue[0].name
+		e.Step()
+		if err := hook(kind, name); err != nil {
+			return err
+		}
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
 // Run executes events until the queue empties. maxEvents guards against
 // runaway loops; 0 means no guard.
 func (e *Engine) Run(maxEvents uint64) error {
@@ -185,12 +335,15 @@ func (e *Engine) Run(maxEvents uint64) error {
 }
 
 // event is a queued callback. seq breaks timestamp ties in scheduling
-// order, making execution deterministic.
+// order, making execution deterministic. Exactly one of fn (closure
+// event) or kind (keyed event, fn nil) is set.
 type event struct {
 	t    float64
 	seq  uint64
 	name string
 	fn   Handler
+	kind string
+	arg  int
 }
 
 // eventHeap is a binary min-heap of events ordered by timestamp, then

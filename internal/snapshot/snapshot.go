@@ -19,11 +19,15 @@
 package snapshot
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 
+	"github.com/reprolab/wrsn-csa/internal/campaign/ledger"
+	"github.com/reprolab/wrsn-csa/internal/campaign/policy"
+	"github.com/reprolab/wrsn-csa/internal/campaign/world"
 	"github.com/reprolab/wrsn-csa/internal/digest"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -32,19 +36,28 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/wrsn"
 )
 
-// Version is the wire-format version this package writes. Decode accepts
-// exactly this version: the format pins simulation semantics, so a
-// snapshot from a different version must be rebuilt from its scenario
-// rather than reinterpreted.
+// Version is the barrier-snapshot wire version: clock zero, no pending
+// events, no campaign state. Barrier snapshots keep writing version 1 so
+// every existing consumer decodes them unchanged.
 const Version = 1
 
-// ErrLiveState is returned by Fork for snapshots carrying mid-run
-// simulation state (non-zero clock or pending events), which version 1
-// captures for inspection but cannot resume.
+// VersionLive is the live-checkpoint wire version: the same layout as
+// version 1 plus a non-zero clock, the pending (keyed) event queue, and
+// the campaign extras. Live decode is strict — unknown fields are a
+// versioned error, not a silent misparse — because resuming a campaign
+// from a half-understood checkpoint would corrupt results quietly.
+const VersionLive = 2
+
+// ErrLiveState is returned by Fork for version-1 snapshots carrying
+// mid-run simulation state (non-zero clock or pending events), which
+// version 1 captures for inspection but cannot resume. Version-2 live
+// snapshots fork normally.
 var ErrLiveState = errors.New("snapshot: version 1 forks only barrier snapshots (zero clock, empty event queue)")
 
 // wire is the serialized form. Field order fixes the canonical encoding;
-// encoding/json emits struct fields in declaration order.
+// encoding/json emits struct fields in declaration order. Campaign is
+// appended after every version-1 field so barrier snapshots encode to
+// exactly the bytes version 1 wrote.
 type wire struct {
 	Version  int                `json:"version"`
 	Scenario trace.Scenario     `json:"scenario"`
@@ -53,6 +66,64 @@ type wire struct {
 	Network  wrsn.State         `json:"network"`
 	Charger  *mc.State          `json:"charger,omitempty"`
 	RNG      *[4]uint64         `json:"rng,omitempty"`
+	Campaign *CampaignState     `json:"campaign,omitempty"`
+}
+
+// CampaignState is the live-campaign payload of a version-2 snapshot:
+// everything above the network/charger substrate that a mid-run capture
+// must carry to resume byte-identically.
+type CampaignState struct {
+	// World is the environment layer: clock, request queue, cadence
+	// cursors, fault-window state, loss-stream position.
+	World world.State `json:"world"`
+	// Ledger is the accumulated run record.
+	Ledger ledger.State `json:"ledger"`
+	// Rand is the single campaign stream's generator position (the
+	// session actor and policy Env share one stream).
+	Rand [4]uint64 `json:"rand"`
+	// Keys lists the plan-time key nodes the campaign marked for
+	// lifetime sampling.
+	Keys []wrsn.KeyNode `json:"keys,omitempty"`
+	// Policy is the single-charger drive state; nil on fleet runs.
+	Policy *policy.State `json:"policy,omitempty"`
+	// Fleet is the multi-charger state; nil on single-charger runs.
+	Fleet *FleetState `json:"fleet,omitempty"`
+}
+
+// FleetState is the fleet service's mid-run state: each charger's
+// position in its dispatch/arrive/session-end machine plus the shared
+// reservation set and busy-time accumulator.
+type FleetState struct {
+	Chargers []FleetCharger `json:"chargers"`
+	Reserved []wrsn.NodeID  `json:"reserved,omitempty"`
+	Busy     float64        `json:"busy,omitempty"`
+}
+
+// Fleet-charger phases (the position within dispatch→arrive→end that the
+// charger's next pending keyed event will execute).
+const (
+	// FleetIdle: no assignment in flight; the charger's next event is a
+	// dispatch (or it parked forever and has none).
+	FleetIdle = 0
+	// FleetEnRoute: traveling; the next event is the arrival.
+	FleetEnRoute = 1
+	// FleetServing: radiating; the next event is the session end.
+	FleetServing = 2
+)
+
+// FleetCharger is one fleet member's state.
+type FleetCharger struct {
+	Charger mc.State `json:"charger"`
+	Phase   int      `json:"phase"`
+	// Req is the reserved assignment (EnRoute/Serving phases).
+	Req *world.RequestState `json:"req,omitempty"`
+	// Session parameters captured across the arrive→end window.
+	Rate        float64 `json:"rate,omitempty"`
+	Dur         float64 `json:"dur,omitempty"`
+	Start       float64 `json:"start,omitempty"`
+	MeterBefore float64 `json:"meter_before,omitempty"`
+	TravelT     float64 `json:"travel_t,omitempty"`
+	Solicited   bool    `json:"solicited,omitempty"`
 }
 
 // Snapshot is a captured world state: scenario provenance, the network
@@ -127,6 +198,37 @@ func Capture(sc trace.Scenario, nw *wrsn.Network, ch *mc.Charger, rest *rng.Stre
 	return s, nil
 }
 
+// CaptureLive snapshots a mid-run campaign as a version-2 snapshot. The
+// engine must be serializable (every pending event keyed); ch may be nil
+// — fleet runs carry their chargers inside cs.Fleet. Capture is pure
+// reads, so checkpointing never perturbs the run it observes. No fork
+// template is primed: a live snapshot is typically forked once, by the
+// resuming campaign.
+func CaptureLive(sc trace.Scenario, nw *wrsn.Network, ch *mc.Charger, eng *sim.Engine, cs *CampaignState) (*Snapshot, error) {
+	if nw == nil {
+		return nil, fmt.Errorf("snapshot: nil network")
+	}
+	if eng == nil || cs == nil {
+		return nil, fmt.Errorf("snapshot: live capture needs an engine and campaign state")
+	}
+	if !eng.Serializable() {
+		return nil, fmt.Errorf("snapshot: engine has closure-scheduled pending events; only keyed events checkpoint")
+	}
+	s := &Snapshot{w: wire{
+		Version:  VersionLive,
+		Scenario: sc,
+		ClockSec: eng.Now(),
+		Pending:  eng.PendingEvents(),
+		Network:  nw.State(),
+		Campaign: cs,
+	}}
+	if ch != nil {
+		st := ch.State()
+		s.w.Charger = &st
+	}
+	return s, nil
+}
+
 // Build runs the scenario's warm-up prefix once — placement, connectivity
 // repair, routing convergence — parks a fresh charger at the sink (the
 // standard evaluation position), and captures the barrier snapshot. It is
@@ -145,7 +247,7 @@ func Build(sc trace.Scenario, params mc.Params) (*Snapshot, error) {
 // Forks share no mutable state with each other or with the snapshot, so
 // each can be simulated on its own goroutine.
 func (s *Snapshot) Fork() (*wrsn.Network, *mc.Charger, *rng.Stream, error) {
-	if s.w.ClockSec != 0 || len(s.w.Pending) > 0 {
+	if s.w.Version == Version && (s.w.ClockSec != 0 || len(s.w.Pending) > 0) {
 		return nil, nil, nil, ErrLiveState
 	}
 	s.mu.Lock()
@@ -187,6 +289,24 @@ func (s *Snapshot) NodeCount() int { return len(s.w.Network.Nodes) }
 // HasCharger reports whether a charger was captured.
 func (s *Snapshot) HasCharger() bool { return s.w.Charger != nil }
 
+// Live reports whether this is a version-2 live checkpoint.
+func (s *Snapshot) Live() bool { return s.w.Version == VersionLive }
+
+// ClockSec returns the captured simulation clock.
+func (s *Snapshot) ClockSec() float64 { return s.w.ClockSec }
+
+// PendingEvents returns a copy of the captured pending event queue in
+// execution order. The copy keeps the snapshot immutable: callers (and
+// Fork-derived resumes) can never mutate the captured queue.
+func (s *Snapshot) PendingEvents() []sim.PendingEvent {
+	return append([]sim.PendingEvent(nil), s.w.Pending...)
+}
+
+// Campaign returns the live-campaign payload (nil on barrier snapshots).
+// The inner slices are shared — treat the result as read-only; resume
+// paths copy what they mutate.
+func (s *Snapshot) Campaign() *CampaignState { return s.w.Campaign }
+
 // Encode returns the canonical wire encoding: versioned JSON with fixed
 // field order. Encoding the same snapshot always yields identical bytes,
 // and float64 values survive the round-trip exactly (encoding/json emits
@@ -196,15 +316,36 @@ func (s *Snapshot) Encode() ([]byte, error) {
 }
 
 // Decode reconstructs a snapshot from Encode's output. It rejects
-// unknown wire versions. The fork template is rebuilt lazily on first
-// Fork.
+// unknown wire versions. Version 1 decodes leniently, exactly as it
+// always has; version 2 decodes strictly — an unknown field means the
+// file came from a future format revision, and resuming a live campaign
+// from a half-understood checkpoint would corrupt results silently, so
+// it fails with a versioned error instead. The fork template is rebuilt
+// lazily on first Fork.
 func Decode(data []byte) (*Snapshot, error) {
-	var w wire
-	if err := json.Unmarshal(data, &w); err != nil {
+	var ver struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &ver); err != nil {
 		return nil, fmt.Errorf("snapshot: decode: %w", err)
 	}
-	if w.Version != Version {
-		return nil, fmt.Errorf("snapshot: unsupported wire version %d (want %d)", w.Version, Version)
+	var w wire
+	switch ver.Version {
+	case Version:
+		if err := json.Unmarshal(data, &w); err != nil {
+			return nil, fmt.Errorf("snapshot: decode: %w", err)
+		}
+	case VersionLive:
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&w); err != nil {
+			return nil, fmt.Errorf("snapshot: decode version %d: %w (a version-%d checkpoint must contain no fields this build does not understand)", VersionLive, err, VersionLive)
+		}
+		if w.Campaign == nil {
+			return nil, fmt.Errorf("snapshot: decode version %d: missing campaign state", VersionLive)
+		}
+	default:
+		return nil, fmt.Errorf("snapshot: unsupported wire version %d (this build reads versions %d and %d)", ver.Version, Version, VersionLive)
 	}
 	if len(w.Network.Nodes) == 0 {
 		return nil, fmt.Errorf("snapshot: decode: no nodes")

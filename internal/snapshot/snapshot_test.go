@@ -1,4 +1,4 @@
-package snapshot
+package snapshot_test
 
 import (
 	"context"
@@ -8,16 +8,19 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/digest"
+	"github.com/reprolab/wrsn-csa/internal/faults"
 	"github.com/reprolab/wrsn-csa/internal/mc"
 	"github.com/reprolab/wrsn-csa/internal/sim"
+	"github.com/reprolab/wrsn-csa/internal/snapshot"
 	"github.com/reprolab/wrsn-csa/internal/trace"
 )
 
-func buildSnap(t *testing.T, seed uint64, n int) *Snapshot {
+func buildSnap(t *testing.T, seed uint64, n int) *snapshot.Snapshot {
 	t.Helper()
-	s, err := Build(trace.DefaultScenario(seed, n), mc.DefaultParams())
+	s, err := snapshot.Build(trace.DefaultScenario(seed, n), mc.DefaultParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +39,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := Decode(b1)
+	s2, err := snapshot.Decode(b1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +70,13 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 	}
 
 	future := strings.Replace(string(b), `"version":1`, `"version":2`, 1)
-	if _, err := Decode([]byte(future)); err == nil {
+	if _, err := snapshot.Decode([]byte(future)); err == nil {
 		t.Error("decoded a future wire version")
 	}
-	if _, err := Decode([]byte(`{"version":1,"network":{"nodes":[]}}`)); err == nil {
+	if _, err := snapshot.Decode([]byte(`{"version":1,"network":{"nodes":[]}}`)); err == nil {
 		t.Error("decoded a snapshot with no nodes")
 	}
-	if _, err := Decode([]byte(`not json`)); err == nil {
+	if _, err := snapshot.Decode([]byte(`not json`)); err == nil {
 		t.Error("decoded garbage")
 	}
 }
@@ -153,11 +156,11 @@ func TestForkRejectsLiveState(t *testing.T) {
 	if err := e.At(10, "pending", func(*sim.Engine) {}); err != nil {
 		t.Fatal(err)
 	}
-	s, err := Capture(sc, nw, nil, rest, WithEngine(e))
+	s, err := snapshot.Capture(sc, nw, nil, rest, snapshot.WithEngine(e))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := s.Fork(); !errors.Is(err, ErrLiveState) {
+	if _, _, _, err := s.Fork(); !errors.Is(err, snapshot.ErrLiveState) {
 		t.Errorf("fork of live capture: err = %v, want ErrLiveState", err)
 	}
 	// The live state still serializes (for inspection) and round-trips.
@@ -176,7 +179,7 @@ func TestForkRejectsLiveState(t *testing.T) {
 	}
 }
 
-// Capture without a charger forks a nil charger; the caller supplies its
+// snapshot.Capture without a charger forks a nil charger; the caller supplies its
 // own. The RNG tail must still restore exactly.
 func TestCaptureWithoutCharger(t *testing.T) {
 	sc := trace.DefaultScenario(9, 40)
@@ -190,7 +193,7 @@ func TestCaptureWithoutCharger(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := Capture(sc, nw2, nil, rest2)
+	s, err := snapshot.Capture(sc, nw2, nil, rest2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,5 +212,129 @@ func TestCaptureWithoutCharger(t *testing.T) {
 	}
 	if got := frest.Uint64(); got != want {
 		t.Errorf("restored rng draw %d != original %d", got, want)
+	}
+}
+
+// buildLiveSnap runs a campaign to its first checkpoint barrier and
+// returns the live (version-2) snapshot captured there.
+func buildLiveSnap(t *testing.T) *snapshot.Snapshot {
+	t.Helper()
+	sc := trace.DefaultScenario(42, 60)
+	nw, _, err := sc.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := mc.New(nw.Sink(), mc.DefaultParams())
+	var (
+		snap     *snapshot.Snapshot
+		barriers int
+	)
+	// A fault plan keeps not-yet-fired events in the engine queue for the
+	// whole run, so the capture carries a non-empty pending set.
+	plan := faults.New(faults.Spec{Seed: 42, HorizonSec: attack.DefaultHorizonSec, NodeFailures: 5}, nw.Len())
+	cfg := campaign.Config{Seed: 42, Faults: plan, Checkpoint: &campaign.CheckpointPlan{
+		Scenario: sc,
+		Sink:     func(s *snapshot.Snapshot) error { snap = s; return nil },
+		Stop:     func() bool { barriers++; return barriers == 50 },
+	}}
+	if _, err := campaign.RunLegit(context.Background(), nw, ch, cfg); !errors.Is(err, campaign.ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot captured")
+	}
+	return snap
+}
+
+// A version-1 snapshot must keep decoding leniently: unknown fields are
+// ignored, exactly as every pre-v2 build behaved. Compatibility with
+// archived templates depends on this.
+func TestDecodeV1ToleratesUnknownFields(t *testing.T) {
+	s := buildSnap(t, 7, 40)
+	b, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(b), `"version":1`, `"version":1,"future_field":7`, 1)
+	s2, err := snapshot.Decode([]byte(patched))
+	if err != nil {
+		t.Fatalf("v1 decode with unknown field: %v", err)
+	}
+	if s2.NodeCount() != s.NodeCount() {
+		t.Error("v1 decode dropped nodes")
+	}
+}
+
+// A version-2 checkpoint carrying a field this build does not understand
+// must fail loudly with a versioned error: silently dropping live state
+// and resuming from it would corrupt the run.
+func TestDecodeV2RejectsUnknownFields(t *testing.T) {
+	b, err := buildLiveSnap(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(b), `"version":2`, `"version":2,"future_field":7`, 1)
+	if patched == string(b) {
+		t.Fatal("version marker not found")
+	}
+	_, err = snapshot.Decode([]byte(patched))
+	if err == nil {
+		t.Fatal("decoded a v2 snapshot with an unknown field")
+	}
+	if !strings.Contains(err.Error(), "version 2") {
+		t.Errorf("error does not name the version: %v", err)
+	}
+}
+
+// A wire version beyond this build's horizon fails with the versions the
+// build does read, so operators can tell a stale binary from corruption.
+func TestDecodeRejectsFutureVersion(t *testing.T) {
+	b, err := buildLiveSnap(t).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched := strings.Replace(string(b), `"version":2`, `"version":3`, 1)
+	_, err = snapshot.Decode([]byte(patched))
+	if err == nil || !strings.Contains(err.Error(), "unsupported wire version 3") {
+		t.Errorf("future version error = %v", err)
+	}
+}
+
+// A live snapshot round-trips byte-identically, and decoded accessors
+// hand out defensive copies: mutating the returned pending events must
+// not corrupt the snapshot another resume will read.
+func TestLiveRoundTripAndPendingIsolation(t *testing.T) {
+	s := buildLiveSnap(t)
+	if !s.Live() {
+		t.Fatal("checkpoint not live")
+	}
+	b1, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := snapshot.Decode(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("live snapshot did not round-trip byte-identically")
+	}
+	evs := s2.PendingEvents()
+	if len(evs) == 0 {
+		t.Fatal("live snapshot has no pending events")
+	}
+	evs[0].Kind = "corrupted"
+	evs[0].T = -1
+	if again := s2.PendingEvents(); again[0].Kind == "corrupted" || again[0].T == -1 {
+		t.Error("PendingEvents returned shared storage; a caller mutation leaked back")
+	}
+	// Fork of a live v2 snapshot is allowed (that is how resume starts)
+	// and must not be perturbed by the mutation above.
+	if _, _, _, err := s2.Fork(); err != nil {
+		t.Errorf("fork of live v2: %v", err)
 	}
 }
