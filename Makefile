@@ -10,7 +10,7 @@ GATED_BENCH = BenchmarkExperimentSweep|BenchmarkCampaignRun|BenchmarkSeedSweep|B
 BENCH_PKGS = . ./internal/campaign ./internal/wrsn
 BENCH_SHA = $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot verify-checkpoint verify-scale results clean
+.PHONY: all build vet fmt-check staticcheck test race bench bench-all bench-json bench-gate bench-baseline verify verify-faults verify-daemon verify-snapshot verify-checkpoint verify-scale verify-dist results clean
 
 all: verify
 
@@ -125,12 +125,32 @@ verify-scale:
 	$(GO) test -race ./internal/campaign -run 'ShardedSteppingDigest' -count=1
 	$(GO) test ./internal/campaign -run 'ShardedScaleSmoke' -count=1 -timeout 10m
 
+# verify-dist is the distributed byte-identity fence: every golden
+# flavor is re-run through real worker processes — exec mode (the test
+# binary re-execed as a worker over stdin/stdout) and TCP mode — at
+# shards 1, 2 and 8, each digest compared bit-for-bit against the
+# pinned golden, plus the worker-killed-mid-job failover drill, all
+# under the race detector. Then an end-to-end CLI smoke: the same
+# experiment regenerated in-process and sharded across two spawned
+# wrsnworker processes must emit byte-identical stdout.
+verify-dist:
+	WRSN_VERIFY_DIST=1 $(GO) test -race -count=1 ./internal/distengine -timeout 30m
+	rm -rf .distwork && mkdir -p .distwork
+	$(GO) build -o .distwork/wrsnworker ./cmd/wrsnworker
+	$(GO) run ./cmd/experiments -quick -seeds 2 -only rtab6 > .distwork/local.txt
+	$(GO) run ./cmd/experiments -quick -seeds 2 -only rtab6 \
+		-shards 2 -worker-cmd .distwork/wrsnworker > .distwork/dist.txt
+	cmp .distwork/local.txt .distwork/dist.txt
+	rm -rf .distwork
+
 results:
 	mkdir -p results
 	$(GO) run ./cmd/experiments -out results/
 
-# clean removes generated results and scratch benchmark manifests, but
-# keeps the committed BENCH_baseline.json.
+# clean removes generated results, scratch benchmark manifests (keeping
+# the committed BENCH_baseline.json), and distributed-worker scratch —
+# the .distwork/ build-and-smoke directory and any stray worker sockets.
 clean:
-	rm -rf results/
+	rm -rf results/ .distwork/
 	find . -maxdepth 1 -name 'BENCH_*.json' ! -name 'BENCH_baseline.json' -delete
+	find . -maxdepth 2 -name '*.worker.sock' -delete

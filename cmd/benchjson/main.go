@@ -9,7 +9,11 @@
 // benchmark result line, and writes a sorted manifest. The second compares
 // two manifests: any benchmark present in both whose ns/op (or allocs/op,
 // which is machine-independent) grew by more than the allowed fraction
-// fails the gate with a non-zero exit. CI runs the gate on every PR so a
+// fails the gate with a non-zero exit. A gated benchmark present on only
+// one side also fails — missing from the candidate means the bench run
+// dropped it; missing from the baseline means the baseline predates it
+// and needs a `make bench-baseline` refresh — and an empty candidate
+// manifest is rejected outright. CI runs the gate on every PR so a
 // hot-path regression is caught before merge, not after.
 package main
 
@@ -197,6 +201,12 @@ func runCompare(basePath, candPath string, maxRegress float64, match string) err
 	if err != nil {
 		return err
 	}
+	if len(cand) == 0 {
+		// An empty candidate means the bench run produced nothing (crash,
+		// wrong -bench filter, truncated file) — every gated benchmark
+		// would read as "missing", so name the real problem instead.
+		return fmt.Errorf("candidate manifest %s contains no benchmarks; the bench run produced no results", candPath)
+	}
 	var re *regexp.Regexp
 	if match != "" {
 		re, err = regexp.Compile(match)
@@ -241,11 +251,29 @@ func runCompare(basePath, candPath string, maxRegress float64, match string) err
 			}
 		}
 	}
-	if checked == 0 {
-		return fmt.Errorf("gate matched no benchmarks (baseline %s, match %q)", basePath, match)
+	// A gated benchmark that exists only in the candidate means the
+	// committed baseline predates it: nothing above compared it, so the
+	// gate would silently wave through regressions in exactly the
+	// benchmark someone just promoted into GATED_BENCH. Fail loudly and
+	// say how to fix it.
+	candOnly := make([]string, 0)
+	for name := range cand {
+		if re != nil && !re.MatchString(name) {
+			continue
+		}
+		if _, ok := base[name]; !ok {
+			candOnly = append(candOnly, name)
+		}
+	}
+	sort.Strings(candOnly)
+	for _, name := range candOnly {
+		failures = append(failures, fmt.Sprintf("%s: gated but absent from baseline %s; refresh it with `make bench-baseline`", name, basePath))
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	if checked == 0 {
+		return fmt.Errorf("gate matched no benchmarks (baseline %s, match %q)", basePath, match)
 	}
 	fmt.Printf("benchjson: gate passed (%d benchmarks within %.0f%% of baseline)\n", checked, maxRegress*100)
 	return nil

@@ -146,3 +146,72 @@ func TestCompareGate(t *testing.T) {
 		t.Fatal("gate should fail when the match selects no benchmarks")
 	}
 }
+
+// TestCompareGateStaleBaseline: a gated benchmark present only in the
+// candidate means the committed baseline predates it — the gate has
+// nothing to compare against and must fail telling the user to refresh
+// the baseline, not silently skip the new benchmark.
+func TestCompareGateStaleBaseline(t *testing.T) {
+	dir := t.TempDir()
+	base := writeManifest(t, dir, "base.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000},
+	)
+	cand := writeManifest(t, dir, "cand.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000},
+		Result{Name: "BenchmarkNew", NsPerOp: 1000},
+	)
+	err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkNew")
+	if err == nil {
+		t.Fatal("gate should fail when a gated benchmark is absent from the baseline")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkNew") || !strings.Contains(err.Error(), "bench-baseline") {
+		t.Fatalf("error %q should name the new benchmark and the baseline refresh", err)
+	}
+
+	// Candidate-only benchmarks OUTSIDE the gate regexp stay ignored:
+	// un-gated benchmarks come and go freely.
+	if err := runCompare(base, cand, 0.15, "BenchmarkX$"); err != nil {
+		t.Fatalf("un-gated candidate-only benchmark should not fail the gate: %v", err)
+	}
+}
+
+// TestCompareGateEmptyCandidate: an empty candidate manifest (crashed
+// or mis-filtered bench run) is rejected with the real diagnosis, not
+// a per-benchmark "missing" cascade or a vacuous-match error.
+func TestCompareGateEmptyCandidate(t *testing.T) {
+	dir := t.TempDir()
+	base := writeManifest(t, dir, "base.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000},
+	)
+	for _, results := range [][]Result{nil, {}} {
+		cand := writeManifest(t, dir, "empty.json", results...)
+		err := runCompare(base, cand, 0.15, "BenchmarkX")
+		if err == nil {
+			t.Fatal("gate should fail on an empty candidate manifest")
+		}
+		if !strings.Contains(err.Error(), "no benchmarks") {
+			t.Fatalf("error %q should say the candidate has no benchmarks", err)
+		}
+	}
+}
+
+// TestCompareGateMissingReportedWithNoChecked: when the candidate lost
+// every gated benchmark, the error must list them as missing rather
+// than claiming the match selected nothing.
+func TestCompareGateMissingReportedWithNoChecked(t *testing.T) {
+	dir := t.TempDir()
+	base := writeManifest(t, dir, "base.json",
+		Result{Name: "BenchmarkX", NsPerOp: 1000},
+		Result{Name: "BenchmarkY", NsPerOp: 1000},
+	)
+	cand := writeManifest(t, dir, "other.json",
+		Result{Name: "BenchmarkUnrelated", NsPerOp: 1},
+	)
+	err := runCompare(base, cand, 0.15, "BenchmarkX|BenchmarkY")
+	if err == nil {
+		t.Fatal("gate should fail when every gated benchmark is missing")
+	}
+	if !strings.Contains(err.Error(), "missing from candidate") {
+		t.Fatalf("error %q should diagnose the missing benchmarks", err)
+	}
+}

@@ -15,11 +15,20 @@
 // extension is .json). Telemetry never changes the rendered tables or
 // CSV series.
 //
+// Campaign jobs can also shard across worker processes: -shards N
+// -worker-cmd ./wrsnworker spawns N local workers (length-prefixed JSON
+// over stdin/stdout), while -connect addr1,addr2 dials workers already
+// listening (wrsnworker -listen; newline-delimited JSON over TCP).
+// Distributed output is byte-identical to the in-process pool at any
+// shard count — a worker killed mid-job fails over to a surviving shard
+// and re-runs bit-identically from the spec's seeds.
+//
 // Usage:
 //
 //	experiments [-quick] [-seeds N] [-workers N] [-only rfig4] [-out results/]
 //	            [-metrics telemetry.csv] [-events events.json]
 //	            [-job-timeout 5m] [-job-retries 2]
+//	            [-shards N -worker-cmd ./wrsnworker | -connect host1:7601,host2:7601]
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/cliexport"
+	"github.com/reprolab/wrsn-csa/internal/distengine"
 	"github.com/reprolab/wrsn-csa/internal/experiments"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
@@ -62,6 +72,9 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 	timing := fs.Bool("timing", true, "print per-experiment timing to stderr")
 	jobTimeout := fs.Duration("job-timeout", 0, "per-campaign-job wall-clock bound (0 = none)")
 	jobRetries := fs.Int("job-retries", 0, "retries per failed campaign job (re-seeded identically)")
+	shards := fs.Int("shards", 0, "spawn this many worker processes and shard campaign jobs across them (needs -worker-cmd)")
+	workerCmd := fs.String("worker-cmd", "", "worker binary to spawn per shard (cmd/wrsnworker; exec mode, stdin/stdout)")
+	connect := fs.String("connect", "", "comma-separated addresses of listening workers to shard jobs across (TCP mode)")
 	var tel cliexport.Telemetry
 	tel.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -77,6 +90,20 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		experiments.WithJobTimeout(*jobTimeout),
 		experiments.WithJobRetries(*jobRetries),
 	)
+	pool, err := dialPool(ctx, *shards, *workerCmd, *connect)
+	if err != nil {
+		return err
+	}
+	if pool != nil {
+		defer pool.Close()
+		cfg.Dispatch = pool.Submit
+		if cfg.Workers <= 0 {
+			// Concurrency follows the fleet, not the local CPU count:
+			// each engine slot spends its time waiting on a shard.
+			cfg.Workers = pool.Shards()
+		}
+		fmt.Fprintf(errw, "distributed: %d shard(s)\n", pool.Shards())
+	}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -137,6 +164,34 @@ func run(ctx context.Context, args []string, stdout, errw io.Writer) error {
 		return fmt.Errorf("%d experiment(s) failed: %s", len(failed), strings.Join(failed, ", "))
 	}
 	return nil
+}
+
+// dialPool assembles the distributed worker pool the flags ask for, or
+// nil for the classic in-process run. -shards/-worker-cmd spawn local
+// worker processes (exec mode); -connect dials workers that are already
+// listening (TCP mode). The two modes are mutually exclusive.
+func dialPool(ctx context.Context, shards int, workerCmd, connect string) (*distengine.Pool, error) {
+	switch {
+	case connect != "" && (shards > 0 || workerCmd != ""):
+		return nil, fmt.Errorf("-connect is exclusive with -shards/-worker-cmd")
+	case connect != "":
+		return distengine.Dial(ctx, distengine.DialConfig{
+			Addrs:        strings.Split(connect, ","),
+			CrashRetries: -1,
+		})
+	case shards > 0 && workerCmd == "":
+		return nil, fmt.Errorf("-shards needs -worker-cmd (the worker binary, e.g. a built cmd/wrsnworker)")
+	case shards <= 0 && workerCmd != "":
+		return nil, fmt.Errorf("-worker-cmd needs -shards ≥ 1")
+	case shards > 0:
+		return distengine.NewExecPool(ctx, distengine.ExecConfig{
+			Shards:       shards,
+			Command:      workerCmd,
+			CrashRetries: -1,
+		})
+	default:
+		return nil, nil
+	}
 }
 
 // printTiming reports wall-clock telemetry on the error stream, keeping

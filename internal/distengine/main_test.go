@@ -1,0 +1,27 @@
+package distengine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// workerSentinel re-execs the test binary as an exec-mode worker: when
+// the variable is set the process skips the test runner and serves the
+// wire protocol over stdin/stdout, exactly like cmd/wrsnworker. The
+// exec-mode fence spawns `os.Executable()` with this sentinel in the
+// environment, so the worker side runs the same (race-instrumented,
+// coverage-instrumented) build as the coordinator under test.
+const workerSentinel = "WRSN_DIST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerSentinel) == "1" {
+		if err := ServeStdio(context.Background(), os.Stdin, os.Stdout, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "re-exec worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,237 @@
+// Package distengine extends the in-process experiment engine across
+// worker processes: a coordinator-side Pool shards serializable campaign
+// jobs (jobspec.Spec) over workers it either spawned itself (exec mode —
+// length-prefixed JSON frames over the child's stdin/stdout) or dialed
+// over TCP (newline-delimited JSON, the internal/testbed wire idiom),
+// while preserving the engine package's contracts exactly: deterministic
+// order-preserving merge, lowest-index-error fail-fast, keep-going
+// aggregation, per-job timeout/retry, panic capture, and context
+// cancellation that tears the workers down.
+//
+// The preservation is by construction, not re-implementation: Pool.Run
+// delegates scheduling, ordering and error semantics to
+// engine.MapTimedOpts with Pool.Submit as the job function, so the
+// distributed path and the in-process pool share one contract
+// implementation. What distengine adds underneath is worker leasing,
+// crash failover (a job in flight on a dying worker is re-sent to a
+// surviving shard; specs derive all randomness from their own seeds, so
+// the re-run is bit-identical), and a wire-integrity check: every result
+// crosses the wire with the worker-computed canonical digest, and the
+// coordinator re-digests the decoded outcome — a lossy wire format fails
+// loudly instead of silently shifting results.
+package distengine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ProtoVersion is the wire protocol version exchanged in the hello
+// handshake; coordinator and worker must agree exactly.
+const ProtoVersion = 1
+
+// maxFrame bounds one frame's encoded size (length-prefixed transport).
+// Outcomes with full session records reach megabytes; snapshots of large
+// worlds more. 256 MiB is far above any real payload while still
+// rejecting a corrupt length prefix before it turns into an allocation.
+const maxFrame = 256 << 20
+
+// Frame types. Every message in either direction is one frame.
+const (
+	// frameHello is the worker's first message: its protocol version.
+	frameHello = "hello"
+	// frameJob carries one job (id + spec) coordinator→worker.
+	frameJob = "job"
+	// frameCancel asks the worker to abandon the identified job; the
+	// worker still answers it with a result frame (kind "canceled").
+	frameCancel = "cancel"
+	// frameResult is the worker's answer to a job: outcome or error.
+	frameResult = "result"
+	// frameShutdown asks the worker to exit cleanly.
+	frameShutdown = "shutdown"
+)
+
+// Remote error kinds carried in result frames.
+const (
+	// errKindError is an ordinary job failure (jobspec.Run returned err).
+	errKindError = "error"
+	// errKindPanic is a worker-side panic, recovered with its stack.
+	errKindPanic = "panic"
+	// errKindCanceled acknowledges a frameCancel (or a dying worker
+	// context); the coordinator maps it back to its own ctx error.
+	errKindCanceled = "canceled"
+)
+
+// frame is the single wire message shape, fields used per type. JSON
+// keeps both transports inspectable; the outcome payload inside a result
+// frame is gob (see result.go) because campaign outcomes legitimately
+// contain non-finite floats that encoding/json refuses.
+type frame struct {
+	Type string `json:"type"`
+	// Proto is the protocol version (hello frames).
+	Proto int `json:"proto,omitempty"`
+	// ID identifies a job (job, cancel, result frames). IDs are unique
+	// per coordinator, so a late result can never be mistaken for the
+	// answer to a different job.
+	ID int64 `json:"id,omitempty"`
+	// Spec is the encoded jobspec.Spec (job frames).
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Outcome is the gob-encoded result payload (result frames).
+	Outcome []byte `json:"outcome,omitempty"`
+	// Digest is the worker-computed canonical-JSON SHA-256 of the
+	// outcome; the coordinator recomputes and compares it after decode.
+	Digest string `json:"digest,omitempty"`
+	// ElapsedSec is the worker-side wall clock of the job.
+	ElapsedSec float64 `json:"elapsed_sec,omitempty"`
+	// ErrKind/ErrMsg/Stack report a failed job (result frames).
+	ErrKind string `json:"err_kind,omitempty"`
+	ErrMsg  string `json:"err_msg,omitempty"`
+	Stack   string `json:"stack,omitempty"`
+}
+
+// wireConn is one framed, bidirectional connection. send is safe for
+// concurrent use; recv must be called from a single goroutine.
+type wireConn interface {
+	send(frame) error
+	recv() (frame, error)
+	close() error
+}
+
+// streamConn frames messages with a 4-byte big-endian length prefix —
+// the exec transport, where the stream is a child process's
+// stdin/stdout and message boundaries must survive arbitrary buffering.
+type streamConn struct {
+	r      io.Reader
+	closer io.Closer
+
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// newStreamConn wraps a read/write pair with length-prefixed framing.
+// closer may be nil (stdio).
+func newStreamConn(r io.Reader, w io.Writer, closer io.Closer) *streamConn {
+	return &streamConn{r: bufio.NewReader(r), w: w, closer: closer}
+}
+
+func (c *streamConn) send(f frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("distengine: encode %s frame: %w", f.Type, err)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(buf); err != nil {
+		return fmt.Errorf("distengine: send %s frame: %w", f.Type, err)
+	}
+	return nil
+}
+
+func (c *streamConn) recv() (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return frame{}, fmt.Errorf("distengine: recv: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return frame{}, fmt.Errorf("distengine: recv: frame length %d exceeds %d", n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.r, body); err != nil {
+		return frame{}, fmt.Errorf("distengine: recv body: %w", err)
+	}
+	var f frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return frame{}, fmt.Errorf("distengine: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+func (c *streamConn) close() error {
+	if c.closer == nil {
+		return nil
+	}
+	return c.closer.Close()
+}
+
+// lineConn frames messages as newline-delimited JSON over a net.Conn —
+// the TCP transport, reusing the internal/testbed wire idiom (one JSON
+// object per line, encoder-serialized sends, single-reader receives).
+type lineConn struct {
+	raw net.Conn
+	r   *bufio.Reader
+
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// newLineConn wraps a TCP connection with line-oriented JSON framing.
+func newLineConn(c net.Conn) *lineConn {
+	return &lineConn{raw: c, r: bufio.NewReaderSize(c, 1<<20), enc: json.NewEncoder(c)}
+}
+
+func (c *lineConn) send(f frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(f); err != nil {
+		return fmt.Errorf("distengine: send %s frame: %w", f.Type, err)
+	}
+	return nil
+}
+
+func (c *lineConn) recv() (frame, error) {
+	line, err := readLine(c.r)
+	if err != nil {
+		return frame{}, fmt.Errorf("distengine: recv: %w", err)
+	}
+	var f frame
+	if err := json.Unmarshal(line, &f); err != nil {
+		return frame{}, fmt.Errorf("distengine: decode frame: %w", err)
+	}
+	return f, nil
+}
+
+// readLine reads one \n-terminated line without bufio.Reader's buffer
+// cap: result frames carrying large outcomes routinely exceed the
+// default 64 KiB scanner limit.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == nil {
+			return line, nil
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, err
+		}
+		if len(line) > maxFrame {
+			return nil, fmt.Errorf("frame length exceeds %d", maxFrame)
+		}
+	}
+}
+
+func (c *lineConn) close() error { return c.raw.Close() }
+
+// handshake completes the coordinator side of the hello exchange.
+func handshake(c wireConn) error {
+	f, err := c.recv()
+	if err != nil {
+		return fmt.Errorf("distengine: handshake: %w", err)
+	}
+	if f.Type != frameHello {
+		return fmt.Errorf("distengine: handshake: got %q frame, want hello", f.Type)
+	}
+	if f.Proto != ProtoVersion {
+		return fmt.Errorf("distengine: handshake: worker speaks protocol %d, coordinator %d", f.Proto, ProtoVersion)
+	}
+	return nil
+}

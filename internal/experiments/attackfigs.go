@@ -7,6 +7,7 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/attack"
 	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
@@ -55,7 +56,7 @@ func RunExhaustionVsN(ctx context.Context, cfg Config) (*Output, error) {
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
 		j := jobs[i]
 		spec := solverSpecs[j.spec]
-		return runOneAttack(ctx, j.seed, j.n, campaign.Config{
+		return runOneAttack(ctx, cfg, j.seed, j.n, jobspec.Campaign{
 			Solver: spec.name, NoFill: spec.noFill,
 		})
 	})
@@ -242,28 +243,6 @@ func RunRuntime(ctx context.Context, cfg Config) (*Output, error) {
 			"Expected shape: low-order polynomial growth; planning stays interactive (well under a second) at evaluation sizes.",
 		},
 	}, nil
-}
-
-// runOneAttack forks the (seed, n) baseline world from the snapshot forge
-// and runs an attack campaign on it.
-func runOneAttack(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, ch, err := forkDefaultWorld(seed, n)
-	if err != nil {
-		return nil, err
-	}
-	ccfg.Seed = seed
-	return campaign.RunAttack(ctx, nw, ch, ccfg)
-}
-
-// runOneLegit forks the (seed, n) baseline world and runs the legitimate
-// baseline.
-func runOneLegit(ctx context.Context, seed uint64, n int, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, ch, err := forkDefaultWorld(seed, n)
-	if err != nil {
-		return nil, err
-	}
-	ccfg.Seed = seed
-	return campaign.RunLegit(ctx, nw, ch, ccfg)
 }
 
 // buildInstance constructs the TIDE instance of a forked baseline world.

@@ -7,6 +7,7 @@ import (
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/defense"
 	"github.com/reprolab/wrsn-csa/internal/geom"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/trace"
@@ -51,11 +52,11 @@ func RunDefenseVerification(ctx context.Context, cfg Config) (*Output, error) {
 		j := jobs[i]
 		def := defense.Config{VerifyProb: j.prob}
 		if j.attack {
-			return runOneAttack(ctx, j.seed, n, campaign.Config{
+			return runOneAttack(ctx, cfg, j.seed, n, jobspec.Campaign{
 				Solver: campaign.SolverCSA, Defense: def,
 			})
 		}
-		return runOneLegit(ctx, j.seed, n, campaign.Config{Defense: def})
+		return runOneLegit(ctx, cfg, j.seed, n, jobspec.Campaign{Defense: def})
 	})
 	if err != nil {
 		return nil, err
@@ -156,7 +157,7 @@ func RunDefenseWitness(ctx context.Context, cfg Config) (*Output, error) {
 		// chain is k-connected and has no key nodes at all); scale
 		// the radio with the pitch.
 		sc.CommRange = 2 * v.pitchM
-		return runAttackOnScenario(ctx, sc, campaign.Config{
+		return runAttackOnScenario(ctx, cfg, sc, jobspec.Campaign{
 			Seed:   j.seed,
 			Solver: campaign.SolverCSA,
 			Defense: defense.Config{

@@ -6,6 +6,7 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/detect"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/rng"
@@ -33,17 +34,17 @@ func RunDetectionROC(ctx context.Context, cfg Config) (*Output, error) {
 	const behaviors = 3
 	outs, err := mapTimed(ctx, cfg, seeds*behaviors, func(ctx context.Context, i int) (*campaign.Outcome, error) {
 		seed := cfg.seed(i / behaviors)
-		base := campaign.Config{AuditEverySec: -1} // judge only at horizon
+		base := jobspec.Campaign{AuditEverySec: -1} // judge only at horizon
 		switch i % behaviors {
 		case 0:
-			return runOneLegit(ctx, seed, n, base)
+			return runOneLegit(ctx, cfg, seed, n, base)
 		case 1:
 			base.Solver = campaign.SolverCSA
-			return runOneAttack(ctx, seed, n, base)
+			return runOneAttack(ctx, cfg, seed, n, base)
 		default:
 			base.Solver = campaign.SolverDirect
 			base.NoFill = true
-			return runOneAttack(ctx, seed, n, base)
+			return runOneAttack(ctx, cfg, seed, n, base)
 		}
 	})
 	if err != nil {

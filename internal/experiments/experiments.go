@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/reprolab/wrsn-csa/internal/experiments/engine"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/obs"
 	"github.com/reprolab/wrsn-csa/internal/report"
@@ -55,7 +56,21 @@ type Config struct {
 	// (exponential backoff between attempts). Jobs derive all randomness
 	// from their index, so retries re-seed identically.
 	JobRetries int
+	// Dispatch, when non-nil, ships each campaign job to a worker
+	// process (see internal/distengine) instead of running it
+	// in-process: the sweep's serializable job specs — carrying cached
+	// world snapshots — go through this function one at a time, under
+	// the same engine pool that schedules in-process jobs. Rendered
+	// output is byte-identical either way; only where the CPU burns
+	// changes. Analytic drivers (pure planning, the real-time testbed)
+	// ignore it and stay local.
+	Dispatch Dispatcher
 }
+
+// Dispatcher executes one serializable campaign job somewhere else — a
+// worker process, a remote host — and returns its result.
+// (*distengine.Pool).Submit satisfies this signature.
+type Dispatcher func(ctx context.Context, spec jobspec.Spec) (*jobspec.Result, error)
 
 // Option mutates a Config under construction; see NewConfig.
 type Option func(*Config)
@@ -96,6 +111,10 @@ func WithJobTimeout(d time.Duration) Option { return func(c *Config) { c.JobTime
 // WithJobRetries grants failed jobs bounded retries with backoff;
 // retried jobs re-seed identically from their job index.
 func WithJobRetries(n int) Option { return func(c *Config) { c.JobRetries = n } }
+
+// WithDispatch routes campaign jobs through a distributed dispatcher
+// (nil: run in-process).
+func WithDispatch(d Dispatcher) Option { return func(c *Config) { c.Dispatch = d } }
 
 func (c Config) seeds() int {
 	if c.Seeds > 0 {

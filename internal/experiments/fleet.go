@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
@@ -37,11 +38,7 @@ func RunFleet(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.FleetOutcome, error) {
 		j := jobs[i]
-		nw, chargers, err := forkFleetWorld(j.seed, n, j.chargers)
-		if err != nil {
-			return nil, err
-		}
-		return campaign.RunLegitFleet(ctx, nw, chargers, campaign.Config{Seed: j.seed})
+		return runOneFleet(ctx, cfg, j.seed, n, j.chargers, jobspec.Campaign{})
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"sync"
 
 	"github.com/reprolab/wrsn-csa/internal/mc"
@@ -33,6 +34,13 @@ type forgeEntry struct {
 	once sync.Once
 	snap *snapshot.Snapshot
 	err  error
+
+	// encOnce/enc cache the snapshot's encoded wire form for dispatched
+	// sweeps: the coordinator pays the encode once per distinct world and
+	// every shipped job spec reuses the bytes.
+	encOnce sync.Once
+	enc     json.RawMessage
+	encErr  error
 }
 
 // forge is the package-wide world cache. Experiments are CLI-scoped, so
@@ -61,25 +69,34 @@ func (f *worldForge) fork(sc trace.Scenario) (*wrsn.Network, *mc.Charger, error)
 	return nw, ch, err
 }
 
+// encoded returns the scenario's barrier snapshot in encoded wire form,
+// building and encoding it (each at most once per cached scenario) on
+// first use. Dispatched job specs carry these bytes so worker processes
+// fork the captured world instead of rebuilding it — the same dedup the
+// in-process path gets from fork.
+func (f *worldForge) encoded(sc trace.Scenario) (json.RawMessage, error) {
+	f.mu.Lock()
+	e := f.m[sc]
+	if e == nil {
+		e = &forgeEntry{}
+		if len(f.m) < maxForgeWorlds {
+			f.m[sc] = e
+		}
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		e.snap, e.err = snapshot.Build(sc, mc.DefaultParams())
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.encOnce.Do(func() {
+		e.enc, e.encErr = e.snap.Encode()
+	})
+	return e.enc, e.encErr
+}
+
 // forkDefaultWorld forks the evaluation-baseline scenario for (seed, n).
 func forkDefaultWorld(seed uint64, n int) (*wrsn.Network, *mc.Charger, error) {
 	return forge.fork(trace.DefaultScenario(seed, n))
-}
-
-// forkFleetWorld forks the baseline scenario with k identical chargers
-// parked at the sink, as the fleet experiments deploy them.
-func forkFleetWorld(seed uint64, n, k int) (*wrsn.Network, []*mc.Charger, error) {
-	nw, ch, err := forkDefaultWorld(seed, n)
-	if err != nil {
-		return nil, nil, err
-	}
-	chargers := make([]*mc.Charger, k)
-	for i := range chargers {
-		if i == 0 {
-			chargers[i] = ch
-		} else {
-			chargers[i] = ch.Fork()
-		}
-	}
-	return nw, chargers, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
@@ -24,9 +25,9 @@ func RunLifetime(ctx context.Context, cfg Config) (*Output, error) {
 
 	outs, err := mapTimed(ctx, cfg, 2, func(ctx context.Context, i int) (*campaign.Outcome, error) {
 		if i == 0 {
-			return runOneLegit(ctx, seed, n, campaign.Config{SampleEverySec: sampleEvery})
+			return runOneLegit(ctx, cfg, seed, n, jobspec.Campaign{SampleEverySec: sampleEvery})
 		}
-		return runOneAttack(ctx, seed, n, campaign.Config{
+		return runOneAttack(ctx, cfg, seed, n, jobspec.Campaign{
 			Solver: campaign.SolverCSA, SampleEverySec: sampleEvery,
 		})
 	})

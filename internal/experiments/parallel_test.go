@@ -108,7 +108,11 @@ func TestNewConfigOptions(t *testing.T) {
 	if !cfg.Quick || cfg.Seeds != 7 || cfg.BaseSeed != 99 || cfg.Workers != 3 {
 		t.Errorf("NewConfig mis-applied options: %+v", cfg)
 	}
-	if got, zero := NewConfig(), (Config{}); got != zero {
+	// Config now carries func-typed fields (Dispatch), so compare the
+	// zero-ness of the comparable knobs plus the funcs' nil-ness.
+	got := NewConfig()
+	if got.Quick || got.Seeds != 0 || got.BaseSeed != 0 || got.Workers != 0 ||
+		got.Probe != nil || got.JobTimeout != 0 || got.JobRetries != 0 || got.Dispatch != nil {
 		t.Errorf("NewConfig() = %+v, want zero Config", got)
 	}
 }

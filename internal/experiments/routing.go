@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/trace"
@@ -50,15 +51,11 @@ func RunRoutingMitigation(ctx context.Context, cfg Config) (*Output, error) {
 		sc := trace.DefaultScenario(j.seed, n)
 		sc.Policy = j.policy
 		if j.attack {
-			return runAttackOnScenario(ctx, sc, campaign.Config{
+			return runAttackOnScenario(ctx, cfg, sc, jobspec.Campaign{
 				Seed: j.seed, Solver: campaign.SolverCSA,
 			})
 		}
-		nw, ch, err := forge.fork(sc)
-		if err != nil {
-			return nil, err
-		}
-		return campaign.RunLegit(ctx, nw, ch, campaign.Config{Seed: j.seed})
+		return runLegitOnScenario(ctx, cfg, sc, jobspec.Campaign{Seed: j.seed})
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
+	"github.com/reprolab/wrsn-csa/internal/mc"
+	"github.com/reprolab/wrsn-csa/internal/trace"
+)
+
+// runSpec is the chokepoint every campaign-backed sweep job goes
+// through: one serializable jobspec.Spec in, one Result out. With a
+// Dispatcher configured the spec ships to a worker process — carrying
+// the forge's cached world snapshot, so remote workers skip placement
+// and routing convergence exactly like local forks do. Without one it
+// runs in-process on the forge's forked world, the same fast path the
+// sweeps have always used. Both paths produce byte-identical outcomes:
+// every piece of randomness derives from seeds inside the spec, and
+// fork ≡ rebuild is pinned by the snapshot golden fence.
+func runSpec(ctx context.Context, cfg Config, spec jobspec.Spec) (*jobspec.Result, error) {
+	if cfg.Dispatch != nil {
+		snap, err := forge.encoded(spec.Scenario)
+		if err != nil {
+			return nil, err
+		}
+		spec.Snapshot = snap
+		return cfg.Dispatch(ctx, spec)
+	}
+	nw, ch, err := forge.fork(spec.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	ccfg, err := spec.Config(cfg.probe(), nw.Len())
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case jobspec.KindFleet:
+		fleet := make([]*mc.Charger, spec.Chargers)
+		fleet[0] = ch
+		for i := 1; i < len(fleet); i++ {
+			fleet[i] = ch.Fork()
+		}
+		fo, err := campaign.RunLegitFleet(ctx, nw, fleet, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		return &jobspec.Result{Fleet: fo}, nil
+	case jobspec.KindAttack:
+		o, err := campaign.RunAttack(ctx, nw, ch, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		return &jobspec.Result{Outcome: o}, nil
+	case jobspec.KindLegit:
+		o, err := campaign.RunLegit(ctx, nw, ch, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		return &jobspec.Result{Outcome: o}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown job kind %q", spec.Kind)
+	}
+}
+
+// runOutcomeSpec runs a single-charger spec and unwraps the Outcome.
+func runOutcomeSpec(ctx context.Context, cfg Config, spec jobspec.Spec) (*campaign.Outcome, error) {
+	r, err := runSpec(ctx, cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return r.Outcome, nil
+}
+
+// runAttackOnScenario runs an attack campaign on an explicit scenario.
+// The campaign knobs ride in wire form (jobspec.Campaign) so the same
+// call serves the in-process pool and the distributed dispatcher.
+func runAttackOnScenario(ctx context.Context, cfg Config, sc trace.Scenario, cc jobspec.Campaign) (*campaign.Outcome, error) {
+	return runOutcomeSpec(ctx, cfg, jobspec.Spec{Kind: jobspec.KindAttack, Scenario: sc, Campaign: cc})
+}
+
+// runLegitOnScenario runs the legitimate baseline on an explicit
+// scenario.
+func runLegitOnScenario(ctx context.Context, cfg Config, sc trace.Scenario, cc jobspec.Campaign) (*campaign.Outcome, error) {
+	return runOutcomeSpec(ctx, cfg, jobspec.Spec{Kind: jobspec.KindLegit, Scenario: sc, Campaign: cc})
+}
+
+// runOneAttack runs an attack campaign on the (seed, n) baseline world.
+// The campaign seed follows the world seed, as everywhere in the
+// evaluation.
+func runOneAttack(ctx context.Context, cfg Config, seed uint64, n int, cc jobspec.Campaign) (*campaign.Outcome, error) {
+	cc.Seed = seed
+	return runAttackOnScenario(ctx, cfg, trace.DefaultScenario(seed, n), cc)
+}
+
+// runOneLegit runs the legitimate baseline on the (seed, n) baseline
+// world.
+func runOneLegit(ctx context.Context, cfg Config, seed uint64, n int, cc jobspec.Campaign) (*campaign.Outcome, error) {
+	cc.Seed = seed
+	return runLegitOnScenario(ctx, cfg, trace.DefaultScenario(seed, n), cc)
+}
+
+// runOneFleet runs the legitimate multi-charger fleet on the (seed, n)
+// baseline world with k chargers parked at the sink.
+func runOneFleet(ctx context.Context, cfg Config, seed uint64, n, k int, cc jobspec.Campaign) (*campaign.FleetOutcome, error) {
+	cc.Seed = seed
+	r, err := runSpec(ctx, cfg, jobspec.Spec{
+		Kind:     jobspec.KindFleet,
+		Scenario: trace.DefaultScenario(seed, n),
+		Campaign: cc,
+		Chargers: k,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r.Fleet, nil
+}

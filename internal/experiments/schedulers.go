@@ -5,6 +5,7 @@ import (
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
 	"github.com/reprolab/wrsn-csa/internal/charging"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 )
@@ -23,11 +24,15 @@ func RunSchedulers(ctx context.Context, cfg Config) (*Output, error) {
 	if cfg.Quick {
 		n = 250
 	}
-	schedulers := []func() charging.Scheduler{
-		func() charging.Scheduler { return charging.NJNP{} },
-		func() charging.Scheduler { return charging.FCFS{} },
-		func() charging.Scheduler { return charging.EDF{} },
-		func() charging.Scheduler { return &charging.PeriodicTSP{} },
+	// Schedulers ride by name: each job's run resolves the name to a
+	// fresh instance (charging.ByName), which matters for tour-based
+	// policies that carry state — and makes the job spec serializable,
+	// so the sweep can ship to worker processes unchanged.
+	schedulers := []string{
+		charging.NJNP{}.Name(),
+		charging.FCFS{}.Name(),
+		charging.EDF{}.Name(),
+		(&charging.PeriodicTSP{}).Name(),
 	}
 	seeds := cfg.seeds()
 
@@ -43,7 +48,7 @@ func RunSchedulers(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
 		j := jobs[i]
-		return runOneLegit(ctx, j.seed, n, campaign.Config{Scheduler: schedulers[j.sched]()})
+		return runOneLegit(ctx, cfg, j.seed, n, jobspec.Campaign{Scheduler: schedulers[j.sched]})
 	})
 	if err != nil {
 		return nil, err
@@ -54,9 +59,8 @@ func RunSchedulers(ctx context.Context, cfg Config) (*Output, error) {
 	waitSeries := &metrics.Series{Label: "mean_wait_h"}
 	var points []PointTiming
 	k := 0
-	for si, mk := range schedulers {
+	for si, name := range schedulers {
 		var wait, served, dead, energy, util metrics.Summary
-		name := mk().Name()
 		row := k
 		for s := 0; s < seeds; s++ {
 			o := outs[k].Value

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/reprolab/wrsn-csa/internal/campaign"
+	"github.com/reprolab/wrsn-csa/internal/jobspec"
 	"github.com/reprolab/wrsn-csa/internal/metrics"
 	"github.com/reprolab/wrsn-csa/internal/report"
 	"github.com/reprolab/wrsn-csa/internal/testbed"
@@ -45,7 +46,7 @@ func RunHeadline(ctx context.Context, cfg Config) (*Output, error) {
 		j := jobs[i]
 		sc := trace.DefaultScenario(j.seed, n)
 		sc.Deploy.Pattern = j.pat
-		return runAttackOnScenario(ctx, sc, campaign.Config{
+		return runAttackOnScenario(ctx, cfg, sc, jobspec.Campaign{
 			Seed: j.seed, Solver: specs[j.spec].solver, NoFill: specs[j.spec].noFill,
 		})
 	})
@@ -145,15 +146,15 @@ func RunAblations(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	variants := []struct {
 		name string
-		mut  func(*campaign.Config)
+		mut  func(*jobspec.Campaign)
 	}{
-		{"CSA (full)", func(*campaign.Config) {}},
-		{"no-cover (Direct)", func(c *campaign.Config) { c.Solver = campaign.SolverDirect; c.NoFill = true }},
-		{"no-fill (plan only)", func(c *campaign.Config) { c.NoFill = true }},
-		{"single-emitter", func(c *campaign.Config) { c.SingleEmitter = true }},
-		{"no-live-audit", func(c *campaign.Config) { c.AuditEverySec = -1 }},
-		{"progressive (extension)", func(c *campaign.Config) { c.Progressive = true }},
-		{"CSA+polish (extension)", func(c *campaign.Config) { c.Solver = campaign.SolverCSAPolished }},
+		{"CSA (full)", func(*jobspec.Campaign) {}},
+		{"no-cover (Direct)", func(c *jobspec.Campaign) { c.Solver = campaign.SolverDirect; c.NoFill = true }},
+		{"no-fill (plan only)", func(c *jobspec.Campaign) { c.NoFill = true }},
+		{"single-emitter", func(c *jobspec.Campaign) { c.SingleEmitter = true }},
+		{"no-live-audit", func(c *jobspec.Campaign) { c.AuditEverySec = -1 }},
+		{"progressive (extension)", func(c *jobspec.Campaign) { c.Progressive = true }},
+		{"CSA+polish (extension)", func(c *jobspec.Campaign) { c.Solver = campaign.SolverCSAPolished }},
 	}
 	seeds := cfg.seeds()
 
@@ -169,9 +170,9 @@ func RunAblations(ctx context.Context, cfg Config) (*Output, error) {
 	}
 	outs, err := mapTimed(ctx, cfg, len(jobs), func(ctx context.Context, i int) (*campaign.Outcome, error) {
 		j := jobs[i]
-		ccfg := campaign.Config{Seed: j.seed, Solver: campaign.SolverCSA}
-		variants[j.variant].mut(&ccfg)
-		return runOneAttack(ctx, j.seed, n, ccfg)
+		cc := jobspec.Campaign{Seed: j.seed, Solver: campaign.SolverCSA}
+		variants[j.variant].mut(&cc)
+		return runOneAttack(ctx, cfg, j.seed, n, cc)
 	})
 	if err != nil {
 		return nil, err
@@ -208,14 +209,4 @@ func RunAblations(ctx context.Context, cfg Config) (*Output, error) {
 			"Expected: full CSA ≈ 1.0 exhaustion, 0 detection. no-cover/no-fill get caught (shortfall). single-emitter cannot null — victims get genuinely charged and survive.",
 		},
 	}, nil
-}
-
-// runAttackOnScenario runs an attack campaign on an explicit scenario,
-// forked from the snapshot forge.
-func runAttackOnScenario(ctx context.Context, sc trace.Scenario, ccfg campaign.Config) (*campaign.Outcome, error) {
-	nw, ch, err := forge.fork(sc)
-	if err != nil {
-		return nil, err
-	}
-	return campaign.RunAttack(ctx, nw, ch, ccfg)
 }
